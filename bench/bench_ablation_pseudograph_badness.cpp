@@ -1,0 +1,83 @@
+// Ablation (paper §5.1): the 2K pseudograph algorithm produces FEWER
+// "badnesses" (self-loops, parallel edges, small components) than its 1K
+// counterpart (PLRG), because the JDD constrains hub-hub multi-edges and
+// (1,1) pairings.  This bench quantifies that claim on both datasets.
+#include <cstdio>
+
+#include "common/bench_common.hpp"
+#include "core/series.hpp"
+#include "gen/pseudograph.hpp"
+#include "graph/algorithms.hpp"
+
+namespace {
+
+struct Badness {
+  double loops = 0.0;
+  double parallels = 0.0;
+  double small_component_nodes = 0.0;  // nodes outside the GCC
+};
+
+Badness measure(const orbis::Graph& original,
+                const orbis::bench::Context& context, bool use_2k,
+                std::uint64_t salt) {
+  using namespace orbis;
+  const auto dists = dk::extract(original, 2);
+  Badness total;
+  for (std::uint64_t seed = 0; seed < context.seeds; ++seed) {
+    auto rng = context.rng(salt + seed);
+    const Multigraph mg =
+        use_2k ? gen::pseudograph_2k(dists.joint, rng)
+               : gen::pseudograph_1k(dists.degree, rng);
+    SimplificationReport report;
+    const Graph simple = mg.to_simple(&report);
+    const auto gcc = largest_connected_component(simple);
+    total.loops += static_cast<double>(report.self_loops_removed);
+    total.parallels += static_cast<double>(report.parallel_edges_removed);
+    total.small_component_nodes += static_cast<double>(
+        simple.num_nodes() - gcc.graph.num_nodes());
+  }
+  const auto n = static_cast<double>(context.seeds);
+  return Badness{total.loops / n, total.parallels / n,
+                 total.small_component_nodes / n};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace orbis;
+  bench::Context context(argc, argv);
+  if (!context.args.has_flag("--seeds")) context.seeds = 5;
+  bench::print_header(
+      "Ablation - pseudograph badnesses: 1K (PLRG) vs the paper's 2K "
+      "variant",
+      "The 2K constraints suppress loops, parallels and tiny "
+      "components.");
+
+  util::TextTable table({"dataset", "variant", "self-loops",
+                         "parallel edges", "nodes outside GCC"});
+  const auto add_rows = [&](const char* name, const Graph& original,
+                            std::uint64_t salt) {
+    const auto one_k = measure(original, context, /*use_2k=*/false, salt);
+    const auto two_k =
+        measure(original, context, /*use_2k=*/true, salt + 50);
+    table.add_row({name, "1K pseudograph",
+                   util::TextTable::fmt(one_k.loops, 1),
+                   util::TextTable::fmt(one_k.parallels, 1),
+                   util::TextTable::fmt(one_k.small_component_nodes, 1)});
+    table.add_row({name, "2K pseudograph",
+                   util::TextTable::fmt(two_k.loops, 1),
+                   util::TextTable::fmt(two_k.parallels, 1),
+                   util::TextTable::fmt(two_k.small_component_nodes, 1)});
+  };
+
+  add_rows("HOT", bench::load_hot(context, 0), 100);
+  add_rows("skitter", bench::load_skitter(context, 0), 200);
+
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "shape (paper §5.1): every badness column shrinks from the 1K row\n"
+      "to the 2K row — e.g. hub-hub parallel edges are capped by\n"
+      "m(k1,k2) and isolated (1,1)-pairs cannot form when the original\n"
+      "graph has no (1,1) edges.\n");
+  return 0;
+}

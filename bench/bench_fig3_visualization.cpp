@@ -1,0 +1,97 @@
+// Figure 3: picturizations of 0K..3K-random graphs vs the original HOT
+// topology.  This bench regenerates the five graphs and exports them as
+// Graphviz DOT files (render with `sfdp -Tpng`); it also prints compact
+// structural signatures that capture what the picture shows: where the
+// high-degree nodes sit (core vs periphery).
+#include <cstdio>
+#include <filesystem>
+
+#include "common/bench_common.hpp"
+#include "gen/rewiring.hpp"
+#include "graph/algorithms.hpp"
+#include "io/dot.hpp"
+#include "metrics/betweenness.hpp"
+
+namespace {
+
+/// "Coreness" signature: mean eccentricity-rank of the top-20 degree
+/// nodes.  Low values = hubs central (1K-random look); high values =
+/// hubs peripheral (HOT look).
+double hub_peripherality(const orbis::Graph& g) {
+  using namespace orbis;
+  const auto gcc = largest_connected_component(g).graph;
+  // Use distance-from-hub median as a cheap centrality proxy.
+  std::vector<NodeId> by_degree(gcc.num_nodes());
+  for (NodeId v = 0; v < gcc.num_nodes(); ++v) by_degree[v] = v;
+  std::sort(by_degree.begin(), by_degree.end(), [&](NodeId a, NodeId b) {
+    return gcc.degree(a) > gcc.degree(b);
+  });
+  const std::size_t top = std::min<std::size_t>(20, by_degree.size());
+  const auto betweenness = metrics::normalized_betweenness(gcc);
+  // Rank of hubs by betweenness: 0 = most central.
+  std::vector<NodeId> by_betweenness(gcc.num_nodes());
+  for (NodeId v = 0; v < gcc.num_nodes(); ++v) by_betweenness[v] = v;
+  std::sort(by_betweenness.begin(), by_betweenness.end(),
+            [&](NodeId a, NodeId b) {
+              return betweenness[a] > betweenness[b];
+            });
+  std::vector<std::size_t> rank(gcc.num_nodes());
+  for (std::size_t i = 0; i < by_betweenness.size(); ++i) {
+    rank[by_betweenness[i]] = i;
+  }
+  double mean_rank = 0.0;
+  for (std::size_t i = 0; i < top; ++i) {
+    mean_rank += static_cast<double>(rank[by_degree[i]]);
+  }
+  return mean_rank / static_cast<double>(top) /
+         static_cast<double>(gcc.num_nodes());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace orbis;
+  const bench::Context context(argc, argv);
+  bench::print_header(
+      "Figure 3 - picturizations of dK-random graphs vs the HOT original",
+      "DOT exports + a hub-position signature replacing visual "
+      "inspection.");
+
+  const auto original = bench::load_hot(context, 0);
+  const auto out_dir =
+      std::filesystem::temp_directory_path() / "orbis-fig3";
+  std::filesystem::create_directories(out_dir);
+
+  util::TextTable table(
+      {"graph", "hub peripherality (0=central hubs, higher=peripheral)"});
+  auto rng = context.rng(1);
+
+  const auto emit = [&](const std::string& name, const Graph& g) {
+    io::DotOptions dot_options;
+    dot_options.graph_name = name;
+    const auto path = (out_dir / (name + ".dot")).string();
+    io::write_dot_file(path, g, dot_options);
+    table.add_row({name, util::TextTable::fmt(hub_peripherality(g), 3)});
+    std::printf("wrote %s (%u nodes / %zu edges)\n", path.c_str(),
+                g.num_nodes(), g.num_edges());
+  };
+
+  for (int d = 0; d <= 3; ++d) {
+    gen::RandomizeOptions randomize_options;
+    randomize_options.d = d;
+    randomize_options.attempts_per_edge = d == 3 ? 40 : 10;
+    emit(std::to_string(d) + "K-random",
+         gen::randomize(original, randomize_options, rng));
+  }
+  emit("original-HOT", original);
+
+  std::printf("\n%s\n", table.str().c_str());
+  std::printf(
+      "shape (paper Fig. 3 narrative): in the 1K-random graph the\n"
+      "high-degree nodes crowd the most-central positions (low score);\n"
+      "from 2K on they migrate to the periphery, approaching the\n"
+      "original HOT signature.\n"
+      "render: sfdp -Tpng %s/<name>.dot -o <name>.png\n",
+      out_dir.c_str());
+  return 0;
+}

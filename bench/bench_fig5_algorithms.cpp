@@ -1,0 +1,116 @@
+// Figure 5: comparison of the 2K- and 3K-graph-constructing algorithms.
+//   (a) clustering C(k) in skitter for the five 2K algorithms,
+//   (b) distance PDF in HOT for the five 2K algorithms,
+//   (c) distance PDF in HOT for the two 3K algorithms.
+//
+// Expected shape: all algorithms produce overlapping curves except the
+// 2K stochastic one, whose distance PDF is visibly shifted left.
+#include <cstdio>
+
+#include "common/bench_common.hpp"
+#include "core/series.hpp"
+#include "gen/generate.hpp"
+#include "gen/matching.hpp"
+#include "gen/pseudograph.hpp"
+#include "gen/rewiring.hpp"
+#include "gen/stochastic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace orbis;
+  const bench::Context context(argc, argv);
+  bench::print_header(
+      "Figure 5 - algorithm comparison for 2K (a,b) and 3K (c) "
+      "construction",
+      "Curves overlap for all algorithms except 2K-stochastic.");
+
+  // ---- (a) clustering C(k) in skitter, five 2K algorithms -------------
+  {
+    const auto skitter = bench::load_skitter(context, 0);
+    const auto dists = dk::extract(skitter, 2);
+    auto rng = context.rng(1);
+
+    std::vector<bench::Series> series;
+    series.push_back(bench::clustering_series(
+        "stochastic", gen::stochastic_2k(dists.joint, rng)));
+    series.push_back(bench::clustering_series(
+        "pseudograph", gen::pseudograph_2k(dists.joint, rng).to_simple()));
+    series.push_back(bench::clustering_series(
+        "matching", gen::matching_2k(dists.joint, rng)));
+    {
+      gen::RandomizeOptions randomize_options;
+      randomize_options.d = 2;
+      series.push_back(bench::clustering_series(
+          "2K-rand", gen::randomize(skitter, randomize_options, rng)));
+    }
+    series.push_back(bench::clustering_series(
+        "2K-targ",
+        gen::generate_dk_random(
+            dists, 2,
+            gen::GenerateOptions{.method = gen::Method::targeting}, rng)));
+    series.push_back(bench::clustering_series("skitter", skitter));
+
+    std::printf("(a) clustering C(k) in the skitter substitute "
+                "(log-binned degree):\n");
+    bench::print_series_table("k", series, 3);
+  }
+
+  const auto hot = bench::load_hot(context, 0);
+  const auto hot_dists = dk::extract(hot, 3);
+
+  // ---- (b) distance PDF in HOT, five 2K algorithms --------------------
+  {
+    auto rng = context.rng(2);
+    std::vector<bench::Series> series;
+    series.push_back(bench::distance_pdf_series(
+        "stochastic", gen::stochastic_2k(hot_dists.joint, rng)));
+    series.push_back(bench::distance_pdf_series(
+        "pseudograph",
+        gen::pseudograph_2k(hot_dists.joint, rng).to_simple()));
+    series.push_back(bench::distance_pdf_series(
+        "matching", gen::matching_2k(hot_dists.joint, rng)));
+    {
+      gen::RandomizeOptions randomize_options;
+      randomize_options.d = 2;
+      series.push_back(bench::distance_pdf_series(
+          "2K-rand", gen::randomize(hot, randomize_options, rng)));
+    }
+    series.push_back(bench::distance_pdf_series(
+        "2K-targ",
+        gen::generate_dk_random(
+            hot_dists, 2,
+            gen::GenerateOptions{.method = gen::Method::targeting}, rng)));
+    series.push_back(bench::distance_pdf_series("HOT", hot));
+
+    std::printf("(b) distance PDF in the HOT substitute, 2K algorithms:\n");
+    bench::print_series_table("hops", series, 3);
+    std::printf("shape: stochastic mass sits at SHORTER distances than "
+                "the other four.\n\n");
+  }
+
+  // ---- (c) distance PDF in HOT, two 3K algorithms ---------------------
+  {
+    auto rng = context.rng(3);
+    std::vector<bench::Series> series;
+    {
+      gen::RandomizeOptions randomize_options;
+      randomize_options.d = 3;
+      randomize_options.attempts_per_edge = 40;
+      series.push_back(bench::distance_pdf_series(
+          "3K-rand", gen::randomize(hot, randomize_options, rng)));
+    }
+    {
+      gen::GenerateOptions generate_options;
+      generate_options.method = gen::Method::targeting;
+      generate_options.targeting.attempts_per_edge = 600;
+      series.push_back(bench::distance_pdf_series(
+          "3K-targ",
+          gen::generate_dk_random(hot_dists, 3, generate_options, rng)));
+    }
+    series.push_back(bench::distance_pdf_series("HOT", hot));
+
+    std::printf("(c) distance PDF in the HOT substitute, 3K algorithms:\n");
+    bench::print_series_table("hops", series, 3);
+    std::printf("shape: both 3K curves hug the original closely.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 6: dK-random graphs vs skitter —
+//   (a) distance PDF, (b) normalized betweenness vs degree,
+//   (c) clustering C(k).
+//
+// Expected shape: 0K far off everywhere; 1K/2K close on distances and
+// betweenness; clustering only matches at 3K (2K underestimates C(k)).
+#include <cstdio>
+
+#include "common/bench_common.hpp"
+#include "gen/rewiring.hpp"
+
+int main(int argc, char** argv) {
+  using namespace orbis;
+  const bench::Context context(argc, argv);
+  bench::print_header(
+      "Figure 6 - dK-random vs skitter: distances, betweenness, "
+      "clustering",
+      "Convergence with d across three full distributions.");
+
+  const auto original = bench::load_skitter(context, 0);
+
+  std::vector<Graph> randomized;
+  for (int d = 0; d <= 3; ++d) {
+    auto rng = context.rng(10 + d);
+    gen::RandomizeOptions randomize_options;
+    randomize_options.d = d;
+    randomized.push_back(gen::randomize(original, randomize_options, rng));
+    std::fprintf(stderr, "[bench] d=%d randomization done\n", d);
+  }
+
+  const auto build_series =
+      [&](const char* what,
+          bench::Series (*make)(const std::string&, const Graph&)) {
+        std::vector<bench::Series> series;
+        for (int d = 0; d <= 3; ++d) {
+          series.push_back(
+              make(std::to_string(d) + "K-random", randomized[d]));
+        }
+        series.push_back(make("skitter", original));
+        std::printf("%s\n", what);
+        bench::print_series_table(
+            what[1] == 'a' ? "hops" : "k", series, 3);
+      };
+
+  build_series("(a) distance PDF:", bench::distance_pdf_series);
+  build_series("(b) mean normalized betweenness vs degree (log-binned):",
+               bench::betweenness_series);
+  build_series("(c) clustering C(k) (log-binned):",
+               bench::clustering_series);
+
+  std::printf(
+      "shape (paper Fig. 6): distance and betweenness curves collapse\n"
+      "onto the original from d=1 up; clustering stays below the\n"
+      "original for d<=2 and matches at d=3.\n");
+  return 0;
+}

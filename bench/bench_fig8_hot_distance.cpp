@@ -1,0 +1,38 @@
+// Figure 8: distance PDF of dK-random graphs vs the HOT topology.
+//
+// Expected shape: 0K-random far too long tails; 1K-random far too SHORT
+// (hubs crowd the core); 2K in between; 3K hugging the original.
+#include <cstdio>
+
+#include "common/bench_common.hpp"
+#include "gen/rewiring.hpp"
+
+int main(int argc, char** argv) {
+  using namespace orbis;
+  const bench::Context context(argc, argv);
+  bench::print_header(
+      "Figure 8 - distance distribution: dK-random vs HOT",
+      "1K shortens distances badly; convergence restored through 2K/3K.");
+
+  const auto original = bench::load_hot(context, 0);
+
+  std::vector<bench::Series> series;
+  for (int d = 0; d <= 3; ++d) {
+    auto rng = context.rng(20 + d);
+    gen::RandomizeOptions randomize_options;
+    randomize_options.d = d;
+    randomize_options.attempts_per_edge = d == 3 ? 40 : 10;
+    series.push_back(bench::distance_pdf_series(
+        std::to_string(d) + "K-random",
+        gen::randomize(original, randomize_options, rng)));
+  }
+  series.push_back(bench::distance_pdf_series("HOT", original));
+
+  bench::print_series_table("hops", series, 3);
+
+  std::printf(
+      "shape (paper Fig. 8): the 1K-random mass peaks around 4 hops vs\n"
+      "the original's ~7; 2K pushes it back out; 3K overlaps the\n"
+      "original almost exactly.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 9: normalized node betweenness vs degree for dK-random graphs
+// against the HOT topology.
+//
+// Expected shape: in the original (and from d=2 on), mid-degree nodes
+// carry betweenness comparable to the hubs — the low-degree CORE.  In
+// the 1K-random graph betweenness grows monotonically with degree
+// (hubs central), the signature the paper uses to show 1K fails.
+#include <cstdio>
+
+#include "common/bench_common.hpp"
+#include "gen/rewiring.hpp"
+
+int main(int argc, char** argv) {
+  using namespace orbis;
+  const bench::Context context(argc, argv);
+  bench::print_header(
+      "Figure 9 - betweenness vs degree: dK-random vs HOT",
+      "From d=2 the low-degree core carries hub-level betweenness.");
+
+  const auto original = bench::load_hot(context, 0);
+
+  std::vector<bench::Series> series;
+  for (int d = 0; d <= 3; ++d) {
+    auto rng = context.rng(30 + d);
+    gen::RandomizeOptions randomize_options;
+    randomize_options.d = d;
+    randomize_options.attempts_per_edge = d == 3 ? 40 : 10;
+    series.push_back(bench::betweenness_series(
+        std::to_string(d) + "K-random",
+        gen::randomize(original, randomize_options, rng)));
+  }
+  series.push_back(bench::betweenness_series("HOT", original));
+
+  bench::print_series_table("k", series, 4);
+
+  std::printf(
+      "shape (paper Fig. 9): compare the k~8-16 rows with the largest-k\n"
+      "rows — in the original and the 2K/3K-random graphs they are of\n"
+      "the same order; in the 1K-random graph betweenness at mid degrees\n"
+      "is much smaller than at the hubs.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Micro performance benchmarks (google-benchmark) for the hot paths:
+// extraction, incremental bookkeeping, rewiring steps, BFS, Brandes and
+// Lanczos.  These guard the complexity classes the library promises.
+#include <benchmark/benchmark.h>
+
+#include "core/dk_state.hpp"
+#include "core/series.hpp"
+#include "gen/rewiring.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/builders.hpp"
+#include "metrics/betweenness.hpp"
+#include "metrics/distance.hpp"
+#include "metrics/spectrum.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace orbis;
+
+Graph make_graph(std::int64_t n) {
+  util::Rng rng(42);
+  return builders::gnm(static_cast<NodeId>(n),
+                       static_cast<std::size_t>(3 * n), rng);
+}
+
+void BM_Extract2K(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dk::JointDegreeDistribution::from_graph(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Extract2K)->Range(1 << 10, 1 << 14)->Complexity();
+
+void BM_Extract3K(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dk::ThreeKProfile::from_graph(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Extract3K)->Range(1 << 10, 1 << 14)->Complexity();
+
+void BM_RewiringStep1K(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  util::Rng rng(7);
+  gen::RandomizeOptions options;
+  options.d = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Graph copy = g;
+    state.ResumeTiming();
+    options.attempts = 1000;
+    benchmark::DoNotOptimize(gen::randomize(copy, options, rng));
+  }
+}
+BENCHMARK(BM_RewiringStep1K)->Arg(1 << 12);
+
+void BM_RewiringStep3K(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  util::Rng rng(7);
+  gen::RandomizeOptions options;
+  options.d = 3;
+  for (auto _ : state) {
+    options.attempts = 200;
+    benchmark::DoNotOptimize(gen::randomize(g, options, rng));
+  }
+}
+BENCHMARK(BM_RewiringStep3K)->Arg(1 << 11);
+
+void BM_DkStateSwap(benchmark::State& state) {
+  const auto g = make_graph(1 << 12);
+  dk::DkState dk_state(g, dk::TrackLevel::full_three_k);
+  util::Rng rng(9);
+  for (auto _ : state) {
+    const auto& graph = dk_state.graph();
+    const Edge e1 = graph.edge_at(rng.uniform(graph.num_edges()));
+    const Edge e2 = graph.edge_at(rng.uniform(graph.num_edges()));
+    if (e1.u == e2.u || e1.u == e2.v || e1.v == e2.u || e1.v == e2.v ||
+        graph.has_edge(e1.u, e2.v) || graph.has_edge(e2.u, e1.v)) {
+      continue;
+    }
+    dk_state.remove_edge(e1.u, e1.v);
+    dk_state.remove_edge(e2.u, e2.v);
+    dk_state.add_edge(e1.u, e2.v);
+    dk_state.add_edge(e2.u, e1.v);
+  }
+}
+BENCHMARK(BM_DkStateSwap);
+
+void BM_Bfs(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  util::Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bfs_distances(g, static_cast<NodeId>(rng.uniform(g.num_nodes()))));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Bfs)->Range(1 << 10, 1 << 15)->Complexity();
+
+void BM_Brandes(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::betweenness(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Brandes)->Range(1 << 8, 1 << 10)->Complexity();
+
+void BM_LanczosExtremes(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::laplacian_extremes(g));
+  }
+}
+BENCHMARK(BM_LanczosExtremes)->Range(1 << 10, 1 << 13);
+
+void BM_DistanceDistribution(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::distance_distribution(g));
+  }
+}
+BENCHMARK(BM_DistanceDistribution)->Range(1 << 8, 1 << 11);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Table 4: scalar metrics of 3K-random HOT graphs — randomizing rewiring
+// vs targeting rewiring — against the original.
+//
+// Paper values:
+//   metric  3K-randomizing 3K-targeting original
+//   kbar    2.10           2.13         2.10
+//   r       -0.22          -0.23        -0.22
+//   d       6.55           6.79         6.81
+//   sigma_d 0.84           0.72         0.57
+//
+// Expected shape: both 3K constructions sit very close to the original
+// (closer than any 2K technique in Table 3).
+#include <cstdio>
+
+#include "common/bench_common.hpp"
+#include "core/series.hpp"
+#include "gen/generate.hpp"
+#include "gen/rewiring.hpp"
+
+int main(int argc, char** argv) {
+  using namespace orbis;
+  const bench::Context context(argc, argv);
+  bench::print_header(
+      "Table 4 - 3K-random HOT graphs: randomizing vs targeting rewiring",
+      "Both 3K constructions approximate the original closely.");
+
+  const auto original = bench::load_hot(context, 0);
+  const auto dists = dk::extract(original, 3);
+
+  metrics::SummaryOptions options;
+  options.with_spectrum = false;
+  options.with_s2 = false;
+
+  std::vector<bench::MetricColumn> columns;
+  columns.push_back(
+      {"3K-randomizing",
+       bench::averaged_metrics(context, options, [&](std::uint64_t seed) {
+         auto rng = context.rng(100 + seed);
+         gen::RandomizeOptions randomize_options;
+         randomize_options.d = 3;
+         randomize_options.attempts_per_edge = 30;
+         return gen::randomize(original, randomize_options, rng);
+       })});
+  columns.push_back(
+      {"3K-targeting",
+       bench::averaged_metrics(context, options, [&](std::uint64_t seed) {
+         auto rng = context.rng(200 + seed);
+         gen::GenerateOptions generate_options;
+         generate_options.method = gen::Method::targeting;
+         generate_options.targeting.attempts_per_edge = 600;
+         return gen::generate_dk_random(dists, 3, generate_options, rng);
+       })});
+  columns.push_back(
+      {"original", metrics::compute_scalar_metrics(original, options)});
+
+  print_metric_table(columns, {"kbar", "r", "d", "sigma_d"});
+
+  std::printf(
+      "paper reference (their HOT):\n"
+      "  kbar    2.10  2.13  | 2.10\n"
+      "  r      -0.22 -0.23  | -0.22\n"
+      "  d       6.55  6.79  | 6.81\n"
+      "  sigma_d 0.84  0.72  | 0.57\n"
+      "shape: both columns track the original; 3K matches distances far\n"
+      "better than the 2K rows of Table 3.\n");
+  return 0;
+}

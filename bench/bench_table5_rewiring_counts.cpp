@@ -1,0 +1,49 @@
+// Table 5: numbers of possible initial dK-randomizing rewirings for the
+// HOT graph, with and without the obvious-isomorphism discount.
+//
+// Paper values (their HOT, 939 nodes / 988 edges):
+//   d   possible     discounted (ignoring obvious isomorphisms)
+//   0   435,546,699  -
+//   1   477,905      440,355
+//   2   326,409      268,871
+//   3   146          44
+//
+// Expected shape: counts collapse by orders of magnitude from d=0 to
+// d=3 — the 3K space around HOT is tiny.
+#include <cstdio>
+
+#include "common/bench_common.hpp"
+#include "gen/count_rewirings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace orbis;
+  const bench::Context context(argc, argv);
+  bench::print_header(
+      "Table 5 - possible initial dK-preserving rewirings of the HOT "
+      "graph",
+      "The rewiring space collapses as d grows: the 3K neighborhood of "
+      "HOT is tiny.");
+
+  const auto hot = bench::load_hot(context, 0);
+  std::printf("HOT substitute: %u nodes / %zu edges\n\n", hot.num_nodes(),
+              hot.num_edges());
+
+  util::TextTable table({"d", "possible initial rewirings",
+                         "ignoring obvious isomorphisms"});
+  for (int d = 0; d <= 3; ++d) {
+    const auto counts = gen::count_initial_rewirings(hot, d);
+    table.add_row({std::to_string(d),
+                   util::TextTable::fmt_int(counts.possible),
+                   d == 0 ? std::string("-")
+                          : util::TextTable::fmt_int(
+                                counts.non_isomorphic())});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf(
+      "paper reference (their HOT):\n"
+      "  d=0: 435,546,699 / -        d=1: 477,905 / 440,355\n"
+      "  d=2: 326,409 / 268,871      d=3: 146 / 44\n"
+      "shape: ~9 orders of magnitude collapse from d=0 to d=3.\n");
+  return 0;
+}

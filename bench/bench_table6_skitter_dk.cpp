@@ -1,0 +1,66 @@
+// Table 6: scalar metrics of dK-random graphs (d = 0..3, randomizing
+// rewiring) against the skitter AS topology.
+//
+// Paper values (measured skitter):
+//   metric     0K     1K     2K     3K     skitter
+//   kbar       6.31   6.34   6.29   6.29   6.29
+//   r          0      -0.24  -0.24  -0.24  -0.24
+//   C          0.001  0.25   0.29   0.46   0.46
+//   d          5.17   3.11   3.08   3.09   3.12
+//   sigma_d    0.27   0.4    0.35   0.35   0.37
+//   lambda1    0.2    0.03   0.15   0.1    0.1
+//   lambda_n-1 1.8    1.97   1.85   1.9    1.9
+//
+// Expected shape: 1K already decent for AS graphs; 2K matches everything
+// except clustering; 3K matches everything including clustering.
+#include <cstdio>
+
+#include "common/bench_common.hpp"
+#include "gen/rewiring.hpp"
+
+int main(int argc, char** argv) {
+  using namespace orbis;
+  const bench::Context context(argc, argv);
+  bench::print_header(
+      "Table 6 - dK-random graphs vs the skitter-substitute AS topology",
+      "Convergence with d: 2K captures all but clustering, 3K captures "
+      "everything.");
+
+  const auto original = bench::load_skitter(context, 0);
+  std::printf("skitter substitute: %u nodes / %zu edges\n\n",
+              original.num_nodes(), original.num_edges());
+
+  metrics::SummaryOptions options;  // full bundle, spectrum included
+
+  std::vector<bench::MetricColumn> columns;
+  for (int d = 0; d <= 3; ++d) {
+    columns.push_back(
+        {std::to_string(d) + "K",
+         bench::averaged_metrics(context, options, [&](std::uint64_t seed) {
+           auto rng = context.rng(100 * (d + 1) + seed);
+           gen::RandomizeOptions randomize_options;
+           randomize_options.d = d;
+           return gen::randomize(original, randomize_options, rng);
+         })});
+    std::fprintf(stderr, "[bench] d=%d randomization done\n", d);
+  }
+  columns.push_back(
+      {"skitter", metrics::compute_scalar_metrics(original, options)});
+
+  print_metric_table(columns,
+                     {"kbar", "r", "C", "d", "sigma_d", "lambda1",
+                      "lambda_n-1"});
+
+  std::printf(
+      "paper reference (measured skitter):\n"
+      "  kbar       6.31   6.34   6.29  6.29  | 6.29\n"
+      "  r          0     -0.24  -0.24 -0.24  | -0.24\n"
+      "  C          0.001  0.25   0.29  0.46  | 0.46\n"
+      "  d          5.17   3.11   3.08  3.09  | 3.12\n"
+      "  sigma_d    0.27   0.4    0.35  0.35  | 0.37\n"
+      "  lambda1    0.2    0.03   0.15  0.1   | 0.1\n"
+      "  lambda_n-1 1.8    1.97   1.85  1.9   | 1.9\n"
+      "shape: r exact for d>=2 (GCC noise aside); C only matches at d=3;\n"
+      "0K is structureless (no hubs, long distances, no clustering).\n");
+  return 0;
+}

@@ -1,0 +1,250 @@
+#include "common/bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+
+#include "graph/algorithms.hpp"
+#include "io/edge_list.hpp"
+#include "metrics/betweenness.hpp"
+#include "metrics/clustering.hpp"
+#include "metrics/distance.hpp"
+#include "topo/as_level.hpp"
+#include "topo/hot.hpp"
+
+namespace orbis::bench {
+
+namespace {
+
+std::filesystem::path cache_dir() {
+  auto dir = std::filesystem::temp_directory_path() / "orbis-bench-cache";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+Graph load_cached(const Context& context, const std::string& key,
+                  const std::function<Graph()>& build) {
+  const auto path = cache_dir() / (key + ".edges");
+  if (context.use_cache && std::filesystem::exists(path)) {
+    return io::read_edge_list_file(path.string()).graph;
+  }
+  Graph g = build();
+  if (context.use_cache) {
+    io::write_edge_list_file(path.string(), g);
+  }
+  return g;
+}
+
+}  // namespace
+
+Context::Context(int argc, const char* const* argv) : args(argc, argv) {
+  seeds = static_cast<std::size_t>(args.get_int("--seeds", 1));
+  scale = args.get_double("--scale", 1.0);
+  use_cache = !args.has_flag("--no-cache");
+  base_seed = static_cast<std::uint64_t>(args.get_int("--seed", 1));
+}
+
+Graph load_skitter(const Context& context, std::uint64_t seed) {
+  topo::AsLevelOptions options = topo::as_preset(topo::AsPreset::skitter);
+  if (context.scale != 1.0) {
+    options.num_nodes = static_cast<NodeId>(
+        static_cast<double>(options.num_nodes) * context.scale);
+    options.max_degree_cap = std::max<std::size_t>(
+        50, static_cast<std::size_t>(
+                static_cast<double>(options.max_degree_cap) *
+                context.scale));
+  }
+  const std::string key = "skitter_s" + std::to_string(seed) + "_n" +
+                          std::to_string(options.num_nodes);
+  return load_cached(context, key, [&] {
+    util::Rng rng(0x5ca1ab1e + seed);
+    std::fprintf(stderr, "[bench] building %s (one-off, cached)...\n",
+                 key.c_str());
+    return topo::as_level_topology(options, rng);
+  });
+}
+
+Graph load_hot(const Context& context, std::uint64_t seed) {
+  topo::HotOptions options;  // paper scale: 939 nodes / 988 edges
+  const std::string key = "hot_s" + std::to_string(seed);
+  return load_cached(context, key, [&] {
+    util::Rng rng(0x407ul + seed);
+    return topo::hot_topology(options, rng);
+  });
+}
+
+void print_header(const std::string& id, const std::string& claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("%s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+metrics::ScalarMetrics averaged_metrics(
+    const Context& context, const metrics::SummaryOptions& options,
+    const std::function<Graph(std::uint64_t seed)>& make_graph) {
+  util::RunningStats kbar, r, c, d, sigma, s, s2, l1, lmax, n, m;
+  for (std::uint64_t seed = 0; seed < context.seeds; ++seed) {
+    const auto graph = make_graph(seed);
+    const auto values = metrics::compute_scalar_metrics(graph, options);
+    kbar.add(values.average_degree);
+    r.add(values.assortativity);
+    c.add(values.mean_clustering);
+    d.add(values.mean_distance);
+    sigma.add(values.distance_stddev);
+    s.add(values.likelihood_s);
+    s2.add(values.s2);
+    l1.add(values.lambda1);
+    lmax.add(values.lambda_max);
+    n.add(static_cast<double>(values.gcc_nodes));
+    m.add(static_cast<double>(values.gcc_edges));
+  }
+  metrics::ScalarMetrics mean;
+  mean.average_degree = kbar.mean();
+  mean.assortativity = r.mean();
+  mean.mean_clustering = c.mean();
+  mean.mean_distance = d.mean();
+  mean.distance_stddev = sigma.mean();
+  mean.likelihood_s = s.mean();
+  mean.s2 = s2.mean();
+  mean.lambda1 = l1.mean();
+  mean.lambda_max = lmax.mean();
+  mean.gcc_nodes = static_cast<std::uint64_t>(n.mean());
+  mean.gcc_edges = static_cast<std::uint64_t>(m.mean());
+  return mean;
+}
+
+void print_metric_table(const std::vector<MetricColumn>& columns,
+                        const std::vector<std::string>& metric_filter) {
+  struct RowSpec {
+    const char* name;
+    std::function<double(const metrics::ScalarMetrics&)> get;
+    int precision;
+  };
+  const std::vector<RowSpec> all_rows{
+      {"kbar", [](const auto& v) { return v.average_degree; }, 2},
+      {"r", [](const auto& v) { return v.assortativity; }, 3},
+      {"C", [](const auto& v) { return v.mean_clustering; }, 3},
+      {"d", [](const auto& v) { return v.mean_distance; }, 2},
+      {"sigma_d", [](const auto& v) { return v.distance_stddev; }, 2},
+      {"S2", [](const auto& v) { return v.s2; }, 0},
+      {"lambda1", [](const auto& v) { return v.lambda1; }, 4},
+      {"lambda_n-1", [](const auto& v) { return v.lambda_max; }, 4},
+  };
+
+  std::vector<std::string> header{"Metric"};
+  for (const auto& column : columns) header.push_back(column.name);
+  util::TextTable table(header);
+  for (const auto& row : all_rows) {
+    if (!metric_filter.empty() &&
+        std::find(metric_filter.begin(), metric_filter.end(), row.name) ==
+            metric_filter.end()) {
+      continue;
+    }
+    std::vector<std::string> cells{row.name};
+    for (const auto& column : columns) {
+      const double value = row.get(column.values);
+      cells.push_back(row.precision == 0
+                          ? util::TextTable::fmt_sig(value, 3)
+                          : util::TextTable::fmt(value, row.precision));
+    }
+    table.add_row(std::move(cells));
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+void print_series_table(const std::string& x_label,
+                        const std::vector<Series>& series,
+                        int y_precision) {
+  // Merge the x grids of all series.
+  std::map<double, std::vector<std::optional<double>>> grid;
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    for (const auto& [x, y] : series[s].points) {
+      auto& row = grid[x];
+      row.resize(series.size());
+      row[s] = y;
+    }
+  }
+  std::vector<std::string> header{x_label};
+  for (const auto& s : series) header.push_back(s.name);
+  util::TextTable table(header);
+  for (auto& [x, row] : grid) {
+    row.resize(series.size());
+    std::vector<std::string> cells{util::TextTable::fmt(
+        x, x == static_cast<std::uint64_t>(x) ? 0 : 2)};
+    for (const auto& y : row) {
+      cells.push_back(y ? util::TextTable::fmt_sig(*y, y_precision) : "-");
+    }
+    table.add_row(std::move(cells));
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+Series distance_pdf_series(const std::string& name, const Graph& g) {
+  Series series;
+  series.name = name;
+  const auto dist = metrics::distance_distribution(
+      largest_connected_component(g).graph);
+  const auto pdf = dist.pdf();
+  for (std::size_t x = 1; x < pdf.size(); ++x) {
+    series.points.emplace_back(static_cast<double>(x), pdf[x]);
+  }
+  return series;
+}
+
+namespace {
+
+/// Collapse per-degree samples onto a sparse log-ish grid so the series
+/// tables stay readable (the paper plots these on log axes).
+std::vector<std::pair<double, double>> log_bin(
+    const std::vector<std::pair<double, double>>& samples) {
+  std::vector<std::pair<double, double>> result;
+  double bin_start = 1.0;
+  double sum = 0.0;
+  double weight = 0.0;
+  for (const auto& [x, y] : samples) {
+    if (x >= bin_start * 2.0) {
+      if (weight > 0.0) {
+        result.emplace_back(bin_start, sum / weight);
+      }
+      while (x >= bin_start * 2.0) bin_start *= 2.0;
+      sum = 0.0;
+      weight = 0.0;
+    }
+    sum += y;
+    weight += 1.0;
+  }
+  if (weight > 0.0) result.emplace_back(bin_start, sum / weight);
+  return result;
+}
+
+}  // namespace
+
+Series betweenness_series(const std::string& name, const Graph& g) {
+  Series series;
+  series.name = name;
+  const auto gcc = largest_connected_component(g).graph;
+  std::vector<std::pair<double, double>> samples;
+  for (const auto& entry : metrics::betweenness_by_degree(gcc)) {
+    samples.emplace_back(static_cast<double>(entry.k),
+                         entry.mean_normalized_betweenness);
+  }
+  series.points = log_bin(samples);
+  return series;
+}
+
+Series clustering_series(const std::string& name, const Graph& g) {
+  Series series;
+  series.name = name;
+  const auto gcc = largest_connected_component(g).graph;
+  std::vector<std::pair<double, double>> samples;
+  for (const auto& entry : metrics::clustering_by_degree(gcc)) {
+    samples.emplace_back(static_cast<double>(entry.k),
+                         entry.mean_clustering);
+  }
+  series.points = log_bin(samples);
+  return series;
+}
+
+}  // namespace orbis::bench

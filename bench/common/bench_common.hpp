@@ -1,0 +1,83 @@
+// Shared infrastructure for the experiment harness (one binary per paper
+// table/figure).  Provides:
+//   * Context       — common flags (--seeds, --scale, --no-cache),
+//   * dataset loaders for the paper's two tabulated inputs (the skitter
+//     and HOT substitutes), cached as edge lists under /tmp so the whole
+//     bench suite builds each dataset once,
+//   * table/series printing helpers that show paper values next to
+//     measured ones.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "metrics/summary.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace orbis::bench {
+
+struct Context {
+  Context(int argc, const char* const* argv);
+
+  util::ArgParser args;
+  std::size_t seeds = 1;      // graphs averaged per cell (paper used 100)
+  double scale = 1.0;         // dataset size multiplier (0.1 for smoke runs)
+  bool use_cache = true;
+  std::uint64_t base_seed = 1;
+
+  util::Rng rng(std::uint64_t salt) const {
+    return util::Rng(base_seed * 0x9e3779b9u + salt);
+  }
+};
+
+/// Skitter-scale AS substitute (cached). `seed` varies the wiring.
+Graph load_skitter(const Context& context, std::uint64_t seed);
+
+/// HOT router-level substitute (cached).
+Graph load_hot(const Context& context, std::uint64_t seed);
+
+/// Banner: experiment id, paper anchor, and what to look for.
+void print_header(const std::string& id, const std::string& claim);
+
+/// Runs `make_graph` for `context.seeds` seeds, computes scalar metrics
+/// for each, and returns per-metric means.
+metrics::ScalarMetrics averaged_metrics(
+    const Context& context, const metrics::SummaryOptions& options,
+    const std::function<Graph(std::uint64_t seed)>& make_graph);
+
+/// The standard scalar-metric rows (Table 2 notation).  Each column is a
+/// (name, metrics) pair; an optional paper column is appended verbatim.
+struct MetricColumn {
+  std::string name;
+  metrics::ScalarMetrics values;
+};
+void print_metric_table(const std::vector<MetricColumn>& columns,
+                        const std::vector<std::string>& metric_filter = {});
+
+/// Prints an (x, series...) table for figure-style data.
+struct Series {
+  std::string name;
+  // sorted (x, y) samples
+  std::vector<std::pair<double, double>> points;
+};
+void print_series_table(const std::string& x_label,
+                        const std::vector<Series>& series,
+                        int y_precision = 4);
+
+/// Distance-distribution pdf as a Series, trimmed of empty tail bins.
+Series distance_pdf_series(const std::string& name, const Graph& g);
+
+/// Mean normalized betweenness vs degree as a Series (log-binned by
+/// exact degree, matching the paper's scatter plots).
+Series betweenness_series(const std::string& name, const Graph& g);
+
+/// Mean clustering C(k) vs degree as a Series.
+Series clustering_series(const std::string& name, const Graph& g);
+
+}  // namespace orbis::bench

@@ -1,0 +1,73 @@
+// dK-space exploration (paper §4.3): how different can graphs be while
+// sharing the same 2K-distribution?  Drives mean clustering C̄ and the
+// second-order likelihood S2 to their extremes with 2K-preserving
+// rewiring, bracketing the original (the shape of paper Table 7).
+//
+// Usage: dk_space_exploration [--nodes N] [--seed S] [--attempts-per-edge A]
+
+#include <cstdio>
+#include <vector>
+
+#include "gen/rewiring.hpp"
+#include "metrics/summary.hpp"
+#include "topo/as_level.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace orbis;
+  const util::ArgParser args(argc, argv);
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("--seed", 1)));
+
+  topo::AsLevelOptions options;
+  options.num_nodes = static_cast<NodeId>(args.get_int("--nodes", 1500));
+  options.max_degree_cap = 400;
+  const auto original = topo::as_level_topology(options, rng);
+  std::printf("original: %u nodes / %zu edges\n\n", original.num_nodes(),
+              original.num_edges());
+
+  gen::ExploreOptions explore_options;
+  explore_options.attempts_per_edge =
+      static_cast<std::size_t>(args.get_int("--attempts-per-edge", 40));
+
+  struct Row {
+    const char* name;
+    gen::ExploreObjective objective;
+  };
+  const std::vector<Row> rows{
+      {"min C", gen::ExploreObjective::minimize_clustering},
+      {"max C", gen::ExploreObjective::maximize_clustering},
+      {"min S2", gen::ExploreObjective::minimize_s2},
+      {"max S2", gen::ExploreObjective::maximize_s2},
+  };
+
+  util::TextTable table({"Exploration", "C", "S2", "r", "d"});
+  metrics::SummaryOptions fast;
+  fast.with_spectrum = false;
+
+  const auto add_row = [&](const char* name, const Graph& g) {
+    const auto m = metrics::compute_scalar_metrics(g, fast);
+    table.add_row({name, util::TextTable::fmt(m.mean_clustering, 3),
+                   util::TextTable::fmt_sig(m.s2, 3),
+                   util::TextTable::fmt(m.assortativity, 3),
+                   util::TextTable::fmt(m.mean_distance, 2)});
+  };
+
+  for (const auto& row : rows) {
+    gen::RewiringStats stats;
+    const auto explored =
+        gen::explore(original, row.objective, explore_options, rng, &stats);
+    add_row(row.name, explored);
+    std::printf("%s: %llu/%llu swaps accepted\n", row.name,
+                static_cast<unsigned long long>(stats.accepted),
+                static_cast<unsigned long long>(stats.attempts));
+  }
+  add_row("original", original);
+
+  std::printf("\n%s\n", table.str().c_str());
+  std::printf(
+      "all rows share the SAME joint degree distribution (and hence the\n"
+      "same r); clustering and S2 are free to move inside the 2K space —\n"
+      "this is why d=2 alone under-constrains clustering (paper §5.2).\n");
+  return 0;
+}

@@ -1,0 +1,213 @@
+// orbis_tool — command-line front end for the library, mirroring the
+// workflow of the authors' released Orbis tools:
+//
+//   orbis_tool analyze  <graph.edges>                 extract + print dK stats
+//   orbis_tool extract  <graph.edges> <out-prefix>    write .1k/.2k/.3k files
+//   orbis_tool generate --d {0,1,2,3} [options]       build a dK-random graph
+//       from distribution files:   --from-1k F | --from-2k F [--from-3k F]
+//       or from a graph:           --like graph.edges (randomizing rewiring)
+//       method:                    --method {stochastic,pseudograph,
+//                                            matching,targeting}
+//       output:                    --out out.edges  [--dot out.dot]
+//   orbis_tool rescale  --from-2k F --nodes N --out F2   rescale a JDD
+//   orbis_tool compare  <a.edges> <b.edges>          metric bundle + D_d
+//
+// Common flags: --seed S (default 1), --gcc (reduce output to the GCC).
+
+#include <cstdio>
+#include <string>
+
+#include "core/rescale.hpp"
+#include "core/series.hpp"
+#include "gen/generate.hpp"
+#include "gen/rewiring.hpp"
+#include "graph/algorithms.hpp"
+#include "io/dk_serialization.hpp"
+#include "io/dot.hpp"
+#include "io/edge_list.hpp"
+#include "metrics/summary.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace orbis;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: orbis_tool {analyze|extract|generate|rescale|"
+               "compare} ...\n"
+               "see the header comment of examples/orbis_tool.cpp\n");
+  return 2;
+}
+
+Graph load(const std::string& path, bool gcc) {
+  Graph g = io::read_edge_list_file(path).graph;
+  if (gcc) g = largest_connected_component(g).graph;
+  return g;
+}
+
+void print_metrics(const Graph& g) {
+  const auto m = metrics::compute_scalar_metrics(g);
+  std::printf("%s\n", metrics::to_string(m).c_str());
+}
+
+int cmd_analyze(const util::ArgParser& args) {
+  if (args.positional().size() < 2) return usage();
+  const Graph g = load(args.positional()[1], args.has_flag("--gcc"));
+  const auto dists = dk::extract(g, 3);
+  std::printf("%s\n", dk::describe(dists).c_str());
+  print_metrics(g);
+  return 0;
+}
+
+int cmd_extract(const util::ArgParser& args) {
+  if (args.positional().size() < 3) return usage();
+  const Graph g = load(args.positional()[1], args.has_flag("--gcc"));
+  const auto dists = dk::extract(g, 3);
+  const std::string prefix = args.positional()[2];
+  io::write_1k_file(prefix + ".1k", dists.degree);
+  io::write_2k_file(prefix + ".2k", dists.joint);
+  io::write_3k_file(prefix + ".3k", dists.three_k);
+  std::printf("wrote %s.{1k,2k,3k}\n", prefix.c_str());
+  return 0;
+}
+
+gen::Method parse_method(const std::string& name) {
+  if (name == "stochastic") return gen::Method::stochastic;
+  if (name == "pseudograph") return gen::Method::pseudograph;
+  if (name == "matching") return gen::Method::matching;
+  if (name == "targeting") return gen::Method::targeting;
+  throw std::invalid_argument("unknown method: " + name);
+}
+
+int cmd_generate(const util::ArgParser& args, util::Rng& rng) {
+  const int d = static_cast<int>(args.get_int("--d", 2));
+  const std::string out = args.get_string("--out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out is required\n");
+    return 2;
+  }
+
+  Graph result;
+  const std::string like = args.get_string("--like", "");
+  if (!like.empty()) {
+    // dK-randomizing rewiring of an original graph.
+    const Graph original = load(like, /*gcc=*/false);
+    gen::RandomizeOptions options;
+    options.d = d;
+    gen::RewiringStats stats;
+    result = gen::randomize(original, options, rng, &stats);
+    std::fprintf(stderr, "randomized: %llu/%llu swaps accepted\n",
+                 static_cast<unsigned long long>(stats.accepted),
+                 static_cast<unsigned long long>(stats.attempts));
+  } else {
+    // Distribution-driven construction.
+    dk::DkDistributions target;
+    const std::string from_1k = args.get_string("--from-1k", "");
+    const std::string from_2k = args.get_string("--from-2k", "");
+    const std::string from_3k = args.get_string("--from-3k", "");
+    if (!from_1k.empty()) target.degree = io::read_1k_file(from_1k);
+    if (!from_2k.empty()) target.joint = io::read_2k_file(from_2k);
+    if (!from_3k.empty()) target.three_k = io::read_3k_file(from_3k);
+    if (target.degree.num_nodes() == 0 && !from_2k.empty()) {
+      target.degree = target.joint.project_to_1k();
+    }
+    if (target.degree.num_nodes() == 0) {
+      std::fprintf(stderr,
+                   "generate: need --from-1k/--from-2k/--from-3k or "
+                   "--like\n");
+      return 2;
+    }
+    target.num_nodes = target.degree.num_nodes();
+    target.num_edges = static_cast<std::uint64_t>(
+        target.joint.num_edges() > 0
+            ? target.joint.num_edges()
+            : static_cast<std::int64_t>(
+                  target.degree.average_degree() *
+                  static_cast<double>(target.num_nodes) / 2.0));
+    target.average_degree = target.degree.average_degree();
+
+    gen::GenerateOptions options;
+    options.method =
+        parse_method(args.get_string("--method", "matching"));
+    if (d == 3) options.method = gen::Method::targeting;
+    result = gen::generate_dk_random(target, d, options, rng);
+  }
+
+  if (args.has_flag("--gcc")) {
+    result = largest_connected_component(result).graph;
+  }
+  io::write_edge_list_file(out, result);
+  std::printf("wrote %s (%u nodes, %zu edges)\n", out.c_str(),
+              result.num_nodes(), result.num_edges());
+  const std::string dot = args.get_string("--dot", "");
+  if (!dot.empty()) {
+    io::write_dot_file(dot, result);
+    std::printf("wrote %s\n", dot.c_str());
+  }
+  print_metrics(result);
+  return 0;
+}
+
+int cmd_rescale(const util::ArgParser& args, util::Rng& rng) {
+  const std::string from = args.get_string("--from-2k", "");
+  const std::string out = args.get_string("--out", "");
+  const auto nodes =
+      static_cast<std::uint64_t>(args.get_int("--nodes", 0));
+  if (from.empty() || out.empty() || nodes == 0) {
+    std::fprintf(stderr,
+                 "rescale: --from-2k, --nodes and --out are required\n");
+    return 2;
+  }
+  const auto source = io::read_2k_file(from);
+  dk::RescaleReport report;
+  const auto scaled = dk::rescale_2k(source, nodes, rng, &report);
+  io::write_2k_file(out, scaled);
+  std::printf("wrote %s: %lld edges (%lld scaled + %lld repair), "
+              "~%llu nodes\n",
+              out.c_str(), static_cast<long long>(scaled.num_edges()),
+              static_cast<long long>(report.scaled_edges),
+              static_cast<long long>(report.repair_edges),
+              static_cast<unsigned long long>(report.target_nodes));
+  return 0;
+}
+
+int cmd_compare(const util::ArgParser& args) {
+  if (args.positional().size() < 3) return usage();
+  const Graph a = load(args.positional()[1], /*gcc=*/true);
+  const Graph b = load(args.positional()[2], /*gcc=*/true);
+  const auto da = dk::extract(a, 3);
+  const auto db = dk::extract(b, 3);
+  std::printf("A: %s\n", dk::describe(da).c_str());
+  std::printf("B: %s\n", dk::describe(db).c_str());
+  std::printf("D0=%.4f D1=%.0f D2=%.0f D3=%.0f\n",
+              dk::distance_0k(da, db),
+              dk::distance_1k(da.degree, db.degree),
+              dk::distance_2k(da.joint, db.joint),
+              dk::distance_3k(da.three_k, db.three_k));
+  print_metrics(a);
+  print_metrics(b);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  if (args.positional().empty()) return usage();
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("--seed", 1)));
+  const std::string& command = args.positional()[0];
+  try {
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "extract") return cmd_extract(args);
+    if (command == "generate") return cmd_generate(args, rng);
+    if (command == "rescale") return cmd_rescale(args, rng);
+    if (command == "compare") return cmd_compare(args);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "orbis_tool %s: %s\n", command.c_str(),
+                 error.what());
+    return 1;
+  }
+  return usage();
+}

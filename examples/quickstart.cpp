@@ -1,0 +1,76 @@
+// Quickstart: the 60-second tour of the orbis public API.
+//
+//   1. build (or load) a graph,
+//   2. extract its dK-distributions,
+//   3. generate a 2K-random counterpart,
+//   4. compare the two with the paper's metric bundle.
+//
+// Usage: quickstart [--seed N] [--input edges.txt]
+
+#include <cstdio>
+#include <string>
+
+#include "core/series.hpp"
+#include "gen/generate.hpp"
+#include "graph/algorithms.hpp"
+#include "io/edge_list.hpp"
+#include "metrics/summary.hpp"
+#include "topo/as_level.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace orbis;
+  const util::ArgParser args(argc, argv);
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("--seed", 1)));
+
+  // 1. Obtain a graph: a user-supplied edge list, or a small synthetic
+  //    AS-like topology if none is given.
+  Graph original;
+  const std::string input = args.get_string("--input", "");
+  if (!input.empty()) {
+    auto loaded = io::read_edge_list_file(input);
+    std::printf("loaded %s: %u nodes, %zu edges\n", input.c_str(),
+                loaded.graph.num_nodes(), loaded.graph.num_edges());
+    original = largest_connected_component(loaded.graph).graph;
+  } else {
+    topo::AsLevelOptions options;
+    options.num_nodes = 1200;
+    options.max_degree_cap = 300;
+    original = topo::as_level_topology(options, rng);
+    std::printf("generated a synthetic AS-like topology: %u nodes, %zu "
+                "edges\n",
+                original.num_nodes(), original.num_edges());
+  }
+
+  // 2. Extract the dK-series up to d = 3.
+  const auto dists = dk::extract(original, 3);
+  std::printf("dK summary: %s\n\n", dk::describe(dists).c_str());
+
+  // 3. Generate a 2K-random counterpart from the distributions alone.
+  const auto generated = gen::generate_dk_random(
+      dists, 2, gen::GenerateOptions{.method = gen::Method::matching}, rng);
+
+  // 4. Compare with the paper's scalar metric bundle (Table 2 notation).
+  const auto m_original = metrics::compute_scalar_metrics(original);
+  const auto m_generated = metrics::compute_scalar_metrics(generated);
+
+  util::TextTable table({"Metric", "original", "2K-random"});
+  const auto row = [&](const char* name, double a, double b, int precision) {
+    table.add_row({name, util::TextTable::fmt(a, precision),
+                   util::TextTable::fmt(b, precision)});
+  };
+  row("kbar", m_original.average_degree, m_generated.average_degree, 2);
+  row("r", m_original.assortativity, m_generated.assortativity, 3);
+  row("C", m_original.mean_clustering, m_generated.mean_clustering, 3);
+  row("d", m_original.mean_distance, m_generated.mean_distance, 2);
+  row("sigma_d", m_original.distance_stddev, m_generated.distance_stddev, 2);
+  row("lambda1", m_original.lambda1, m_generated.lambda1, 4);
+  row("lambda_n-1", m_original.lambda_max, m_generated.lambda_max, 4);
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf(
+      "note: r (and S) match exactly — they are functions of the 2K\n"
+      "distribution; clustering is NOT captured at d=2 (paper §5.2).\n");
+  return 0;
+}

@@ -1,0 +1,190 @@
+#include "core/dk_state.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace orbis::dk {
+
+namespace {
+
+double clustering_weight(std::uint32_t degree) {
+  if (degree < 2) return 0.0;
+  return 2.0 / (static_cast<double>(degree) *
+                static_cast<double>(degree - 1));
+}
+
+}  // namespace
+
+DkState::DkState(Graph graph, TrackLevel level)
+    : graph_(std::move(graph)), level_(level) {
+  degrees_.resize(graph_.num_nodes());
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    degrees_[v] = static_cast<std::uint32_t>(graph_.degree(v));
+  }
+  jdd_ = JointDegreeDistribution::from_graph(graph_);
+  for (const auto& e : graph_.edges()) {
+    s_ += static_cast<double>(degrees_[e.u]) *
+          static_cast<double>(degrees_[e.v]);
+  }
+  if (tracks_three_k()) {
+    if (tracks_histograms()) {
+      three_k_ = ThreeKProfile::from_graph(graph_);
+      s2_ = three_k_.second_order_likelihood();
+    } else {
+      // Scalars-only: one-shot extraction for the S2 baseline; the
+      // histograms are not retained.
+      s2_ = ThreeKProfile::from_graph(graph_).second_order_likelihood();
+    }
+    node_triangles_.assign(graph_.num_nodes(), 0);
+    // Per-node triangle counts via neighbor-pair adjacency (exact).
+    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      const auto nbrs = graph_.neighbors(v);
+      std::int64_t count = 0;
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+          if (graph_.has_edge(nbrs[i], nbrs[j])) ++count;
+        }
+      }
+      node_triangles_[v] = count;
+      clustering_sum_ +=
+          static_cast<double>(count) * clustering_weight(degrees_[v]);
+    }
+  }
+}
+
+double DkState::mean_clustering() const noexcept {
+  if (graph_.num_nodes() == 0) return 0.0;
+  return clustering_sum_ / static_cast<double>(graph_.num_nodes());
+}
+
+void DkState::bump_jdd(std::uint32_t k1, std::uint32_t k2,
+                       std::int64_t delta) {
+  const std::uint64_t key = util::pair_key(k1, k2);
+  const std::int64_t before = jdd_.histogram().count(key);
+  jdd_.histogram().add(key, delta);
+  if (listener_) listener_(BinKind::jdd, key, before, before + delta);
+}
+
+void DkState::bump_wedge(std::uint32_t end1, std::uint32_t center,
+                         std::uint32_t end2, std::int64_t delta) {
+  s2_ += static_cast<double>(delta) * static_cast<double>(end1) *
+         static_cast<double>(end2);
+  if (!tracks_histograms()) return;
+  const std::uint64_t key = util::wedge_key(end1, center, end2);
+  const std::int64_t before = three_k_.wedges().count(key);
+  three_k_.wedges().add(key, delta);
+  if (listener_) listener_(BinKind::wedge, key, before, before + delta);
+}
+
+void DkState::bump_triangle(std::uint32_t a, std::uint32_t b,
+                            std::uint32_t c, std::int64_t delta) {
+  if (!tracks_histograms()) return;
+  const std::uint64_t key = util::triangle_key(a, b, c);
+  const std::int64_t before = three_k_.triangles().count(key);
+  three_k_.triangles().add(key, delta);
+  if (listener_) listener_(BinKind::triangle, key, before, before + delta);
+}
+
+void DkState::bump_node_triangles(NodeId v, std::int64_t delta) {
+  node_triangles_[v] += delta;
+  util::ensures(node_triangles_[v] >= 0,
+                "DkState: node triangle count went negative");
+  clustering_sum_ +=
+      static_cast<double>(delta) * clustering_weight(degrees_[v]);
+}
+
+void DkState::remove_edge(NodeId u, NodeId v) {
+  util::expects(graph_.has_edge(u, v), "DkState::remove_edge: no such edge");
+  const std::uint32_t du = degrees_[u];
+  const std::uint32_t dv = degrees_[v];
+
+  if (tracks_three_k()) {
+    // Scan BEFORE structural removal so adjacency still reflects the edge.
+    for (const NodeId x : graph_.neighbors(u)) {
+      if (x == v) continue;
+      const std::uint32_t dx = degrees_[x];
+      if (graph_.has_edge(x, v)) {
+        // Triangle (u,v,x) dies; pair (u,v) at center x opens into a wedge.
+        bump_triangle(du, dv, dx, -1);
+        bump_wedge(du, dx, dv, +1);
+        bump_node_triangles(u, -1);
+        bump_node_triangles(v, -1);
+        bump_node_triangles(x, -1);
+      } else {
+        // Wedge x - u - v (centered at u) dies with the edge.
+        bump_wedge(dx, du, dv, -1);
+      }
+    }
+    for (const NodeId y : graph_.neighbors(v)) {
+      if (y == u) continue;
+      if (!graph_.has_edge(y, u)) {
+        bump_wedge(degrees_[y], dv, du, -1);
+      }
+      // Common neighbors already handled from u's side.
+    }
+  }
+
+  bump_jdd(du, dv, -1);
+  s_ -= static_cast<double>(du) * static_cast<double>(dv);
+  graph_.remove_edge(u, v);
+}
+
+void DkState::add_edge(NodeId u, NodeId v) {
+  util::expects(u != v, "DkState::add_edge: self-loop");
+  util::expects(!graph_.has_edge(u, v), "DkState::add_edge: edge exists");
+  const std::uint32_t du = degrees_[u];
+  const std::uint32_t dv = degrees_[v];
+
+  if (tracks_three_k()) {
+    // Scan BEFORE structural insertion: x ranges over old neighbors only.
+    for (const NodeId x : graph_.neighbors(u)) {
+      const std::uint32_t dx = degrees_[x];
+      if (graph_.has_edge(x, v)) {
+        // Wedge u - x - v closes into a triangle.
+        bump_wedge(du, dx, dv, -1);
+        bump_triangle(du, dv, dx, +1);
+        bump_node_triangles(u, +1);
+        bump_node_triangles(v, +1);
+        bump_node_triangles(x, +1);
+      } else {
+        // New wedge x - u - v centered at u.
+        bump_wedge(dx, du, dv, +1);
+      }
+    }
+    for (const NodeId y : graph_.neighbors(v)) {
+      if (!graph_.has_edge(y, u)) {
+        bump_wedge(degrees_[y], dv, du, +1);
+      }
+    }
+  }
+
+  bump_jdd(du, dv, +1);
+  s_ += static_cast<double>(du) * static_cast<double>(dv);
+  graph_.add_edge(u, v);
+}
+
+void DkState::verify_consistency() const {
+  const auto fresh_jdd = JointDegreeDistribution::from_graph(graph_);
+  util::ensures(fresh_jdd == jdd_, "DkState: JDD diverged from recount");
+  double fresh_s = 0.0;
+  for (const auto& e : graph_.edges()) {
+    fresh_s += static_cast<double>(graph_.degree(e.u)) *
+               static_cast<double>(graph_.degree(e.v));
+  }
+  util::ensures(std::fabs(fresh_s - s_) < 1e-6 * (1.0 + std::fabs(s_)),
+                "DkState: likelihood S diverged from recount");
+  if (tracks_three_k()) {
+    const auto fresh_3k = ThreeKProfile::from_graph(graph_);
+    if (tracks_histograms()) {
+      util::ensures(fresh_3k == three_k_,
+                    "DkState: 3K profile diverged from recount");
+    }
+    const double fresh_s2 = fresh_3k.second_order_likelihood();
+    util::ensures(std::fabs(fresh_s2 - s2_) <
+                      1e-6 * (1.0 + std::fabs(s2_)),
+                  "DkState: S2 diverged from recount");
+  }
+}
+
+}  // namespace orbis::dk

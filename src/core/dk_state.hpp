@@ -1,0 +1,107 @@
+// Incremental dK bookkeeping — the engine room of every rewiring process.
+//
+// DkState owns a Graph plus live histograms of its 2K (JDD) and, at
+// tracking level 3, its 3K (wedge/triangle) distributions, together with
+// the scalar objectives used by dK-space exploration:
+//   S    — likelihood, Σ_edges k_u * k_v              (defined by P2)
+//   S2   — second-order likelihood, Σ_wedges k1 * k3  (defined by P∧)
+//   C̄    — mean local clustering, (1/n) Σ_v 2 t_v / (k_v (k_v - 1))
+//
+// Single edge insertions/removals update everything in O(deg) with node
+// degrees *frozen* at construction time: the intended use is degree-
+// preserving double-edge swaps, where every intermediate state has the
+// same final degree vector.  This freeze is what makes the bookkeeping
+// exact for rewiring: histogram keys never shift mid-swap.
+//
+// A bin listener receives every histogram mutation so callers (targeting
+// rewiring) can maintain squared distances D2/D3 incrementally.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/joint_degree_distribution.hpp"
+#include "core/three_k_profile.hpp"
+#include "graph/graph.hpp"
+
+namespace orbis::dk {
+
+enum class TrackLevel : int {
+  jdd_only = 2,        // maintain 2K + S (cheap; for 1K/2K processes)
+  three_k_scalars = 3, // + S2, C̄ and per-node triangles, but NOT the
+                       //   wedge/triangle histograms (for exploration,
+                       //   which only optimizes the scalars)
+  full_three_k = 4,    // + the full 3K histograms (for 3K rewiring)
+};
+
+enum class BinKind : int { jdd, wedge, triangle };
+
+class DkState {
+ public:
+  /// Listener invoked as (kind, key, old_count, new_count).
+  using BinListener = std::function<void(BinKind, std::uint64_t, std::int64_t,
+                                         std::int64_t)>;
+
+  DkState(Graph graph, TrackLevel level);
+
+  const Graph& graph() const noexcept { return graph_; }
+  TrackLevel level() const noexcept { return level_; }
+
+  /// Frozen degree of v (the degree vector captured at construction).
+  std::uint32_t frozen_degree(NodeId v) const { return degrees_[v]; }
+
+  /// Removes edge (u,v), updating all histograms/scalars.
+  /// Precondition: the edge exists.
+  void remove_edge(NodeId u, NodeId v);
+
+  /// Adds edge (u,v), updating all histograms/scalars.
+  /// Precondition: the edge does not exist, u != v.
+  void add_edge(NodeId u, NodeId v);
+
+  const JointDegreeDistribution& jdd() const noexcept { return jdd_; }
+  const ThreeKProfile& three_k() const noexcept { return three_k_; }
+
+  double likelihood_s() const noexcept { return s_; }
+  double second_order_likelihood() const noexcept { return s2_; }
+  /// Mean local clustering over all nodes (degree<2 nodes contribute 0).
+  double mean_clustering() const noexcept;
+  std::int64_t triangles_at(NodeId v) const { return node_triangles_[v]; }
+
+  void set_bin_listener(BinListener listener) {
+    listener_ = std::move(listener);
+  }
+  void clear_bin_listener() { listener_ = nullptr; }
+
+  /// Recomputes everything from scratch and verifies it matches the
+  /// incrementally maintained state (test/debug aid). Throws on mismatch.
+  void verify_consistency() const;
+
+ private:
+  void bump_jdd(std::uint32_t k1, std::uint32_t k2, std::int64_t delta);
+  void bump_wedge(std::uint32_t end1, std::uint32_t center,
+                  std::uint32_t end2, std::int64_t delta);
+  void bump_triangle(std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                     std::int64_t delta);
+  void bump_node_triangles(NodeId v, std::int64_t delta);
+
+  bool tracks_three_k() const noexcept {
+    return level_ != TrackLevel::jdd_only;
+  }
+  bool tracks_histograms() const noexcept {
+    return level_ == TrackLevel::full_three_k;
+  }
+
+  Graph graph_;
+  TrackLevel level_;
+  std::vector<std::uint32_t> degrees_;        // frozen at construction
+  JointDegreeDistribution jdd_;
+  ThreeKProfile three_k_;
+  std::vector<std::int64_t> node_triangles_;  // t_v per node (level 3)
+  double s_ = 0.0;
+  double s2_ = 0.0;
+  double clustering_sum_ = 0.0;               // Σ_v 2 t_v / (k_v(k_v-1))
+  BinListener listener_;
+};
+
+}  // namespace orbis::dk

@@ -1,0 +1,78 @@
+#include "core/joint_degree_distribution.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace orbis::dk {
+
+JointDegreeDistribution JointDegreeDistribution::from_graph(const Graph& g) {
+  JointDegreeDistribution jdd;
+  const auto degrees = g.degree_sequence();
+  for (const auto& e : g.edges()) {
+    jdd.counts_.increment(
+        util::pair_key(static_cast<std::uint32_t>(degrees[e.u]),
+                       static_cast<std::uint32_t>(degrees[e.v])));
+  }
+  return jdd;
+}
+
+double JointDegreeDistribution::p_of(std::size_t k1, std::size_t k2) const {
+  const std::int64_t total = num_edges();
+  if (total == 0) return 0.0;
+  const double mu = (k1 == k2) ? 2.0 : 1.0;
+  return static_cast<double>(m_of(k1, k2)) * mu /
+         (2.0 * static_cast<double>(total));
+}
+
+std::int64_t JointDegreeDistribution::endpoints_of_degree(std::size_t k) const {
+  std::int64_t endpoints = 0;
+  for (const auto& [key, count] : counts_.bins()) {
+    const auto [k1, k2] = util::unpack_pair(key);
+    if (k1 == k && k2 == k) {
+      endpoints += 2 * count;
+    } else if (k1 == k || k2 == k) {
+      endpoints += count;
+    }
+  }
+  return endpoints;
+}
+
+DegreeDistribution JointDegreeDistribution::project_to_1k() const {
+  // k * n(k) = sum of endpoints of degree k; n(k) = that / k.
+  std::map<std::size_t, std::int64_t> endpoint_sums;
+  for (const auto& [key, count] : counts_.bins()) {
+    const auto [k1, k2] = util::unpack_pair(key);
+    if (k1 == k2) {
+      endpoint_sums[k1] += 2 * count;
+    } else {
+      endpoint_sums[k1] += count;
+      endpoint_sums[k2] += count;
+    }
+  }
+  std::vector<std::size_t> degrees;
+  for (const auto& [k, endpoints] : endpoint_sums) {
+    util::ensures(k > 0, "JDD: zero-degree key cannot appear");
+    util::ensures(endpoints % static_cast<std::int64_t>(k) == 0,
+                  "JDD: endpoint count not divisible by degree");
+    const auto nk = static_cast<std::size_t>(
+        endpoints / static_cast<std::int64_t>(k));
+    degrees.insert(degrees.end(), nk, k);
+  }
+  return DegreeDistribution::from_sequence(degrees);
+}
+
+std::vector<JointDegreeDistribution::Entry>
+JointDegreeDistribution::entries() const {
+  std::vector<Entry> result;
+  result.reserve(counts_.num_bins());
+  for (const auto& [key, count] : counts_.bins()) {
+    const auto [k1, k2] = util::unpack_pair(key);
+    result.push_back(Entry{k1, k2, count});
+  }
+  std::sort(result.begin(), result.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.k1, a.k2) < std::tie(b.k1, b.k2);
+  });
+  return result;
+}
+
+}  // namespace orbis::dk

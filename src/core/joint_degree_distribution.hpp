@@ -1,0 +1,65 @@
+// The 2K-distribution: joint degree distribution (JDD).
+//
+// Stored as raw counts m(k1,k2) = number of edges between k1- and
+// k2-degree nodes, with unordered canonical keys (each edge counted
+// once).  The paper's probability form is
+//   P(k1,k2) = m(k1,k2) * mu(k1,k2) / (2m),  mu = 2 if k1==k2 else 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/degree_distribution.hpp"
+#include "core/sparse_histogram.hpp"
+#include "graph/graph.hpp"
+#include "util/keys.hpp"
+
+namespace orbis::dk {
+
+class JointDegreeDistribution {
+ public:
+  JointDegreeDistribution() = default;
+
+  static JointDegreeDistribution from_graph(const Graph& g);
+
+  /// m(k1,k2): number of edges joining a k1- and a k2-degree node.
+  std::int64_t m_of(std::size_t k1, std::size_t k2) const {
+    return counts_.count(util::pair_key(static_cast<std::uint32_t>(k1),
+                                        static_cast<std::uint32_t>(k2)));
+  }
+
+  /// P(k1,k2) with the paper's mu normalization; symmetric in (k1,k2).
+  double p_of(std::size_t k1, std::size_t k2) const;
+
+  /// Total edge count Σ m(k1,k2) (derived, so it stays consistent under
+  /// incremental histogram mutation).
+  std::int64_t num_edges() const noexcept { return counts_.total(); }
+
+  /// Number of edge endpoints attached to degree-k nodes = k * n(k).
+  std::int64_t endpoints_of_degree(std::size_t k) const;
+
+  /// Inclusion projection P2 -> P1 (paper Table 1): recovers n(k) for all
+  /// k >= 1.  Degree-0 nodes are invisible to the JDD.
+  DegreeDistribution project_to_1k() const;
+
+  const SparseHistogram& histogram() const noexcept { return counts_; }
+  SparseHistogram& histogram() noexcept { return counts_; }
+
+  /// Non-zero (k1,k2) bins, k1 <= k2.
+  struct Entry {
+    std::size_t k1;
+    std::size_t k2;
+    std::int64_t count;
+  };
+  std::vector<Entry> entries() const;
+
+  friend bool operator==(const JointDegreeDistribution& a,
+                         const JointDegreeDistribution& b) {
+    return a.counts_ == b.counts_;
+  }
+
+ private:
+  SparseHistogram counts_;
+};
+
+}  // namespace orbis::dk

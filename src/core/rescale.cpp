@@ -1,0 +1,129 @@
+#include "core/rescale.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "util/check.hpp"
+#include "util/keys.hpp"
+
+namespace orbis::dk {
+
+DegreeDistribution rescale_1k(const DegreeDistribution& source,
+                              std::uint64_t target_nodes) {
+  util::expects(source.num_nodes() > 0, "rescale_1k: empty source");
+  util::expects(target_nodes > 0, "rescale_1k: target_nodes must be > 0");
+
+  // Inverse-CDF resampling at target_nodes quantile midpoints.
+  const auto support = source.support();
+  util::expects(!support.empty(), "rescale_1k: source has no degrees");
+  std::vector<std::uint64_t> cumulative(support.size());
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < support.size(); ++i) {
+    running += source.n_of_k(support[i]);
+    cumulative[i] = running;
+  }
+  const double total = static_cast<double>(running);
+
+  std::vector<std::size_t> degrees(target_nodes);
+  std::size_t cursor = 0;
+  for (std::uint64_t i = 0; i < target_nodes; ++i) {
+    const double quantile = (static_cast<double>(i) + 0.5) /
+                            static_cast<double>(target_nodes) * total;
+    while (cursor + 1 < support.size() &&
+           static_cast<double>(cumulative[cursor]) < quantile) {
+      ++cursor;
+    }
+    degrees[i] = support[cursor];
+  }
+
+  // Parity repair: the stub total must be even.
+  std::size_t stub_sum = 0;
+  for (const auto d : degrees) stub_sum += d;
+  if (stub_sum % 2 != 0) degrees.back() += 1;
+  return DegreeDistribution::from_sequence(degrees);
+}
+
+JointDegreeDistribution rescale_2k(const JointDegreeDistribution& source,
+                                   std::uint64_t target_nodes,
+                                   util::Rng& rng, RescaleReport* report) {
+  util::expects(source.num_edges() > 0, "rescale_2k: empty source");
+  util::expects(target_nodes > 0, "rescale_2k: target_nodes must be > 0");
+
+  const auto source_one_k = source.project_to_1k();
+  const double factor = static_cast<double>(target_nodes) /
+                        static_cast<double>(source_one_k.num_nodes());
+
+  // Proportional scaling with randomized rounding keeps sparse tail bins
+  // alive in expectation instead of truncating them all to zero.
+  JointDegreeDistribution scaled;
+  for (const auto& entry : source.entries()) {
+    const double ideal = static_cast<double>(entry.count) * factor;
+    std::int64_t count = static_cast<std::int64_t>(std::floor(ideal));
+    if (rng.bernoulli(ideal - std::floor(ideal))) ++count;
+    if (count > 0) {
+      scaled.histogram().add(
+          util::pair_key(static_cast<std::uint32_t>(entry.k1),
+                         static_cast<std::uint32_t>(entry.k2)),
+          count);
+    }
+  }
+  const std::int64_t scaled_edges = scaled.num_edges();
+
+  // Consistency repair: each degree class's endpoint total must be
+  // divisible by its degree.  Adding a (k,1) edge raises class k's total
+  // by exactly 1; the degree-1 class is always consistent.
+  std::int64_t repair_edges = 0;
+  std::map<std::size_t, std::int64_t> endpoints;
+  for (const auto& entry : scaled.entries()) {
+    if (entry.k1 == entry.k2) {
+      endpoints[entry.k1] += 2 * entry.count;
+    } else {
+      endpoints[entry.k1] += entry.count;
+      endpoints[entry.k2] += entry.count;
+    }
+  }
+  for (const auto& [k, count] : endpoints) {
+    if (k <= 1) continue;
+    const auto remainder =
+        count % static_cast<std::int64_t>(k);
+    if (remainder == 0) continue;
+    const auto missing = static_cast<std::int64_t>(k) - remainder;
+    scaled.histogram().add(
+        util::pair_key(static_cast<std::uint32_t>(k), 1), missing);
+    repair_edges += missing;
+  }
+
+  // Realizability guard: a diagonal bin needs at least 2 nodes in its
+  // class, and m(k,k) <= C(n(k),2).  Demote impossible diagonal edges to
+  // (k,1) edges (adds k-class endpoints one at a time, so the divisible
+  // invariant is re-repaired below if needed).
+  const auto one_k = scaled.project_to_1k();
+  for (const auto& entry : scaled.entries()) {
+    if (entry.k1 != entry.k2) continue;
+    const auto nk = static_cast<std::int64_t>(one_k.n_of_k(entry.k1));
+    const std::int64_t capacity = nk * (nk - 1) / 2;
+    if (entry.count > capacity) {
+      const std::int64_t excess = entry.count - capacity;
+      scaled.histogram().add(
+          util::pair_key(static_cast<std::uint32_t>(entry.k1),
+                         static_cast<std::uint32_t>(entry.k2)),
+          -excess);
+      // Each removed diagonal edge frees 2 k-endpoints; restore class
+      // balance with 2 (k,1) edges per removed edge.
+      scaled.histogram().add(
+          util::pair_key(static_cast<std::uint32_t>(entry.k1), 1),
+          2 * excess);
+      repair_edges += 2 * excess;
+    }
+  }
+
+  if (report != nullptr) {
+    report->scaled_edges = scaled_edges;
+    report->repair_edges = repair_edges;
+    report->target_nodes =
+        static_cast<std::uint64_t>(scaled.project_to_1k().num_nodes());
+  }
+  return scaled;
+}
+
+}  // namespace orbis::dk

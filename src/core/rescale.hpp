@@ -1,0 +1,44 @@
+// Rescaling dK-distributions to arbitrary graph sizes — the paper's §6
+// closing direction ("we are working on appropriate strategies of
+// rescaling the dK-distributions to arbitrary graph sizes"), realized by
+// the authors' follow-on Orbis work.
+//
+// 1K: the degree distribution is resampled at n' quantile points
+//     (deterministic inverse-CDF), preserving its shape including the
+//     heavy tail; the stub total is parity-repaired.
+// 2K: every JDD bin is scaled by m'/m = n'/n with randomized rounding,
+//     then a consistency repair makes each degree class's endpoint count
+//     divisible by its degree again (by adding a few (k,1) edges — the
+//     degree-1 class absorbs any remainder), so the result is a valid
+//     input for the 2K generators.  The repair inflates the edge count
+//     by at most Σ_k (k-1) over inconsistent classes; the report says by
+//     how much.
+#pragma once
+
+#include "core/degree_distribution.hpp"
+#include "core/joint_degree_distribution.hpp"
+#include "util/rng.hpp"
+
+namespace orbis::dk {
+
+/// Resample the degree distribution at `target_nodes` quantiles.
+/// Throws std::invalid_argument for empty inputs or target_nodes == 0.
+DegreeDistribution rescale_1k(const DegreeDistribution& source,
+                              std::uint64_t target_nodes);
+
+struct RescaleReport {
+  std::int64_t scaled_edges = 0;   // after proportional scaling
+  std::int64_t repair_edges = 0;   // (k,1) edges added by the repair
+  std::uint64_t target_nodes = 0;  // implied node count (degree >= 1)
+};
+
+/// Scale the JDD to a graph ~`target_nodes` large with the same average
+/// degree and degree-correlation profile.  The result satisfies the
+/// consistency requirement of pseudograph_2k / matching_2k (every
+/// endpoint total divisible by its degree).
+JointDegreeDistribution rescale_2k(const JointDegreeDistribution& source,
+                                   std::uint64_t target_nodes,
+                                   util::Rng& rng,
+                                   RescaleReport* report = nullptr);
+
+}  // namespace orbis::dk

@@ -1,0 +1,44 @@
+// Facade over the dK-series: bundled extraction of P0..P3 for a graph and
+// the squared-difference distances D_d used by targeting rewiring (§4.1.4).
+#pragma once
+
+#include <string>
+
+#include "core/degree_distribution.hpp"
+#include "core/joint_degree_distribution.hpp"
+#include "core/three_k_profile.hpp"
+#include "graph/graph.hpp"
+
+namespace orbis::dk {
+
+/// All dK-distributions of one graph, d = 0..3.
+struct DkDistributions {
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_edges = 0;
+  double average_degree = 0.0;          // P0
+  DegreeDistribution degree;            // P1
+  JointDegreeDistribution joint;        // P2
+  ThreeKProfile three_k;                // P3
+};
+
+/// Extract every dK-distribution up to level `max_d` (0..3); higher levels
+/// are left empty. Extraction is pure and does not modify the graph.
+DkDistributions extract(const Graph& g, int max_d = 3);
+
+/// D0 = (k̄_a - k̄_b)^2.
+double distance_0k(const DkDistributions& a, const DkDistributions& b);
+
+/// D1 = Σ_k (n_a(k) - n_b(k))^2.
+double distance_1k(const DegreeDistribution& a, const DegreeDistribution& b);
+
+/// D2 = Σ_{k1,k2} (m_a(k1,k2) - m_b(k1,k2))^2 — the paper's JDD distance.
+double distance_2k(const JointDegreeDistribution& a,
+                   const JointDegreeDistribution& b);
+
+/// D3 = Σ (wedge diffs)^2 + Σ (triangle diffs)^2.
+double distance_3k(const ThreeKProfile& a, const ThreeKProfile& b);
+
+/// Human-readable one-line summary ("n=.. m=.. kbar=.. wedges=..").
+std::string describe(const DkDistributions& dists);
+
+}  // namespace orbis::dk

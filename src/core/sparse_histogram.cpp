@@ -1,0 +1,21 @@
+#include "core/sparse_histogram.hpp"
+
+namespace orbis::dk {
+
+double SparseHistogram::squared_difference(const SparseHistogram& a,
+                                           const SparseHistogram& b) {
+  double total = 0.0;
+  for (const auto& [key, value] : a.bins_) {
+    const double diff = static_cast<double>(value - b.count(key));
+    total += diff * diff;
+  }
+  for (const auto& [key, value] : b.bins_) {
+    if (a.bins_.count(key) == 0) {
+      const double diff = static_cast<double>(value);
+      total += diff * diff;
+    }
+  }
+  return total;
+}
+
+}  // namespace orbis::dk

@@ -1,0 +1,66 @@
+// Sparse integer histogram over packed uint64 keys.
+//
+// Backbone of the 2K/3K distributions: degree-pair and degree-triple
+// counts are sparse (the paper, §6 footnote: sparsity grows faster than
+// the nominal k^d size), so a hash map of non-zero bins is both the
+// compact and the fast representation.  Counts are signed internally so
+// incremental bookkeeping can assert it never drives a bin negative.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace orbis::dk {
+
+class SparseHistogram {
+ public:
+  using Map = std::unordered_map<std::uint64_t, std::int64_t>;
+
+  std::int64_t count(std::uint64_t key) const {
+    const auto it = bins_.find(key);
+    return it == bins_.end() ? 0 : it->second;
+  }
+
+  /// Adds delta to a bin; removes the bin when it reaches zero.
+  /// Throws std::logic_error if a bin would become negative.
+  void add(std::uint64_t key, std::int64_t delta) {
+    if (delta == 0) return;
+    auto [it, inserted] = bins_.try_emplace(key, 0);
+    it->second += delta;
+    util::ensures(it->second >= 0, "SparseHistogram: bin went negative");
+    if (it->second == 0) bins_.erase(it);
+  }
+
+  void increment(std::uint64_t key) { add(key, 1); }
+  void decrement(std::uint64_t key) { add(key, -1); }
+
+  std::size_t num_bins() const noexcept { return bins_.size(); }
+
+  std::int64_t total() const noexcept {
+    std::int64_t sum = 0;
+    for (const auto& [key, value] : bins_) sum += value;
+    return sum;
+  }
+
+  bool empty() const noexcept { return bins_.empty(); }
+  void clear() noexcept { bins_.clear(); }
+
+  const Map& bins() const noexcept { return bins_; }
+
+  friend bool operator==(const SparseHistogram& a, const SparseHistogram& b) {
+    return a.bins_ == b.bins_;
+  }
+
+  /// Sum over the union of bins of (a[key] - b[key])^2 — the paper's
+  /// squared-difference distance D_d between current and target counts.
+  static double squared_difference(const SparseHistogram& a,
+                                   const SparseHistogram& b);
+
+ private:
+  Map bins_;
+};
+
+}  // namespace orbis::dk

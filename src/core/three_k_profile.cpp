@@ -1,0 +1,202 @@
+#include "core/three_k_profile.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace orbis::dk {
+
+namespace {
+
+using DegreeOf = std::vector<std::uint32_t>;
+
+DegreeOf degrees_of(const Graph& g) {
+  DegreeOf degrees(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    degrees[v] = static_cast<std::uint32_t>(g.degree(v));
+  }
+  return degrees;
+}
+
+/// Adds to `wedges` the count of ALL neighbor pairs at every center
+/// (adjacent or not); the caller subtracts triangle-closed pairs.
+void accumulate_center_pairs(const Graph& g, const DegreeOf& degrees,
+                             SparseHistogram& wedges) {
+  std::vector<std::uint32_t> neighbor_degrees;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    if (nbrs.size() < 2) continue;
+    neighbor_degrees.clear();
+    neighbor_degrees.reserve(nbrs.size());
+    for (const NodeId w : nbrs) neighbor_degrees.push_back(degrees[w]);
+    std::sort(neighbor_degrees.begin(), neighbor_degrees.end());
+
+    // Run-length encode, then add pair counts class by class.
+    std::vector<std::pair<std::uint32_t, std::int64_t>> runs;
+    for (std::size_t i = 0; i < neighbor_degrees.size();) {
+      std::size_t j = i;
+      while (j < neighbor_degrees.size() &&
+             neighbor_degrees[j] == neighbor_degrees[i]) {
+        ++j;
+      }
+      runs.emplace_back(neighbor_degrees[i],
+                        static_cast<std::int64_t>(j - i));
+      i = j;
+    }
+    for (std::size_t a = 0; a < runs.size(); ++a) {
+      const auto [da, ca] = runs[a];
+      if (ca >= 2) {
+        wedges.add(util::wedge_key(da, degrees[v], da), ca * (ca - 1) / 2);
+      }
+      for (std::size_t b = a + 1; b < runs.size(); ++b) {
+        const auto [db, cb] = runs[b];
+        wedges.add(util::wedge_key(da, degrees[v], db), ca * cb);
+      }
+    }
+  }
+}
+
+/// Enumerates each triangle exactly once via degree-ordered orientation
+/// (classic forward-adjacency method, O(m^{3/2})).
+template <typename Visit>
+void for_each_triangle(const Graph& g, const DegreeOf& degrees, Visit visit) {
+  const auto precedes = [&](NodeId a, NodeId b) {
+    return std::pair(degrees[a], a) < std::pair(degrees[b], b);
+  };
+  std::vector<std::vector<NodeId>> forward(g.num_nodes());
+  for (const auto& e : g.edges()) {
+    if (precedes(e.u, e.v)) {
+      forward[e.u].push_back(e.v);
+    } else {
+      forward[e.v].push_back(e.u);
+    }
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto& fwd = forward[u];
+    for (std::size_t i = 0; i < fwd.size(); ++i) {
+      for (std::size_t j = i + 1; j < fwd.size(); ++j) {
+        if (g.has_edge(fwd[i], fwd[j])) visit(u, fwd[i], fwd[j]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ThreeKProfile ThreeKProfile::from_graph(const Graph& g) {
+  ThreeKProfile profile;
+  const DegreeOf degrees = degrees_of(g);
+
+  accumulate_center_pairs(g, degrees, profile.wedges_);
+
+  for_each_triangle(g, degrees, [&](NodeId a, NodeId b, NodeId c) {
+    const auto da = degrees[a];
+    const auto db = degrees[b];
+    const auto dc = degrees[c];
+    profile.triangles_.increment(util::triangle_key(da, db, dc));
+    // The three closed neighbor pairs are not wedges: subtract them.
+    profile.wedges_.decrement(util::wedge_key(db, da, dc));  // center a
+    profile.wedges_.decrement(util::wedge_key(da, db, dc));  // center b
+    profile.wedges_.decrement(util::wedge_key(da, dc, db));  // center c
+  });
+
+  return profile;
+}
+
+ThreeKProfile ThreeKProfile::from_graph_naive(const Graph& g) {
+  ThreeKProfile profile;
+  const DegreeOf degrees = degrees_of(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        const NodeId a = nbrs[i];
+        const NodeId b = nbrs[j];
+        if (g.has_edge(a, b)) {
+          // Count each triangle once: at its minimum-id vertex.
+          if (v < a && v < b) {
+            profile.triangles_.increment(
+                util::triangle_key(degrees[v], degrees[a], degrees[b]));
+          }
+        } else {
+          profile.wedges_.increment(
+              util::wedge_key(degrees[a], degrees[v], degrees[b]));
+        }
+      }
+    }
+  }
+  return profile;
+}
+
+double ThreeKProfile::second_order_likelihood() const {
+  double total = 0.0;
+  for (const auto& [key, count] : wedges_.bins()) {
+    const auto [end1, center, end2] = util::unpack_triple(key);
+    (void)center;
+    total += static_cast<double>(count) * static_cast<double>(end1) *
+             static_cast<double>(end2);
+  }
+  return total;
+}
+
+double ThreeKProfile::triangle_degree_sum() const {
+  double total = 0.0;
+  for (const auto& [key, count] : triangles_.bins()) {
+    const auto [a, b, c] = util::unpack_triple(key);
+    total += static_cast<double>(count) *
+             static_cast<double>(a + b + c);
+  }
+  return total;
+}
+
+JointDegreeDistribution ThreeKProfile::project_to_2k() const {
+  // incidence[(kc, ke)] = number of ordered (edge-side, extra neighbor)
+  // configurations whose center (side vertex) has degree kc and whose edge
+  // partner has degree ke.  Every such configuration is exactly one wedge
+  // or one triangle.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::int64_t> incidence;
+
+  for (const auto& [key, count] : wedges_.bins()) {
+    const auto [end1, center, end2] = util::unpack_triple(key);
+    // Wedge e1 - c - e2 contains edges (c,e1) and (c,e2); the extra
+    // neighbor of side c is the opposite end in each case.
+    incidence[{center, end1}] += count;
+    incidence[{center, end2}] += count;
+  }
+  for (const auto& [key, count] : triangles_.bins()) {
+    const auto [a, b, c] = util::unpack_triple(key);
+    const std::uint32_t deg[3] = {a, b, c};
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        if (i != j) incidence[{deg[i], deg[j]}] += count;
+      }
+    }
+  }
+
+  // m(k1,k2) = incidence[(k1,k2)] / (k1-1), doubled denominator when
+  // k1 == k2 (both sides of the edge contribute).
+  JointDegreeDistribution jdd;
+  std::map<std::uint64_t, std::int64_t> recovered;
+  for (const auto& [pair, configurations] : incidence) {
+    const auto [kc, ke] = pair;
+    if (kc < 2) continue;  // degree-1 side contributes no configurations
+    const std::int64_t denominator =
+        (kc == ke) ? 2 * static_cast<std::int64_t>(kc - 1)
+                   : static_cast<std::int64_t>(kc - 1);
+    util::ensures(configurations % denominator == 0,
+                  "3K projection: inconsistent incidence counts");
+    const std::int64_t m = configurations / denominator;
+    const std::uint64_t key = util::pair_key(kc, ke);
+    const auto it = recovered.find(key);
+    if (it == recovered.end()) {
+      recovered.emplace(key, m);
+    } else {
+      util::ensures(it->second == m,
+                    "3K projection: the two edge sides disagree");
+    }
+  }
+  // NOTE: the result excludes (1,1)-edges, invisible at d=3.
+  for (const auto& [key, m] : recovered) jdd.histogram().add(key, m);
+  return jdd;
+}
+
+}  // namespace orbis::dk

@@ -1,0 +1,38 @@
+// Counting possible initial dK-preserving rewirings (paper Table 5).
+//
+// "Initial" = rewirings applicable to the given graph itself, before any
+// swap has been performed.  The second column discards rewirings leading
+// to obviously isomorphic graphs: swaps that merely exchange two degree-1
+// endpoints (the paper's (1,k)/(1,k') example) leave the graph isomorphic
+// because leaves are interchangeable.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace orbis::gen {
+
+struct InitialRewiringCounts {
+  std::uint64_t possible = 0;
+  std::uint64_t obviously_isomorphic = 0;
+
+  std::uint64_t non_isomorphic() const {
+    return possible - obviously_isomorphic;
+  }
+};
+
+/// Exact count by exhaustive enumeration over edge pairs and orientations
+/// (O(m^2) for d >= 1; closed form m * (C(n,2) - m) for d = 0, where the
+/// obvious-isomorphism discount is not defined — the paper prints "-").
+/// Intended for graphs up to a few thousand edges.
+InitialRewiringCounts count_initial_rewirings(const Graph& g, int d);
+
+/// Monte-Carlo estimate for graphs too large to enumerate: samples
+/// `samples` random (edge pair, orientation) candidates.
+InitialRewiringCounts estimate_initial_rewirings(const Graph& g, int d,
+                                                 std::size_t samples,
+                                                 util::Rng& rng);
+
+}  // namespace orbis::gen

@@ -1,0 +1,17 @@
+// Error types thrown by the construction algorithms.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace orbis::gen {
+
+/// A construction algorithm could not complete (e.g. an unrepairable
+/// matching deadlock, or an inconsistent target distribution).
+class GenerationError : public std::runtime_error {
+ public:
+  explicit GenerationError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+}  // namespace orbis::gen

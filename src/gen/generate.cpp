@@ -1,0 +1,104 @@
+#include "gen/generate.hpp"
+
+#include <cmath>
+
+#include "gen/errors.hpp"
+#include "gen/matching.hpp"
+#include "gen/pseudograph.hpp"
+#include "gen/stochastic.hpp"
+#include "graph/builders.hpp"
+#include "util/check.hpp"
+
+namespace orbis::gen {
+
+namespace {
+
+Graph generate_0k(const dk::DkDistributions& target, Method method,
+                  util::Rng& rng) {
+  const auto n = static_cast<NodeId>(target.num_nodes);
+  if (method == Method::stochastic) {
+    return stochastic_0k(n, target.average_degree, rng);
+  }
+  // Exact edge-count variant for every non-stochastic method.
+  return builders::gnm(n, static_cast<std::size_t>(target.num_edges), rng);
+}
+
+Graph generate_1k(const dk::DkDistributions& target, Method method,
+                  util::Rng& rng) {
+  switch (method) {
+    case Method::stochastic:
+      return stochastic_1k(target.degree, rng);
+    case Method::pseudograph:
+      return pseudograph_1k(target.degree, rng).to_simple();
+    case Method::matching:
+    case Method::targeting:  // 1K needs no targeting pass
+      return matching_1k(target.degree, rng);
+  }
+  throw std::invalid_argument("generate_1k: unknown method");
+}
+
+Graph generate_2k(const dk::DkDistributions& target,
+                  const GenerateOptions& options, util::Rng& rng) {
+  switch (options.method) {
+    case Method::stochastic:
+      return stochastic_2k(target.joint, rng);
+    case Method::pseudograph:
+      return pseudograph_2k(target.joint, rng).to_simple();
+    case Method::matching:
+      return matching_2k(target.joint, rng);
+    case Method::targeting: {
+      // Bootstrap with an exact 1K graph, then walk to the target JDD.
+      // Prefer the explicit 1K (it still knows about degree-0 nodes,
+      // which the JDD projection cannot see).
+      const auto& one_k = target.degree.num_nodes() > 0
+                              ? target.degree
+                              : target.joint.project_to_1k();
+      const Graph start = matching_1k(one_k, rng);
+      return target_2k(start, target.joint, options.targeting, rng);
+    }
+  }
+  throw std::invalid_argument("generate_2k: unknown method");
+}
+
+Graph generate_3k(const dk::DkDistributions& target,
+                  const GenerateOptions& options, util::Rng& rng) {
+  if (options.method != Method::targeting) {
+    throw std::invalid_argument(
+        "generate_3k: only Method::targeting can construct 3K-random "
+        "graphs from distributions (paper §4.1.2: pseudograph/matching do "
+        "not generalize beyond d = 2)");
+  }
+  // Paper §5.1 pipeline: 1K bootstrap -> 2K-random -> 3K-random.
+  const auto& one_k_dist = target.degree.num_nodes() > 0
+                               ? target.degree
+                               : target.joint.project_to_1k();
+  const Graph one_k = matching_1k(one_k_dist, rng);
+  const Graph two_k =
+      target_2k(one_k, target.joint, options.targeting, rng);
+  return target_3k(two_k, target.three_k, options.targeting, rng);
+}
+
+}  // namespace
+
+Graph generate_dk_random(const dk::DkDistributions& target, int d,
+                         const GenerateOptions& options, util::Rng& rng) {
+  util::expects(d >= 0 && d <= 3, "generate_dk_random: d must be in [0,3]");
+  switch (d) {
+    case 0:
+      return generate_0k(target, options.method, rng);
+    case 1:
+      return generate_1k(target, options.method, rng);
+    case 2:
+      return generate_2k(target, options, rng);
+    default:
+      return generate_3k(target, options, rng);
+  }
+}
+
+Graph dk_random_like(const Graph& original, int d, util::Rng& rng) {
+  RandomizeOptions options;
+  options.d = d;
+  return randomize(original, options, rng);
+}
+
+}  // namespace orbis::gen

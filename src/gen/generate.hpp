@@ -1,0 +1,46 @@
+// High-level facade: construct a dK-random graph for d = 0..3 from target
+// distributions alone (paper §5.1 pipeline) or by randomizing an original.
+//
+//   d=0: G(n,p) (stochastic) or G(n,m) (exact edge count),
+//   d=1: stochastic / pseudograph / matching,
+//   d=2: stochastic / pseudograph / matching / targeting,
+//   d=3: targeting pipeline — matching_1k bootstrap, then 2K-targeting
+//        1K-preserving rewiring, then 3K-targeting 2K-preserving rewiring
+//        (the paper bootstraps identically, §5.1).
+//
+// When an original graph is available, prefer gen::randomize (§4.1.4),
+// which the paper found the easiest to use.
+#pragma once
+
+#include "core/series.hpp"
+#include "gen/rewiring.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace orbis::gen {
+
+enum class Method {
+  stochastic,
+  pseudograph,
+  matching,
+  targeting,
+};
+
+struct GenerateOptions {
+  Method method = Method::matching;
+  TargetingOptions targeting;  // used by Method::targeting and d == 3
+};
+
+/// Generate a dK-random graph from distributions (no original needed).
+/// Pseudograph output is simplified (loops/parallels dropped) but NOT
+/// GCC-extracted — callers decide, as in the paper.
+/// Throws std::invalid_argument for unsupported (d, method) pairs and
+/// GenerationError when a construction cannot complete.
+Graph generate_dk_random(const dk::DkDistributions& target, int d,
+                         const GenerateOptions& options, util::Rng& rng);
+
+/// Convenience: extract target distributions from an original graph and
+/// build the d-level random counterpart with the default method chain.
+Graph dk_random_like(const Graph& original, int d, util::Rng& rng);
+
+}  // namespace orbis::gen

@@ -1,0 +1,34 @@
+// Matching constructions (paper §4.1.3): loop-free variants of the
+// pseudograph algorithms that produce SIMPLE graphs with the EXACT target
+// distribution.
+//
+// The paper notes that naive loop avoidance deadlocks ("no suitable stub
+// pairs remaining") and that it used extra techniques to resolve this.
+// We implement the standard cure: run the configuration pairing, then
+// repair every bad edge (loop or parallel) by swapping it against a
+// random good edge — a degree-preserving swap for 1K, a JDD-preserving
+// swap for 2K — retrying until the graph is simple.  An unrepairable
+// deadlock (possible for pathological targets) raises GenerationError.
+#pragma once
+
+#include "core/degree_distribution.hpp"
+#include "core/joint_degree_distribution.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace orbis::gen {
+
+struct MatchingStats {
+  std::size_t initial_bad_edges = 0;  // loops + parallels before repair
+  std::size_t repair_swaps = 0;
+};
+
+/// Simple graph with exactly the target degree sequence.
+Graph matching_1k(const dk::DegreeDistribution& target, util::Rng& rng,
+                  MatchingStats* stats = nullptr);
+
+/// Simple graph with exactly the target JDD.
+Graph matching_2k(const dk::JointDegreeDistribution& target, util::Rng& rng,
+                  MatchingStats* stats = nullptr);
+
+}  // namespace orbis::gen

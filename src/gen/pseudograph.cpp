@@ -1,0 +1,89 @@
+#include "gen/pseudograph.hpp"
+
+#include <numeric>
+
+#include "gen/errors.hpp"
+#include "util/check.hpp"
+
+namespace orbis::gen {
+
+Multigraph pseudograph_1k(const dk::DegreeDistribution& target,
+                          util::Rng& rng) {
+  const auto degrees = target.to_sequence();
+  std::vector<NodeId> stubs;
+  for (NodeId v = 0; v < degrees.size(); ++v) {
+    stubs.insert(stubs.end(), degrees[v], v);
+  }
+  if (stubs.size() % 2 != 0) {
+    throw GenerationError(
+        "pseudograph_1k: degree sequence sums to an odd number of stubs");
+  }
+  rng.shuffle(stubs);
+  Multigraph g(static_cast<NodeId>(degrees.size()));
+  for (std::size_t i = 0; i < stubs.size(); i += 2) {
+    g.add_edge(stubs[i], stubs[i + 1]);
+  }
+  return g;
+}
+
+Multigraph pseudograph_2k(const dk::JointDegreeDistribution& target,
+                          util::Rng& rng) {
+  // Lay out the m(k1,k2) labeled edges; record each end in its per-degree
+  // edge-end list.
+  const auto entries = target.entries();
+  std::size_t num_edges = 0;
+  std::size_t max_degree = 0;
+  for (const auto& entry : entries) {
+    num_edges += static_cast<std::size_t>(entry.count);
+    max_degree = std::max({max_degree, entry.k1, entry.k2});
+  }
+
+  struct EdgeEnds {
+    NodeId end0 = 0;
+    NodeId end1 = 0;
+  };
+  std::vector<EdgeEnds> edges(num_edges);
+
+  // ends_by_degree[k] holds (edge index, side) encoded as 2*index+side.
+  std::vector<std::vector<std::uint64_t>> ends_by_degree(max_degree + 1);
+  {
+    std::size_t edge_index = 0;
+    for (const auto& entry : entries) {
+      for (std::int64_t i = 0; i < entry.count; ++i) {
+        ends_by_degree[entry.k1].push_back(2 * edge_index + 0);
+        ends_by_degree[entry.k2].push_back(2 * edge_index + 1);
+        ++edge_index;
+      }
+    }
+  }
+
+  // Randomly group the k-labeled ends into k-sized groups = nodes.
+  NodeId next_node = 0;
+  for (std::size_t k = 1; k <= max_degree; ++k) {
+    auto& ends = ends_by_degree[k];
+    if (ends.empty()) continue;
+    if (ends.size() % k != 0) {
+      throw GenerationError(
+          "pseudograph_2k: number of degree-" + std::to_string(k) +
+          " edge-ends is not divisible by " + std::to_string(k));
+    }
+    rng.shuffle(ends);
+    for (std::size_t i = 0; i < ends.size(); ++i) {
+      const NodeId node = next_node + static_cast<NodeId>(i / k);
+      const std::uint64_t encoded = ends[i];
+      const std::size_t edge_index = encoded / 2;
+      if (encoded % 2 == 0) {
+        edges[edge_index].end0 = node;
+      } else {
+        edges[edge_index].end1 = node;
+      }
+    }
+    next_node += static_cast<NodeId>(ends.size() / k);
+  }
+
+  Multigraph g(next_node);
+  for (const auto& e : edges) g.add_edge(e.end0, e.end1);
+  return g;
+}
+
+}  // namespace orbis::gen

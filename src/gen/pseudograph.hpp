@@ -1,0 +1,29 @@
+// Pseudograph (configuration-model) constructions (paper §4.1.2).
+//
+//   1K: classic stub matching — n(k) nodes get k stubs each; stubs are
+//       paired uniformly at random.
+//   2K: the paper's extension — prepare m(k1,k2) disconnected edges with
+//       labeled ends; for each degree k, randomly group the k-labeled
+//       edge-ends into groups of k, each group becoming one k-degree node.
+//
+// Both return Multigraphs (loops and parallel edges possible); the
+// paper's recipe is to drop loops and extract the GCC afterwards.
+#pragma once
+
+#include "core/degree_distribution.hpp"
+#include "core/joint_degree_distribution.hpp"
+#include "graph/multigraph.hpp"
+#include "util/rng.hpp"
+
+namespace orbis::gen {
+
+/// Throws GenerationError if the target's total stub count is odd.
+Multigraph pseudograph_1k(const dk::DegreeDistribution& target,
+                          util::Rng& rng);
+
+/// Throws GenerationError if the JDD is inconsistent (some k-labeled
+/// edge-end count is not divisible by k).
+Multigraph pseudograph_2k(const dk::JointDegreeDistribution& target,
+                          util::Rng& rng);
+
+}  // namespace orbis::gen

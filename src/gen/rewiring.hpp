@@ -1,0 +1,127 @@
+// dK-preserving rewiring processes (paper §4.1.4 and §4.3).
+//
+//   * randomizing rewiring:  dK-preserving double-edge swaps, the paper's
+//     preferred construction when an original graph is available;
+//   * targeting rewiring:    dK-targeting d'K-preserving rewiring
+//     ("Metropolis dynamics"): swaps preserve P_{d'} and are accepted iff
+//     they shrink the squared distance D_d to a target dK-distribution,
+//     or — at temperature T > 0 — with probability e^{-ΔD/T} otherwise
+//     (simulated annealing; T→0 greedy, T→∞ pure randomizing);
+//   * exploration rewiring:  §4.3 — drive a scalar defined by P_{d+1} but
+//     not P_d (S for d=1; S2 or C̄ for d=2) to its extremes.
+//
+// Double-edge swap convention: pick random edges (a,b), (c,d) with all
+// four endpoints distinct, replace with (a,d), (c,b).  This preserves
+// every degree (1K); it additionally preserves the JDD (2K) iff
+// deg(b)=deg(d) or deg(a)=deg(c); it preserves the 3K profile iff the
+// wedge and triangle histograms are unchanged, which we verify exactly
+// with incremental bookkeeping (perform, inspect the delta journal,
+// revert on violation).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "core/dk_state.hpp"
+#include "core/joint_degree_distribution.hpp"
+#include "core/three_k_profile.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace orbis::gen {
+
+struct RewiringStats {
+  std::uint64_t attempts = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_structural = 0;  // loops/duplicates/no-ops
+  std::uint64_t rejected_constraint = 0;  // would break P_{d'}
+  std::uint64_t rejected_objective = 0;   // distance/objective worsened
+
+  double acceptance_rate() const {
+    return attempts > 0
+               ? static_cast<double>(accepted) / static_cast<double>(attempts)
+               : 0.0;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Randomizing rewiring.
+// ---------------------------------------------------------------------------
+
+struct RandomizeOptions {
+  int d = 2;                           // series level to preserve, 0..3
+  std::size_t attempts_per_edge = 10;  // attempt budget = this * m
+  std::size_t attempts = 0;            // explicit budget (overrides if > 0)
+};
+
+/// dK-randomizing rewiring: returns a random graph with exactly the same
+/// dK-distribution as g (same k̄/1K/2K/3K depending on d).
+Graph randomize(const Graph& g, const RandomizeOptions& options,
+                util::Rng& rng, RewiringStats* stats = nullptr);
+
+// ---------------------------------------------------------------------------
+// Targeting rewiring.
+// ---------------------------------------------------------------------------
+
+struct TargetingOptions {
+  double temperature = 0.0;             // Metropolis T; 0 = greedy descent
+  std::size_t attempts_per_edge = 400;  // attempt budget = this * m
+  std::size_t attempts = 0;             // explicit budget (overrides if > 0)
+  double stop_distance = 0.0;           // stop once D_d <= this
+  /// Fraction of proposals drawn GUIDED for 2K targeting: pick a bin
+  /// where the current histogram deviates from the target and construct
+  /// a swap that directly creates (deficit) or destroys (surplus) an
+  /// edge of that degree class.  Uniform proposals alone take the chain
+  /// to small D2 quickly but almost never hit the last few +-1 bins on
+  /// large graphs; guided proposals fix the endgame.  Ignored by
+  /// target_3k.
+  double guided_fraction = 0.5;
+};
+
+/// 2K-targeting 1K-preserving rewiring.  `start` must already have the
+/// target's degree sequence (e.g. from matching_1k); returns a graph
+/// moved toward the target JDD, reporting the final D2 if requested.
+Graph target_2k(const Graph& start, const dk::JointDegreeDistribution& target,
+                const TargetingOptions& options, util::Rng& rng,
+                RewiringStats* stats = nullptr,
+                double* final_distance = nullptr);
+
+/// 3K-targeting 2K-preserving rewiring.  `start` must already have the
+/// target's JDD (e.g. from matching_2k or target_2k output).
+Graph target_3k(const Graph& start, const dk::ThreeKProfile& target,
+                const TargetingOptions& options, util::Rng& rng,
+                RewiringStats* stats = nullptr,
+                double* final_distance = nullptr);
+
+// ---------------------------------------------------------------------------
+// dK-space exploration (§4.3).
+// ---------------------------------------------------------------------------
+
+enum class ExploreObjective {
+  maximize_s,           // 1K-preserving, drives likelihood S up
+  minimize_s,           //                ... down
+  maximize_s2,          // 2K-preserving, second-order likelihood S2 up
+  minimize_s2,          //                ... down
+  maximize_clustering,  // 2K-preserving, mean clustering C̄ up
+  minimize_clustering,  //                ... down
+};
+
+struct ExploreOptions {
+  std::size_t attempts_per_edge = 50;
+  std::size_t attempts = 0;  // explicit budget (overrides if > 0)
+  /// Optional early stop: halt once the objective reaches this value
+  /// (>= when maximizing, <= when minimizing).  NaN = run the budget out.
+  double stop_at_value = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Greedy exploration toward extreme dK-graphs: accepts a P_{d'}-
+/// preserving swap only if it strictly improves the objective.
+Graph explore(const Graph& g, ExploreObjective objective,
+              const ExploreOptions& options, util::Rng& rng,
+              RewiringStats* stats = nullptr);
+
+/// The objective value a given graph has for an exploration target
+/// (S, S2 or C̄) — convenience for benches.
+double objective_value(const Graph& g, ExploreObjective objective);
+
+}  // namespace orbis::gen

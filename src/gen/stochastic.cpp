@@ -1,0 +1,175 @@
+#include "gen/stochastic.hpp"
+
+#include <cmath>
+
+#include "gen/errors.hpp"
+#include "util/check.hpp"
+
+namespace orbis::gen {
+
+namespace {
+
+/// Visits the indices of a virtual Bernoulli(p) trial sequence of length
+/// `count` that came up heads, via geometric gap sampling: O(expected
+/// successes) instead of O(count).
+template <typename Visit>
+void sample_bernoulli_indices(std::uint64_t count, double p, util::Rng& rng,
+                              Visit visit) {
+  if (count == 0 || p <= 0.0) return;
+  if (p >= 1.0) {
+    for (std::uint64_t t = 0; t < count; ++t) visit(t);
+    return;
+  }
+  const double log_q = std::log1p(-p);
+  double cursor = 0.0;
+  for (;;) {
+    const double u = 1.0 - rng.uniform_real();  // u in (0, 1]
+    cursor += std::floor(std::log(u) / log_q) + 1.0;
+    if (cursor > static_cast<double>(count)) return;
+    visit(static_cast<std::uint64_t>(cursor) - 1);
+  }
+}
+
+/// Maps a linear index into the strictly-upper-triangular pair space of a
+/// single class of size s: t in [0, s(s-1)/2) -> (i, j), i < j.
+std::pair<std::uint64_t, std::uint64_t> triangular_unrank(std::uint64_t t,
+                                                          std::uint64_t s) {
+  // Row i owns (s-1-i) entries; solve for the row via the quadratic
+  // formula, then fix up any floating-point off-by-one.
+  const double td = static_cast<double>(t);
+  const double sd = static_cast<double>(s);
+  auto i = static_cast<std::uint64_t>(
+      std::floor(sd - 0.5 - std::sqrt((sd - 0.5) * (sd - 0.5) - 2.0 * td)));
+  auto row_start = [&](std::uint64_t row) {
+    return row * s - row * (row + 1) / 2;
+  };
+  while (i > 0 && row_start(i) > t) --i;
+  while (row_start(i + 1) <= t) ++i;
+  const std::uint64_t j = i + 1 + (t - row_start(i));
+  return {i, j};
+}
+
+}  // namespace
+
+Graph stochastic_0k(NodeId n, double average_degree, util::Rng& rng) {
+  util::expects(average_degree >= 0.0, "stochastic_0k: negative k̄");
+  util::expects(n > 0, "stochastic_0k: empty graph requested");
+  const double p = average_degree / static_cast<double>(n);
+  util::expects(p <= 1.0, "stochastic_0k: k̄ too large for n");
+  Graph g(n);
+  const std::uint64_t pairs =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  sample_bernoulli_indices(pairs, p, rng, [&](std::uint64_t t) {
+    const auto [i, j] = triangular_unrank(t, n);
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+  });
+  return g;
+}
+
+Graph stochastic_1k(const dk::DegreeDistribution& target, util::Rng& rng) {
+  const auto degrees = target.to_sequence();
+  const auto n = static_cast<NodeId>(degrees.size());
+  util::expects(n > 0, "stochastic_1k: empty target distribution");
+  double sum_q = 0.0;
+  for (const auto q : degrees) sum_q += static_cast<double>(q);
+  util::expects(sum_q > 0.0, "stochastic_1k: all expected degrees are zero");
+
+  Graph g(n);
+  // Nodes are grouped by degree class (to_sequence is ascending), so the
+  // Bernoulli probability is constant within each class-pair block and we
+  // can geometric-skip through it.
+  std::vector<std::pair<std::size_t, NodeId>> classes;  // (degree, first id)
+  for (NodeId v = 0; v < n; ++v) {
+    if (classes.empty() || classes.back().first != degrees[v]) {
+      classes.emplace_back(degrees[v], v);
+    }
+  }
+  const auto class_size = [&](std::size_t c) -> std::uint64_t {
+    const NodeId begin = classes[c].second;
+    const NodeId end = (c + 1 < classes.size()) ? classes[c + 1].second : n;
+    return end - begin;
+  };
+
+  for (std::size_t a = 0; a < classes.size(); ++a) {
+    const auto qa = static_cast<double>(classes[a].first);
+    if (qa == 0.0) continue;
+    const std::uint64_t sa = class_size(a);
+    const NodeId base_a = classes[a].second;
+    // Same-class block.
+    {
+      const double p = std::min(1.0, qa * qa / sum_q);
+      sample_bernoulli_indices(sa * (sa - 1) / 2, p, rng,
+                               [&](std::uint64_t t) {
+                                 const auto [i, j] = triangular_unrank(t, sa);
+                                 g.add_edge(base_a + static_cast<NodeId>(i),
+                                            base_a + static_cast<NodeId>(j));
+                               });
+    }
+    // Cross-class blocks.
+    for (std::size_t b = a + 1; b < classes.size(); ++b) {
+      const auto qb = static_cast<double>(classes[b].first);
+      const double p = std::min(1.0, qa * qb / sum_q);
+      const std::uint64_t sb = class_size(b);
+      const NodeId base_b = classes[b].second;
+      sample_bernoulli_indices(sa * sb, p, rng, [&](std::uint64_t t) {
+        g.add_edge(base_a + static_cast<NodeId>(t / sb),
+                   base_b + static_cast<NodeId>(t % sb));
+      });
+    }
+  }
+  return g;
+}
+
+Graph stochastic_2k(const dk::JointDegreeDistribution& target,
+                    util::Rng& rng) {
+  const auto one_k = target.project_to_1k();
+  const auto degrees = one_k.to_sequence();
+  const auto n = static_cast<NodeId>(degrees.size());
+  util::expects(n > 0, "stochastic_2k: empty target distribution");
+
+  // first_of[k] = id of the first node in degree class k (ascending ids).
+  std::vector<NodeId> first_of(one_k.max_degree() + 2, 0);
+  {
+    NodeId cursor = 0;
+    for (std::size_t k = 0; k <= one_k.max_degree(); ++k) {
+      first_of[k] = cursor;
+      cursor += static_cast<NodeId>(one_k.n_of_k(k));
+    }
+    first_of[one_k.max_degree() + 1] = cursor;
+  }
+
+  Graph g(n);
+  for (const auto& entry : target.entries()) {
+    const auto nk1 = static_cast<std::uint64_t>(one_k.n_of_k(entry.k1));
+    const auto nk2 = static_cast<std::uint64_t>(one_k.n_of_k(entry.k2));
+    const auto m = static_cast<double>(entry.count);
+    if (entry.k1 == entry.k2) {
+      const std::uint64_t pairs = nk1 * (nk1 - 1) / 2;
+      if (pairs == 0) {
+        throw GenerationError(
+            "stochastic_2k: target has same-degree edges but a single node "
+            "in that class");
+      }
+      const double p = std::min(1.0, m / static_cast<double>(pairs));
+      const NodeId base = first_of[entry.k1];
+      sample_bernoulli_indices(pairs, p, rng, [&](std::uint64_t t) {
+        const auto [i, j] = triangular_unrank(t, nk1);
+        g.add_edge(base + static_cast<NodeId>(i),
+                   base + static_cast<NodeId>(j));
+      });
+    } else {
+      const double p =
+          std::min(1.0, m / (static_cast<double>(nk1) *
+                             static_cast<double>(nk2)));
+      const NodeId base1 = first_of[entry.k1];
+      const NodeId base2 = first_of[entry.k2];
+      sample_bernoulli_indices(nk1 * nk2, p, rng, [&](std::uint64_t t) {
+        g.add_edge(base1 + static_cast<NodeId>(t / nk2),
+                   base2 + static_cast<NodeId>(t % nk2));
+      });
+    }
+  }
+  return g;
+}
+
+}  // namespace orbis::gen

@@ -1,0 +1,33 @@
+// Stochastic dK-graph constructions (paper §4.1.1).
+//
+//   0K: classical Erdős–Rényi G(n,p) with p = k̄/n,
+//   1K: Chung–Lu — connect (i,j) with p = q_i q_j / (n q̄),
+//   2K: hidden-variable construction reproducing the JDD in expectation.
+//
+// All three produce each edge independently, which is exactly why the
+// paper finds them statistically noisy: expected distributions are
+// matched, realized ones are not (many expected-degree-1 nodes end up
+// isolated).  The benches reproduce that conclusion.
+#pragma once
+
+#include "core/degree_distribution.hpp"
+#include "core/joint_degree_distribution.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace orbis::gen {
+
+/// G(n, p = kbar/n): expected average degree kbar (paper's p0K).
+Graph stochastic_0k(NodeId n, double average_degree, util::Rng& rng);
+
+/// Chung–Lu with expected degrees q_i drawn as the target degree
+/// sequence; p(q1,q2) = min(1, q1 q2 / Σq).
+Graph stochastic_1k(const dk::DegreeDistribution& target, util::Rng& rng);
+
+/// Per-degree-class Bernoulli construction matching the target JDD in
+/// expectation: p(q1,q2) = m(q1,q2)/(n(q1) n(q2)), same-class pairs use
+/// m(q,q)/C(n(q),2); probabilities clamp at 1.
+Graph stochastic_2k(const dk::JointDegreeDistribution& target,
+                    util::Rng& rng);
+
+}  // namespace orbis::gen

@@ -1,0 +1,108 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+
+namespace orbis {
+
+std::vector<std::int32_t> bfs_distances(const Graph& g, NodeId source) {
+  util::expects(source < g.num_nodes(), "bfs_distances: source out of range");
+  std::vector<std::int32_t> dist(g.num_nodes(), -1);
+  std::vector<NodeId> frontier;
+  frontier.reserve(64);
+  dist[source] = 0;
+  frontier.push_back(source);
+  std::int32_t depth = 0;
+  std::vector<NodeId> next;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (const NodeId v : frontier) {
+      for (const NodeId w : g.neighbors(v)) {
+        if (dist[w] < 0) {
+          dist[w] = depth;
+          next.push_back(w);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+ComponentLabels connected_components(const Graph& g) {
+  constexpr std::uint32_t unassigned = ~0u;
+  ComponentLabels result;
+  result.label.assign(g.num_nodes(), unassigned);
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (result.label[start] != unassigned) continue;
+    const auto id = static_cast<std::uint32_t>(result.sizes.size());
+    std::size_t size = 0;
+    stack.push_back(start);
+    result.label[start] = id;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      ++size;
+      for (const NodeId w : g.neighbors(v)) {
+        if (result.label[w] == unassigned) {
+          result.label[w] = id;
+          stack.push_back(w);
+        }
+      }
+    }
+    result.sizes.push_back(size);
+  }
+  return result;
+}
+
+std::uint32_t ComponentLabels::largest() const {
+  util::expects(!sizes.empty(), "ComponentLabels::largest: empty graph");
+  const auto it = std::max_element(sizes.begin(), sizes.end());
+  return static_cast<std::uint32_t>(it - sizes.begin());
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  return connected_components(g).count() == 1;
+}
+
+GccResult largest_connected_component(const Graph& g) {
+  GccResult result;
+  if (g.num_nodes() == 0) {
+    return result;
+  }
+  const ComponentLabels components = connected_components(g);
+  const std::uint32_t keep = components.largest();
+  std::vector<NodeId> nodes;
+  nodes.reserve(components.sizes[keep]);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (components.label[v] == keep) nodes.push_back(v);
+  }
+  result.graph = induced_subgraph(g, nodes, &result.original_ids);
+  result.num_components = components.count();
+  return result;
+}
+
+Graph induced_subgraph(const Graph& g, const std::vector<NodeId>& nodes,
+                       std::vector<NodeId>* original_ids) {
+  constexpr NodeId absent = ~static_cast<NodeId>(0);
+  std::vector<NodeId> remap(g.num_nodes(), absent);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    util::expects(nodes[i] < g.num_nodes(),
+                  "induced_subgraph: node out of range");
+    util::expects(remap[nodes[i]] == absent,
+                  "induced_subgraph: duplicate node in selection");
+    remap[nodes[i]] = static_cast<NodeId>(i);
+  }
+  Graph sub(static_cast<NodeId>(nodes.size()));
+  for (const auto& e : g.edges()) {
+    const NodeId u = remap[e.u];
+    const NodeId v = remap[e.v];
+    if (u != absent && v != absent) sub.add_edge(u, v);
+  }
+  if (original_ids != nullptr) *original_ids = nodes;
+  return sub;
+}
+
+}  // namespace orbis

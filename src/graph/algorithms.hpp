@@ -1,0 +1,39 @@
+// Basic graph algorithms: BFS, connected components, GCC extraction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace orbis {
+
+/// Hop distances from source; -1 marks unreachable nodes.
+std::vector<std::int32_t> bfs_distances(const Graph& g, NodeId source);
+
+struct ComponentLabels {
+  std::vector<std::uint32_t> label;  // component id per node
+  std::vector<std::size_t> sizes;    // size per component id
+  std::size_t count() const noexcept { return sizes.size(); }
+  std::uint32_t largest() const;     // id of the biggest component
+};
+
+ComponentLabels connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+struct GccResult {
+  Graph graph;                       // induced subgraph, nodes relabeled
+  std::vector<NodeId> original_ids;  // new id -> original id
+  std::size_t num_components = 0;    // components in the input graph
+};
+
+/// Extract the giant (largest) connected component, relabeling nodes to a
+/// dense [0, size) range.  The paper computes all §5 metrics on GCCs.
+GccResult largest_connected_component(const Graph& g);
+
+/// Induced subgraph on the given (deduplicated) node set.
+Graph induced_subgraph(const Graph& g, const std::vector<NodeId>& nodes,
+                       std::vector<NodeId>* original_ids = nullptr);
+
+}  // namespace orbis

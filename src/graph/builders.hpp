@@ -1,0 +1,37 @@
+// Canonical graph families with known closed-form metric values.
+// Used pervasively by tests and as building blocks for topology models.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace orbis::builders {
+
+/// Path 0-1-...-(n-1).
+Graph path(NodeId n);
+
+/// Cycle on n >= 3 nodes.
+Graph cycle(NodeId n);
+
+/// Star: node 0 joined to n-1 leaves (n >= 2 total nodes).
+Graph star(NodeId n);
+
+/// Complete graph K_n.
+Graph complete(NodeId n);
+
+/// Complete bipartite K_{a,b}; part A is [0,a), part B is [a,a+b).
+Graph complete_bipartite(NodeId a, NodeId b);
+
+/// a x b grid (4-neighbor lattice).
+Graph grid(NodeId rows, NodeId cols);
+
+/// G(n,m): m distinct uniform random edges.
+Graph gnm(NodeId n, std::size_t m, util::Rng& rng);
+
+/// G(n,p): each pair independently with probability p.
+Graph gnp(NodeId n, double p, util::Rng& rng);
+
+/// Connected random tree on n nodes (uniform attachment).
+Graph random_tree(NodeId n, util::Rng& rng);
+
+}  // namespace orbis::builders

@@ -1,0 +1,108 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace orbis {
+
+Graph Graph::from_edges(NodeId n, std::span<const Edge> edges) {
+  Graph g(n);
+  g.edges_.reserve(edges.size());
+  g.edge_index_.reserve(edges.size() * 2);
+  for (const auto& e : edges) {
+    util::expects(e.u < n && e.v < n, "Graph::from_edges: node out of range");
+    util::expects(e.u != e.v, "Graph::from_edges: self-loop");
+    util::expects(!g.has_edge(e.u, e.v), "Graph::from_edges: duplicate edge");
+    g.push_edge(e.u, e.v);
+  }
+  return g;
+}
+
+Graph Graph::from_edges_dedup(NodeId n, std::span<const Edge> edges) {
+  Graph g(n);
+  for (const auto& e : edges) {
+    util::expects(e.u < n && e.v < n,
+                  "Graph::from_edges_dedup: node out of range");
+    if (e.u == e.v || g.has_edge(e.u, e.v)) continue;
+    g.push_edge(e.u, e.v);
+  }
+  return g;
+}
+
+void Graph::push_edge(NodeId u, NodeId v) {
+  edge_index_.emplace(util::pair_key(u, v),
+                      static_cast<std::uint32_t>(edges_.size()));
+  edges_.push_back(Edge{u, v});
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+}
+
+bool Graph::add_edge(NodeId u, NodeId v) {
+  util::expects(u < num_nodes() && v < num_nodes(),
+                "Graph::add_edge: node out of range");
+  if (u == v || has_edge(u, v)) return false;
+  push_edge(u, v);
+  return true;
+}
+
+bool Graph::remove_edge(NodeId u, NodeId v) {
+  if (u >= num_nodes() || v >= num_nodes() || u == v) return false;
+  const auto it = edge_index_.find(util::pair_key(u, v));
+  if (it == edge_index_.end()) return false;
+
+  const std::uint32_t index = it->second;
+  edge_index_.erase(it);
+
+  // Swap-erase from the dense edge array, repointing the moved edge's index.
+  const std::uint32_t last = static_cast<std::uint32_t>(edges_.size()) - 1;
+  if (index != last) {
+    edges_[index] = edges_[last];
+    edge_index_[util::pair_key(edges_[index].u, edges_[index].v)] = index;
+  }
+  edges_.pop_back();
+
+  const auto drop_from = [&](NodeId a, NodeId b) {
+    auto& list = adjacency_[a];
+    const auto pos = std::find(list.begin(), list.end(), b);
+    util::ensures(pos != list.end(), "Graph: adjacency/edge-set divergence");
+    *pos = list.back();
+    list.pop_back();
+  };
+  drop_from(u, v);
+  drop_from(v, u);
+  return true;
+}
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+double Graph::average_degree() const noexcept {
+  if (num_nodes() == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) /
+         static_cast<double>(num_nodes());
+}
+
+std::size_t Graph::max_degree() const noexcept {
+  std::size_t best = 0;
+  for (const auto& list : adjacency_) best = std::max(best, list.size());
+  return best;
+}
+
+std::vector<std::size_t> Graph::degree_sequence() const {
+  std::vector<std::size_t> degrees(num_nodes());
+  for (NodeId v = 0; v < num_nodes(); ++v) degrees[v] = adjacency_[v].size();
+  return degrees;
+}
+
+bool operator==(const Graph& a, const Graph& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  for (const auto& e : a.edges_) {
+    if (!b.has_edge(e.u, e.v)) return false;
+  }
+  return true;
+}
+
+}  // namespace orbis

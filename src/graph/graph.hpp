@@ -1,0 +1,102 @@
+// Simple undirected graph optimized for the operations the dK machinery
+// needs:
+//   * O(1) expected edge-existence queries (packed-key hash map),
+//   * O(1) uniform random edge selection (dense edge array),
+//   * O(deg) edge removal (swap-erase in adjacency; O(1) in the edge array),
+//   * cache-friendly neighbor iteration (contiguous adjacency vectors).
+//
+// The graph is *simple*: no self-loops, no parallel edges.  Construction
+// algorithms that naturally produce loops/multi-edges (pseudograph,
+// matching) use orbis::Multigraph and convert.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/keys.hpp"
+
+namespace orbis {
+
+using NodeId = std::uint32_t;
+
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// n isolated nodes.
+  explicit Graph(NodeId n) : adjacency_(n) {}
+
+  /// Build from an edge list; duplicate edges and loops are rejected.
+  static Graph from_edges(NodeId n, std::span<const Edge> edges);
+
+  /// Same, but silently skips loops and duplicates (for noisy inputs).
+  static Graph from_edges_dedup(NodeId n, std::span<const Edge> edges);
+
+  NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(adjacency_.size());
+  }
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  std::size_t degree(NodeId v) const {
+    util::expects(v < num_nodes(), "Graph::degree: node out of range");
+    return adjacency_[v].size();
+  }
+
+  std::span<const NodeId> neighbors(NodeId v) const {
+    util::expects(v < num_nodes(), "Graph::neighbors: node out of range");
+    return adjacency_[v];
+  }
+
+  bool has_edge(NodeId u, NodeId v) const {
+    if (u >= num_nodes() || v >= num_nodes() || u == v) return false;
+    return edge_index_.count(util::pair_key(u, v)) > 0;
+  }
+
+  /// Adds edge (u,v). Returns false (graph unchanged) for loops/duplicates.
+  bool add_edge(NodeId u, NodeId v);
+
+  /// Removes edge (u,v). Returns false if the edge does not exist.
+  bool remove_edge(NodeId u, NodeId v);
+
+  /// Appends a fresh isolated node; returns its id.
+  NodeId add_node();
+
+  /// The i-th edge of the internal dense edge array.  The array order is
+  /// unspecified and changes on removal (swap-with-last), which is exactly
+  /// what uniform random edge sampling wants.
+  const Edge& edge_at(std::size_t index) const {
+    util::expects(index < edges_.size(), "Graph::edge_at: index out of range");
+    return edges_[index];
+  }
+
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// Sum of degrees / n; 0 for the empty graph.
+  double average_degree() const noexcept;
+
+  std::size_t max_degree() const noexcept;
+
+  std::vector<std::size_t> degree_sequence() const;
+
+  friend bool operator==(const Graph& a, const Graph& b);
+
+ private:
+  void push_edge(NodeId u, NodeId v);
+
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<Edge> edges_;
+  // pair_key(u,v) -> index into edges_.
+  std::unordered_map<std::uint64_t, std::uint32_t> edge_index_;
+};
+
+}  // namespace orbis

@@ -1,0 +1,50 @@
+#include "graph/multigraph.hpp"
+
+#include <unordered_set>
+
+#include "util/keys.hpp"
+
+namespace orbis {
+
+void Multigraph::add_edge(NodeId u, NodeId v) {
+  util::expects(u < num_nodes_ && v < num_nodes_,
+                "Multigraph::add_edge: node out of range");
+  edges_.push_back(Edge{u, v});
+}
+
+std::size_t Multigraph::count_self_loops() const noexcept {
+  std::size_t loops = 0;
+  for (const auto& e : edges_) {
+    if (e.u == e.v) ++loops;
+  }
+  return loops;
+}
+
+std::vector<std::size_t> Multigraph::degree_sequence() const {
+  std::vector<std::size_t> degrees(num_nodes_, 0);
+  for (const auto& e : edges_) {
+    degrees[e.u] += 1;
+    degrees[e.v] += 1;  // a loop contributes 2 to its node, as intended
+  }
+  return degrees;
+}
+
+Graph Multigraph::to_simple(SimplificationReport* report) const {
+  Graph g(num_nodes_);
+  std::size_t loops = 0;
+  std::size_t parallels = 0;
+  for (const auto& e : edges_) {
+    if (e.u == e.v) {
+      ++loops;
+      continue;
+    }
+    if (!g.add_edge(e.u, e.v)) ++parallels;
+  }
+  if (report != nullptr) {
+    report->self_loops_removed = loops;
+    report->parallel_edges_removed = parallels;
+  }
+  return g;
+}
+
+}  // namespace orbis

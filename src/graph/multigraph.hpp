@@ -1,0 +1,47 @@
+// Multigraph: permits self-loops and parallel edges.
+//
+// The pseudograph (configuration) and matching construction algorithms of
+// the paper naturally produce multigraphs; the paper's §4.1.2 recipe is
+// "remove all loops and extract the largest connected component".  This
+// type records how much was removed (the paper's pseudograph "badnesses")
+// so benches can report them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace orbis {
+
+struct SimplificationReport {
+  std::size_t self_loops_removed = 0;
+  std::size_t parallel_edges_removed = 0;
+};
+
+class Multigraph {
+ public:
+  Multigraph() = default;
+  explicit Multigraph(NodeId n) : num_nodes_(n) {}
+
+  NodeId num_nodes() const noexcept { return num_nodes_; }
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// Any (u,v) with u==v allowed; duplicates allowed.
+  void add_edge(NodeId u, NodeId v);
+
+  std::size_t count_self_loops() const noexcept;
+
+  /// Degree counting loops twice (graph-theoretic convention).
+  std::vector<std::size_t> degree_sequence() const;
+
+  /// Collapse to a simple graph: drop loops, merge parallel edges.
+  Graph to_simple(SimplificationReport* report = nullptr) const;
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace orbis

@@ -1,0 +1,162 @@
+#include "io/dk_serialization.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/keys.hpp"
+
+namespace orbis::io {
+
+namespace {
+
+/// Yields non-comment, non-blank lines with their line numbers.
+template <typename Handle>
+void for_each_data_line(std::istream& in, Handle handle) {
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    handle(line, line_number);
+  }
+}
+
+[[noreturn]] void parse_fail(const char* what, std::size_t line_number) {
+  throw std::invalid_argument(std::string(what) + " at line " +
+                              std::to_string(line_number));
+}
+
+std::ifstream open_input(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open file: " + path);
+  return in;
+}
+
+std::ofstream open_output(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  return out;
+}
+
+}  // namespace
+
+void write_1k(std::ostream& out, const dk::DegreeDistribution& dist) {
+  out << "# orbis 1K distribution: k n(k)\n";
+  for (const auto k : dist.support()) {
+    out << k << ' ' << dist.n_of_k(k) << '\n';
+  }
+}
+
+dk::DegreeDistribution read_1k(std::istream& in) {
+  std::vector<std::size_t> degrees;
+  for_each_data_line(in, [&](const std::string& line, std::size_t number) {
+    std::istringstream fields(line);
+    std::size_t k = 0;
+    std::uint64_t count = 0;
+    if (!(fields >> k >> count)) parse_fail("bad 1K line", number);
+    degrees.insert(degrees.end(), count, k);
+  });
+  return dk::DegreeDistribution::from_sequence(degrees);
+}
+
+void write_2k(std::ostream& out, const dk::JointDegreeDistribution& dist) {
+  out << "# orbis 2K distribution: k1 k2 m(k1,k2)\n";
+  for (const auto& entry : dist.entries()) {
+    out << entry.k1 << ' ' << entry.k2 << ' ' << entry.count << '\n';
+  }
+}
+
+dk::JointDegreeDistribution read_2k(std::istream& in) {
+  dk::JointDegreeDistribution dist;
+  for_each_data_line(in, [&](const std::string& line, std::size_t number) {
+    std::istringstream fields(line);
+    std::uint32_t k1 = 0;
+    std::uint32_t k2 = 0;
+    std::int64_t count = 0;
+    if (!(fields >> k1 >> k2 >> count) || count < 0) {
+      parse_fail("bad 2K line", number);
+    }
+    dist.histogram().add(util::pair_key(k1, k2), count);
+  });
+  return dist;
+}
+
+void write_3k(std::ostream& out, const dk::ThreeKProfile& profile) {
+  out << "# orbis 3K distribution: {w|t} k1 k2 k3 count\n";
+  std::vector<std::pair<std::uint64_t, std::int64_t>> bins(
+      profile.wedges().bins().begin(), profile.wedges().bins().end());
+  std::sort(bins.begin(), bins.end());
+  for (const auto& [key, count] : bins) {
+    const auto [k1, k2, k3] = util::unpack_triple(key);
+    out << "w " << k1 << ' ' << k2 << ' ' << k3 << ' ' << count << '\n';
+  }
+  bins.assign(profile.triangles().bins().begin(),
+              profile.triangles().bins().end());
+  std::sort(bins.begin(), bins.end());
+  for (const auto& [key, count] : bins) {
+    const auto [k1, k2, k3] = util::unpack_triple(key);
+    out << "t " << k1 << ' ' << k2 << ' ' << k3 << ' ' << count << '\n';
+  }
+}
+
+dk::ThreeKProfile read_3k(std::istream& in) {
+  dk::ThreeKProfile profile;
+  for_each_data_line(in, [&](const std::string& line, std::size_t number) {
+    std::istringstream fields(line);
+    char kind = 0;
+    std::uint32_t k1 = 0;
+    std::uint32_t k2 = 0;
+    std::uint32_t k3 = 0;
+    std::int64_t count = 0;
+    if (!(fields >> kind >> k1 >> k2 >> k3 >> count) || count < 0) {
+      parse_fail("bad 3K line", number);
+    }
+    if (kind == 'w') {
+      profile.wedges().add(util::wedge_key(k1, k2, k3), count);
+    } else if (kind == 't') {
+      profile.triangles().add(util::triangle_key(k1, k2, k3), count);
+    } else {
+      parse_fail("bad 3K record kind (expected 'w' or 't')", number);
+    }
+  });
+  return profile;
+}
+
+void write_1k_file(const std::string& path,
+                   const dk::DegreeDistribution& dist) {
+  auto out = open_output(path);
+  write_1k(out, dist);
+}
+
+dk::DegreeDistribution read_1k_file(const std::string& path) {
+  auto in = open_input(path);
+  return read_1k(in);
+}
+
+void write_2k_file(const std::string& path,
+                   const dk::JointDegreeDistribution& dist) {
+  auto out = open_output(path);
+  write_2k(out, dist);
+}
+
+dk::JointDegreeDistribution read_2k_file(const std::string& path) {
+  auto in = open_input(path);
+  return read_2k(in);
+}
+
+void write_3k_file(const std::string& path, const dk::ThreeKProfile& profile) {
+  auto out = open_output(path);
+  write_3k(out, profile);
+}
+
+dk::ThreeKProfile read_3k_file(const std::string& path) {
+  auto in = open_input(path);
+  return read_3k(in);
+}
+
+}  // namespace orbis::io

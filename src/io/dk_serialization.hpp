@@ -1,0 +1,37 @@
+// Text serialization of dK-distributions (Orbis-style .1k/.2k/.3k files).
+//
+//   1K:  "k n(k)"                    one line per degree
+//   2K:  "k1 k2 m(k1,k2)"            k1 <= k2
+//   3K:  "w k1 k2 k3 count"          wedges (k2 = center, k1 <= k3)
+//        "t k1 k2 k3 count"          triangles (k1 <= k2 <= k3)
+// '#' comments and blank lines are ignored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/degree_distribution.hpp"
+#include "core/joint_degree_distribution.hpp"
+#include "core/three_k_profile.hpp"
+
+namespace orbis::io {
+
+void write_1k(std::ostream& out, const dk::DegreeDistribution& dist);
+dk::DegreeDistribution read_1k(std::istream& in);
+
+void write_2k(std::ostream& out, const dk::JointDegreeDistribution& dist);
+dk::JointDegreeDistribution read_2k(std::istream& in);
+
+void write_3k(std::ostream& out, const dk::ThreeKProfile& profile);
+dk::ThreeKProfile read_3k(std::istream& in);
+
+// File-path conveniences (throw std::runtime_error on I/O failure).
+void write_1k_file(const std::string& path, const dk::DegreeDistribution&);
+dk::DegreeDistribution read_1k_file(const std::string& path);
+void write_2k_file(const std::string& path,
+                   const dk::JointDegreeDistribution&);
+dk::JointDegreeDistribution read_2k_file(const std::string& path);
+void write_3k_file(const std::string& path, const dk::ThreeKProfile&);
+dk::ThreeKProfile read_3k_file(const std::string& path);
+
+}  // namespace orbis::io

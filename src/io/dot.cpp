@@ -1,0 +1,49 @@
+#include "io/dot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace orbis::io {
+
+void write_dot(std::ostream& out, const Graph& g, const DotOptions& options) {
+  out << "graph \"" << options.graph_name << "\" {\n";
+  out << "  node [shape=circle, label=\"\"];\n";
+  const double max_degree =
+      std::max<double>(1.0, static_cast<double>(g.max_degree()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto degree = static_cast<double>(g.degree(v));
+    out << "  n" << v << " [";
+    bool first = true;
+    if (options.size_nodes_by_degree) {
+      const double width = 0.08 + 0.25 * std::log1p(degree) /
+                                      std::log1p(max_degree);
+      out << "width=" << width;
+      first = false;
+    }
+    if (options.color_nodes_by_degree) {
+      const int gray = 95 - static_cast<int>(
+          80.0 * std::log1p(degree) / std::log1p(max_degree));
+      if (!first) out << ", ";
+      out << "style=filled, fillcolor=\"gray" << gray << "\"";
+    }
+    out << "];\n";
+  }
+  for (const auto& e : g.edges()) {
+    out << "  n" << e.u << " -- n" << e.v << ";\n";
+  }
+  out << "}\n";
+}
+
+void write_dot_file(const std::string& path, const Graph& g,
+                    const DotOptions& options) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open file for writing: " + path);
+  }
+  write_dot(out, g, options);
+}
+
+}  // namespace orbis::io

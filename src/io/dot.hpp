@@ -1,0 +1,23 @@
+// Graphviz DOT export — used by the Figure-3 bench to emit the 0K..3K
+// picturizations for external layout (neato/sfdp).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace orbis::io {
+
+struct DotOptions {
+  std::string graph_name = "orbis";
+  bool size_nodes_by_degree = true;   // width ∝ log degree
+  bool color_nodes_by_degree = true;  // grayscale by degree rank
+};
+
+void write_dot(std::ostream& out, const Graph& g,
+               const DotOptions& options = {});
+void write_dot_file(const std::string& path, const Graph& g,
+                    const DotOptions& options = {});
+
+}  // namespace orbis::io

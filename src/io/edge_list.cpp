@@ -1,0 +1,116 @@
+#include "io/edge_list.hpp"
+
+#include <fstream>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace orbis::io {
+
+EdgeListReadResult read_edge_list(std::istream& in) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> raw_edges;
+  std::unordered_map<std::uint64_t, NodeId> dense_id;
+  std::vector<std::uint64_t> original_ids;
+  std::uint64_t declared_nodes = 0;  // from our own writer's header
+
+  const auto intern = [&](std::uint64_t file_id) {
+    const auto [it, inserted] =
+        dense_id.try_emplace(file_id, static_cast<NodeId>(original_ids.size()));
+    if (inserted) original_ids.push_back(file_id);
+    return it->second;
+  };
+
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      // Recognize this library's own header so round trips preserve node
+      // ids and isolated nodes exactly.
+      std::uint64_t n = 0;
+      if (std::sscanf(line.c_str() + hash, "# orbis edge list: %llu nodes",
+                      reinterpret_cast<unsigned long long*>(&n)) == 1) {
+        declared_nodes = n;
+      }
+      line.resize(hash);
+    }
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::istringstream fields(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(fields >> u >> v)) {
+      throw std::invalid_argument("edge list line " +
+                                  std::to_string(line_number) +
+                                  ": expected two node ids");
+    }
+    std::string trailing;
+    if (fields >> trailing) {
+      throw std::invalid_argument("edge list line " +
+                                  std::to_string(line_number) +
+                                  ": trailing tokens after edge");
+    }
+    raw_edges.emplace_back(u, v);
+  }
+
+  // With a declared node count and in-range ids, keep ids verbatim.
+  if (declared_nodes > 0) {
+    bool in_range = true;
+    for (const auto& [u, v] : raw_edges) {
+      if (u >= declared_nodes || v >= declared_nodes) {
+        in_range = false;
+        break;
+      }
+    }
+    if (in_range) {
+      for (std::uint64_t id = 0; id < declared_nodes; ++id) intern(id);
+    }
+  }
+
+  EdgeListReadResult result;
+  // Intern in first-appearance order for stable dense ids.
+  std::vector<Edge> edges;
+  edges.reserve(raw_edges.size());
+  for (const auto& [u, v] : raw_edges) {
+    edges.push_back(Edge{intern(u), intern(v)});
+  }
+  Graph g(static_cast<NodeId>(original_ids.size()));
+  for (const auto& e : edges) {
+    if (e.u == e.v) {
+      ++result.skipped_self_loops;
+    } else if (!g.add_edge(e.u, e.v)) {
+      ++result.skipped_duplicates;
+    }
+  }
+  result.graph = std::move(g);
+  result.original_ids = std::move(original_ids);
+  return result;
+}
+
+EdgeListReadResult read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open edge list file: " + path);
+  }
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << "# orbis edge list: " << g.num_nodes() << " nodes, "
+      << g.num_edges() << " edges\n";
+  for (const auto& e : g.edges()) {
+    out << e.u << ' ' << e.v << '\n';
+  }
+}
+
+void write_edge_list_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open file for writing: " + path);
+  }
+  write_edge_list(out, g);
+}
+
+}  // namespace orbis::io

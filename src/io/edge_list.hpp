@@ -1,0 +1,34 @@
+// Edge-list file I/O.
+//
+// Format: one "u v" pair per line, whitespace separated; '#' starts a
+// comment; blank lines ignored.  Node ids are arbitrary non-negative
+// integers and are densified on read (original ids preserved on request).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace orbis::io {
+
+struct EdgeListReadResult {
+  Graph graph;
+  std::vector<std::uint64_t> original_ids;  // dense id -> file id
+  std::size_t skipped_self_loops = 0;
+  std::size_t skipped_duplicates = 0;
+};
+
+/// Parse an edge list from a stream.  Throws std::invalid_argument with a
+/// line number on malformed input.
+EdgeListReadResult read_edge_list(std::istream& in);
+
+/// Read from a file path; throws std::runtime_error if unreadable.
+EdgeListReadResult read_edge_list_file(const std::string& path);
+
+/// Write "u v" lines (dense ids).
+void write_edge_list(std::ostream& out, const Graph& g);
+void write_edge_list_file(const std::string& path, const Graph& g);
+
+}  // namespace orbis::io

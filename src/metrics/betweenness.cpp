@@ -1,0 +1,90 @@
+#include "metrics/betweenness.hpp"
+
+#include <map>
+
+#include "util/check.hpp"
+
+namespace orbis::metrics {
+
+std::vector<double> betweenness(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<double> centrality(n, 0.0);
+
+  // Brandes (2001), reused scratch buffers across sources.
+  std::vector<NodeId> order;               // nodes in BFS visit order
+  std::vector<std::int32_t> distance(n);
+  std::vector<double> sigma(n);            // shortest-path counts
+  std::vector<double> delta(n);            // dependency accumulators
+  std::vector<std::vector<NodeId>> predecessors(n);
+
+  for (NodeId source = 0; source < n; ++source) {
+    order.clear();
+    std::fill(distance.begin(), distance.end(), -1);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    for (auto& preds : predecessors) preds.clear();
+
+    distance[source] = 0;
+    sigma[source] = 1.0;
+    std::size_t head = 0;
+    order.push_back(source);
+    while (head < order.size()) {
+      const NodeId v = order[head++];
+      for (const NodeId w : g.neighbors(v)) {
+        if (distance[w] < 0) {
+          distance[w] = distance[v] + 1;
+          order.push_back(w);
+        }
+        if (distance[w] == distance[v] + 1) {
+          sigma[w] += sigma[v];
+          predecessors[w].push_back(v);
+        }
+      }
+    }
+
+    // Accumulate dependencies in reverse BFS order.
+    for (std::size_t i = order.size(); i-- > 1;) {
+      const NodeId w = order[i];
+      for (const NodeId v : predecessors[w]) {
+        delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+      }
+      centrality[w] += delta[w];
+    }
+  }
+
+  // Each unordered pair {s,t} was counted from both endpoints.
+  for (auto& value : centrality) value /= 2.0;
+  return centrality;
+}
+
+std::vector<double> normalized_betweenness(const Graph& g) {
+  auto centrality = betweenness(g);
+  const auto n = static_cast<double>(g.num_nodes());
+  if (g.num_nodes() < 3) {
+    std::fill(centrality.begin(), centrality.end(), 0.0);
+    return centrality;
+  }
+  const double pairs = (n - 1.0) * (n - 2.0) / 2.0;
+  for (auto& value : centrality) value /= pairs;
+  return centrality;
+}
+
+std::vector<DegreeBetweenness> betweenness_by_degree(const Graph& g) {
+  const auto normalized = normalized_betweenness(g);
+  std::map<std::size_t, std::pair<std::uint64_t, double>> by_degree;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto& [count, sum] = by_degree[g.degree(v)];
+    ++count;
+    sum += normalized[v];
+  }
+  std::vector<DegreeBetweenness> result;
+  result.reserve(by_degree.size());
+  for (const auto& [k, entry] : by_degree) {
+    const auto& [count, sum] = entry;
+    result.push_back(
+        DegreeBetweenness{k, count, sum / static_cast<double>(count)});
+  }
+  return result;
+}
+
+}  // namespace orbis::metrics

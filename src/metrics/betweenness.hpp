@@ -1,0 +1,32 @@
+// Node betweenness centrality (paper §2) via Brandes' algorithm.
+//
+// Betweenness of v = Σ_{s != t != v} σ_st(v) / σ_st, where σ_st is the
+// number of shortest s-t paths and σ_st(v) those passing through v.
+// Unweighted, undirected; each unordered pair counted once.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace orbis::metrics {
+
+/// Exact betweenness for every node: O(n m) time, O(n + m) memory.
+std::vector<double> betweenness(const Graph& g);
+
+/// Betweenness normalized by the number of pairs not involving v,
+/// (n-1)(n-2)/2, mapping values into [0,1] — the paper's figures 6b and 9
+/// plot this ("normalized node betweenness") against node degree.
+std::vector<double> normalized_betweenness(const Graph& g);
+
+struct DegreeBetweenness {
+  std::size_t k = 0;
+  std::uint64_t num_nodes = 0;
+  double mean_normalized_betweenness = 0.0;
+};
+
+/// Mean normalized betweenness per degree class, ascending in k.
+std::vector<DegreeBetweenness> betweenness_by_degree(const Graph& g);
+
+}  // namespace orbis::metrics

@@ -1,0 +1,76 @@
+#include "metrics/dense_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace orbis::metrics {
+
+std::vector<double> dense_symmetric_eigenvalues(DenseMatrix a) {
+  const std::size_t n = a.size();
+  for (const auto& row : a) {
+    util::expects(row.size() == n, "dense_symmetric_eigenvalues: not square");
+  }
+  if (n == 0) return {};
+
+  // Cyclic Jacobi: rotate away off-diagonal mass until convergence.
+  for (std::size_t sweep = 0; sweep < 100; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a[p][q] * a[p][q];
+    }
+    if (off < 1e-22) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::fabs(a[p][q]) < 1e-15) continue;
+        const double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        const double t =
+            std::copysign(1.0, theta) /
+            (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t i = 0; i < n; ++i) {
+          const double aip = a[i][p];
+          const double aiq = a[i][q];
+          a[i][p] = c * aip - s * aiq;
+          a[i][q] = s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double api = a[p][i];
+          const double aqi = a[q][i];
+          a[p][i] = c * api - s * aqi;
+          a[q][i] = s * api + c * aqi;
+        }
+      }
+    }
+  }
+
+  std::vector<double> eigenvalues(n);
+  for (std::size_t i = 0; i < n; ++i) eigenvalues[i] = a[i][i];
+  std::sort(eigenvalues.begin(), eigenvalues.end());
+  return eigenvalues;
+}
+
+DenseMatrix dense_normalized_laplacian(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  DenseMatrix laplacian(n, std::vector<double>(n, 0.0));
+  for (NodeId v = 0; v < n; ++v) {
+    if (g.degree(v) > 0) laplacian[v][v] = 1.0;
+  }
+  for (const auto& e : g.edges()) {
+    const double w = -1.0 / std::sqrt(static_cast<double>(g.degree(e.u)) *
+                                      static_cast<double>(g.degree(e.v)));
+    laplacian[e.u][e.v] = w;
+    laplacian[e.v][e.u] = w;
+  }
+  return laplacian;
+}
+
+std::vector<double> full_laplacian_spectrum(const Graph& g) {
+  return dense_symmetric_eigenvalues(dense_normalized_laplacian(g));
+}
+
+}  // namespace orbis::metrics

@@ -1,0 +1,25 @@
+// Dense symmetric eigensolver (cyclic Jacobi) — reference implementation
+// for validating the Lanczos path on small graphs, and for computing full
+// normalized-Laplacian spectra when n is tiny.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace orbis::metrics {
+
+/// Symmetric dense matrix in row-major order.
+using DenseMatrix = std::vector<std::vector<double>>;
+
+/// All eigenvalues of a symmetric matrix, ascending (cyclic Jacobi).
+std::vector<double> dense_symmetric_eigenvalues(DenseMatrix matrix);
+
+/// Dense normalized Laplacian of a graph (isolated nodes get L_ii = 0,
+/// matching the convention that they contribute a zero eigenvalue).
+DenseMatrix dense_normalized_laplacian(const Graph& g);
+
+/// Full normalized-Laplacian spectrum, ascending; intended for n <= ~500.
+std::vector<double> full_laplacian_spectrum(const Graph& g);
+
+}  // namespace orbis::metrics

@@ -1,0 +1,99 @@
+#include "metrics/distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+
+namespace orbis::metrics {
+
+namespace {
+
+void accumulate_from_source(const Graph& g, NodeId source,
+                            DistanceDistribution& dist) {
+  const auto distances = bfs_distances(g, source);
+  for (const auto d : distances) {
+    if (d < 0) {
+      ++dist.unreachable_pairs;
+      continue;
+    }
+    const auto x = static_cast<std::size_t>(d);
+    if (x >= dist.counts.size()) dist.counts.resize(x + 1, 0);
+    ++dist.counts[x];
+  }
+}
+
+}  // namespace
+
+std::vector<double> DistanceDistribution::pdf() const {
+  std::vector<double> result(counts.size(), 0.0);
+  if (num_nodes == 0) return result;
+  const double n2 =
+      static_cast<double>(num_nodes) * static_cast<double>(num_nodes);
+  for (std::size_t x = 0; x < counts.size(); ++x) {
+    result[x] = static_cast<double>(counts[x]) / n2;
+  }
+  return result;
+}
+
+double DistanceDistribution::mean() const {
+  std::uint64_t pairs = 0;
+  double sum = 0.0;
+  for (std::size_t x = 1; x < counts.size(); ++x) {
+    pairs += counts[x];
+    sum += static_cast<double>(x) * static_cast<double>(counts[x]);
+  }
+  return pairs > 0 ? sum / static_cast<double>(pairs) : 0.0;
+}
+
+double DistanceDistribution::stddev() const {
+  std::uint64_t pairs = 0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t x = 1; x < counts.size(); ++x) {
+    const auto c = static_cast<double>(counts[x]);
+    pairs += counts[x];
+    sum += static_cast<double>(x) * c;
+    sum_sq += static_cast<double>(x) * static_cast<double>(x) * c;
+  }
+  if (pairs == 0) return 0.0;
+  const double mean = sum / static_cast<double>(pairs);
+  const double variance = sum_sq / static_cast<double>(pairs) - mean * mean;
+  return variance > 0.0 ? std::sqrt(variance) : 0.0;
+}
+
+DistanceDistribution distance_distribution(const Graph& g) {
+  DistanceDistribution dist;
+  dist.num_nodes = g.num_nodes();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    accumulate_from_source(g, v, dist);
+  }
+  return dist;
+}
+
+DistanceDistribution sampled_distance_distribution(const Graph& g,
+                                                   std::size_t num_sources,
+                                                   util::Rng& rng) {
+  if (num_sources >= g.num_nodes()) return distance_distribution(g);
+  DistanceDistribution dist;
+  dist.num_nodes = g.num_nodes();
+  std::vector<NodeId> sources(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) sources[v] = v;
+  rng.shuffle(sources);
+  sources.resize(num_sources);
+  for (const NodeId v : sources) accumulate_from_source(g, v, dist);
+  // Rescale counts so pdf() keeps the n^2 normalization semantics.
+  const double scale = static_cast<double>(g.num_nodes()) /
+                       static_cast<double>(num_sources);
+  for (auto& c : dist.counts) {
+    c = static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(c) * scale));
+  }
+  return dist;
+}
+
+double average_distance(const Graph& g) {
+  return distance_distribution(g).mean();
+}
+
+}  // namespace orbis::metrics

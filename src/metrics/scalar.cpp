@@ -1,0 +1,49 @@
+#include "metrics/scalar.hpp"
+
+#include <cmath>
+
+namespace orbis::metrics {
+
+double assortativity(const Graph& g) {
+  const std::size_t m = g.num_edges();
+  if (m < 2) return 0.0;
+
+  // Newman (2002): r = (M^-1 Σ j k - [M^-1 Σ (j+k)/2]^2) /
+  //                    (M^-1 Σ (j^2+k^2)/2 - [M^-1 Σ (j+k)/2]^2)
+  double sum_product = 0.0;
+  double sum_mean = 0.0;
+  double sum_square = 0.0;
+  for (const auto& e : g.edges()) {
+    const auto j = static_cast<double>(g.degree(e.u));
+    const auto k = static_cast<double>(g.degree(e.v));
+    sum_product += j * k;
+    sum_mean += 0.5 * (j + k);
+    sum_square += 0.5 * (j * j + k * k);
+  }
+  const auto inv_m = 1.0 / static_cast<double>(m);
+  const double mean = inv_m * sum_mean;
+  const double numerator = inv_m * sum_product - mean * mean;
+  const double denominator = inv_m * sum_square - mean * mean;
+  if (std::fabs(denominator) < 1e-12) return 0.0;
+  return numerator / denominator;
+}
+
+double likelihood_s(const Graph& g) {
+  double s = 0.0;
+  for (const auto& e : g.edges()) {
+    s += static_cast<double>(g.degree(e.u)) *
+         static_cast<double>(g.degree(e.v));
+  }
+  return s;
+}
+
+double likelihood_s_upper_bound(const Graph& g) {
+  double bound = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto k = static_cast<double>(g.degree(v));
+    bound += k * k * k;
+  }
+  return bound / 2.0;
+}
+
+}  // namespace orbis::metrics

@@ -1,0 +1,25 @@
+// Scalar connectivity metrics (paper §2): assortativity r and the
+// likelihood S of Li et al., plus small helpers.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace orbis::metrics {
+
+/// Newman's assortativity coefficient r: the Pearson correlation of the
+/// degrees at the two ends of an edge.  Returns 0 for degenerate inputs
+/// (fewer than 2 edges, or zero end-degree variance, e.g. regular graphs).
+double assortativity(const Graph& g);
+
+/// Likelihood S = Σ_{(u,v) in E} k_u * k_v (Li et al. [19]); linearly
+/// related to r and fully determined by the 2K-distribution.
+double likelihood_s(const Graph& g);
+
+/// S normalized by the graph's own hub product scale:
+/// S / Σ_{(u,v) in E} sorted-degree pairing upper bound is expensive;
+/// the paper instead reports ratios of S values across graphs with the
+/// same 1K-distribution, which callers can form directly from
+/// likelihood_s.  Kept here: S / (Σ_v k_v^3 / 2), a cheap upper bound.
+double likelihood_s_upper_bound(const Graph& g);
+
+}  // namespace orbis::metrics

@@ -1,0 +1,253 @@
+#include "metrics/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace orbis::metrics {
+
+namespace {
+
+using Vector = std::vector<double>;
+
+double dot(const Vector& a, const Vector& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double norm(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(Vector& x, double alpha) {
+  for (auto& value : x) value *= alpha;
+}
+
+/// y = L x for the normalized Laplacian of g (all degrees must be >= 1).
+class LaplacianOperator {
+ public:
+  explicit LaplacianOperator(const Graph& g) : graph_(g) {
+    inv_sqrt_degree_.resize(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto d = g.degree(v);
+      util::expects(d > 0, "LaplacianOperator: isolated node");
+      inv_sqrt_degree_[v] = 1.0 / std::sqrt(static_cast<double>(d));
+    }
+  }
+
+  std::size_t dimension() const { return graph_.num_nodes(); }
+
+  void apply(const Vector& x, Vector& y) const {
+    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      double acc = 0.0;
+      for (const NodeId w : graph_.neighbors(v)) {
+        acc += x[w] * inv_sqrt_degree_[w];
+      }
+      y[v] = x[v] - inv_sqrt_degree_[v] * acc;
+    }
+  }
+
+  /// Normalized kernel vector v0 ∝ D^{1/2} 1.
+  Vector kernel_vector() const {
+    Vector v0(graph_.num_nodes());
+    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      v0[v] = std::sqrt(static_cast<double>(graph_.degree(v)));
+    }
+    const double v0_norm = norm(v0);
+    scale(v0, 1.0 / v0_norm);
+    return v0;
+  }
+
+ private:
+  const Graph& graph_;
+  Vector inv_sqrt_degree_;
+};
+
+struct LanczosResult {
+  std::vector<double> ritz_values;  // ascending
+  std::size_t iterations = 0;
+};
+
+/// Lanczos with full reorthogonalization against both the Krylov basis
+/// and an optional deflation set.
+LanczosResult lanczos(const LaplacianOperator& op,
+                      const std::vector<Vector>& deflate,
+                      const SpectrumOptions& options) {
+  const std::size_t n = op.dimension();
+  const std::size_t max_iter = std::min(options.max_iterations, n);
+  util::Rng rng(options.seed);
+
+  std::vector<Vector> basis;
+  std::vector<double> alpha;
+  std::vector<double> beta;  // beta[j] couples q_j and q_{j+1}
+
+  const auto orthogonalize = [&](Vector& w) {
+    for (const auto& d : deflate) axpy(-dot(d, w), d, w);
+    for (const auto& q : basis) axpy(-dot(q, w), q, w);
+  };
+
+  // Random start vector, projected off the deflation set.
+  Vector q(n);
+  for (auto& value : q) value = rng.uniform_real() - 0.5;
+  orthogonalize(q);
+  const double q_norm = norm(q);
+  util::ensures(q_norm > 1e-12, "lanczos: degenerate start vector");
+  scale(q, 1.0 / q_norm);
+  basis.push_back(q);
+
+  Vector w(n);
+  double previous_extreme_low = 1e300;
+  double previous_extreme_high = -1e300;
+  LanczosResult result;
+
+  for (std::size_t j = 0; j < max_iter; ++j) {
+    op.apply(basis[j], w);
+    const double a_j = dot(basis[j], w);
+    alpha.push_back(a_j);
+
+    axpy(-a_j, basis[j], w);
+    if (j > 0) axpy(-beta[j - 1], basis[j - 1], w);
+    orthogonalize(w);  // full reorthogonalization (twice is overkill here)
+    orthogonalize(w);
+
+    result.iterations = j + 1;
+    const double b_j = norm(w);
+
+    // Krylov space exhausted (invariant subspace found) or budget spent:
+    // the current tridiagonal matrix is final.
+    if (b_j < 1e-10 || j + 1 == max_iter) {
+      result.ritz_values = tridiagonal_eigenvalues(
+          alpha, std::vector<double>(beta.begin(), beta.end()));
+      return result;
+    }
+
+    // Convergence probe on the extreme Ritz values every few steps.
+    if (j >= 2 && j % 5 == 0) {
+      auto ritz = tridiagonal_eigenvalues(
+          alpha, std::vector<double>(beta.begin(), beta.end()));
+      const double low = ritz.front();
+      const double high = ritz.back();
+      const bool converged =
+          std::fabs(low - previous_extreme_low) < options.tolerance &&
+          std::fabs(high - previous_extreme_high) < options.tolerance;
+      previous_extreme_low = low;
+      previous_extreme_high = high;
+      if (converged) {
+        result.ritz_values = std::move(ritz);
+        return result;
+      }
+    }
+
+    beta.push_back(b_j);
+    Vector next = w;
+    scale(next, 1.0 / b_j);
+    basis.push_back(std::move(next));
+  }
+
+  result.ritz_values = tridiagonal_eigenvalues(
+      alpha, std::vector<double>(beta.begin(), beta.end()));
+  return result;
+}
+
+}  // namespace
+
+std::vector<double> tridiagonal_eigenvalues(std::vector<double> diagonal,
+                                            std::vector<double> off_diagonal) {
+  // Implicit-shift QL ("tqli" without eigenvectors).
+  const std::size_t n = diagonal.size();
+  util::expects(off_diagonal.size() + 1 == n || (n == 0 && off_diagonal.empty()),
+                "tridiagonal_eigenvalues: off-diagonal size must be n-1");
+  if (n == 0) return {};
+  std::vector<double>& d = diagonal;
+  std::vector<double> e(std::move(off_diagonal));
+  e.push_back(0.0);
+
+  // Implicit-shift QL with deflation (Numerical Recipes "tqli" layout,
+  // eigenvalues only).
+  for (std::size_t l = 0; l < n; ++l) {
+    std::size_t iterations = 0;
+    std::size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        util::ensures(++iterations <= 64,
+                      "tridiagonal_eigenvalues: QL failed to converge");
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        bool underflow = false;
+        for (std::size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            underflow = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+        }
+        if (underflow) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+SpectrumResult laplacian_extremes(const Graph& g,
+                                  const SpectrumOptions& options) {
+  SpectrumResult result;
+  if (g.num_nodes() == 0 || g.num_edges() == 0) return result;
+
+  const auto gcc = largest_connected_component(g);
+  const Graph& core = gcc.graph;
+  if (core.num_nodes() < 2) return result;
+
+  const LaplacianOperator op(core);
+
+  if (core.num_nodes() == 2) {
+    result.lambda1 = 2.0;
+    result.lambda_max = 2.0;
+    result.iterations = 1;
+    return result;
+  }
+
+  // λ_{n-1}: plain Lanczos — the top Ritz value.
+  const auto top = lanczos(op, {}, options);
+  result.lambda_max = top.ritz_values.back();
+
+  // λ1: deflate the exact kernel vector; the bottom Ritz value remains.
+  const std::vector<Vector> deflate{op.kernel_vector()};
+  auto opts1 = options;
+  opts1.seed = options.seed + 1;
+  const auto bottom = lanczos(op, deflate, opts1);
+  result.lambda1 = std::max(0.0, bottom.ritz_values.front());
+  result.iterations = top.iterations + bottom.iterations;
+  return result;
+}
+
+}  // namespace orbis::metrics

@@ -1,0 +1,55 @@
+#include "metrics/summary.hpp"
+
+#include <sstream>
+
+#include "core/three_k_profile.hpp"
+#include "graph/algorithms.hpp"
+#include "metrics/clustering.hpp"
+#include "metrics/distance.hpp"
+#include "metrics/scalar.hpp"
+#include "metrics/spectrum.hpp"
+
+namespace orbis::metrics {
+
+ScalarMetrics compute_scalar_metrics(const Graph& g,
+                                     const SummaryOptions& options) {
+  ScalarMetrics result;
+  if (g.num_nodes() == 0) return result;
+
+  const auto gcc = largest_connected_component(g);
+  const Graph& core = gcc.graph;
+  result.gcc_nodes = core.num_nodes();
+  result.gcc_edges = core.num_edges();
+  result.average_degree = core.average_degree();
+  result.assortativity = assortativity(core);
+  result.mean_clustering = mean_clustering(core);
+  result.likelihood_s = likelihood_s(core);
+
+  if (options.with_distance) {
+    const auto distances = distance_distribution(core);
+    result.mean_distance = distances.mean();
+    result.distance_stddev = distances.stddev();
+  }
+  if (options.with_s2) {
+    const auto profile = dk::ThreeKProfile::from_graph(core);
+    result.s2 = profile.second_order_likelihood();
+  }
+  if (options.with_spectrum) {
+    const auto spectrum = laplacian_extremes(core);
+    result.lambda1 = spectrum.lambda1;
+    result.lambda_max = spectrum.lambda_max;
+  }
+  return result;
+}
+
+std::string to_string(const ScalarMetrics& m) {
+  std::ostringstream out;
+  out << "kbar=" << m.average_degree << " r=" << m.assortativity
+      << " C=" << m.mean_clustering << " d=" << m.mean_distance
+      << " sigma_d=" << m.distance_stddev << " S2=" << m.s2
+      << " lambda1=" << m.lambda1 << " lambda_max=" << m.lambda_max
+      << " (gcc " << m.gcc_nodes << "/" << m.gcc_edges << ")";
+  return out.str();
+}
+
+}  // namespace orbis::metrics

@@ -1,0 +1,145 @@
+#include "topo/hot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace orbis::topo {
+
+namespace {
+
+/// True if adding (u,v) would close a triangle (u,v share a neighbor).
+bool would_close_triangle(const Graph& g, NodeId u, NodeId v) {
+  const auto& smaller =
+      g.degree(u) <= g.degree(v) ? g.neighbors(u) : g.neighbors(v);
+  const NodeId other = g.degree(u) <= g.degree(v) ? v : u;
+  for (const NodeId w : smaller) {
+    if (g.has_edge(w, other)) return true;
+  }
+  return false;
+}
+
+/// Largest-remainder allocation of `total` leaves over Zipf weights
+/// (i+1)^-zipf, each bucket getting at least one.
+std::vector<std::size_t> zipf_allocation(std::size_t buckets,
+                                         std::size_t total, double zipf) {
+  util::expects(total >= buckets, "hot_topology: fewer leaves than routers");
+  std::vector<double> weights(buckets);
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < buckets; ++i) {
+    weights[i] = std::pow(static_cast<double>(i + 1), -zipf);
+    weight_sum += weights[i];
+  }
+  std::vector<std::size_t> allocation(buckets, 1);
+  std::size_t allocated = buckets;
+  std::vector<std::pair<double, std::size_t>> remainders(buckets);
+  for (std::size_t i = 0; i < buckets; ++i) {
+    const double ideal =
+        weights[i] / weight_sum * static_cast<double>(total);
+    const auto extra = static_cast<std::size_t>(
+        std::max(0.0, std::floor(ideal - 1.0)));
+    allocation[i] += extra;
+    allocated += extra;
+    remainders[i] = {ideal - std::floor(ideal), i};
+  }
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (std::size_t r = 0; allocated < total; ++r) {
+    allocation[remainders[r % buckets].second] += 1;
+    ++allocated;
+  }
+  while (allocated > total) {  // defensive: trim from the smallest buckets
+    for (std::size_t i = buckets; i-- > 0 && allocated > total;) {
+      if (allocation[i] > 1) {
+        --allocation[i];
+        --allocated;
+      }
+    }
+  }
+  return allocation;
+}
+
+}  // namespace
+
+Graph hot_topology(const HotOptions& options, util::Rng& rng) {
+  const NodeId num_core = options.num_core;
+  const NodeId num_gateways = num_core * options.gateways_per_core;
+  const NodeId num_access = num_gateways * options.access_per_gateway;
+  const NodeId routers = num_core + num_gateways + num_access;
+  util::expects(num_core >= 4, "hot_topology: need at least 4 core nodes");
+  util::expects(options.num_nodes > routers + num_access,
+                "hot_topology: num_nodes too small for the router tiers");
+
+  const std::size_t num_leaves = options.num_nodes - routers;
+  Graph g(options.num_nodes);
+
+  // Tier 0: core ring + non-triangle chords (skip >= 2 positions).
+  for (NodeId i = 0; i < num_core; ++i) {
+    g.add_edge(i, (i + 1) % num_core);
+  }
+  for (NodeId chord = 0; chord < options.core_chords; ++chord) {
+    const NodeId from = static_cast<NodeId>(
+        (chord * num_core) / std::max<NodeId>(1, options.core_chords));
+    const NodeId to = (from + num_core / 2) % num_core;
+    if (from != to && !g.has_edge(from, to) &&
+        !would_close_triangle(g, from, to)) {
+      g.add_edge(from, to);
+    }
+  }
+
+  // Tier 1: gateways, one uplink each.
+  const NodeId gateway_base = num_core;
+  for (NodeId gw = 0; gw < num_gateways; ++gw) {
+    g.add_edge(gateway_base + gw, gw / options.gateways_per_core);
+  }
+
+  // Tier 2: access routers, one uplink each.
+  const NodeId access_base = gateway_base + num_gateways;
+  for (NodeId ar = 0; ar < num_access; ++ar) {
+    g.add_edge(access_base + ar,
+               gateway_base + ar / options.access_per_gateway);
+  }
+
+  // Tier 3: end hosts with Zipf-skewed fanout: a few access routers are
+  // high-degree aggregation points, most serve a handful of hosts.
+  const auto fanout =
+      zipf_allocation(num_access, num_leaves, options.fanout_zipf);
+  NodeId next_leaf = access_base + num_access;
+  for (NodeId ar = 0; ar < num_access; ++ar) {
+    for (std::size_t leaf = 0; leaf < fanout[ar]; ++leaf) {
+      g.add_edge(access_base + ar, next_leaf++);
+    }
+  }
+  util::ensures(next_leaf == options.num_nodes,
+                "hot_topology: leaf allocation mismatch");
+
+  // Redundancy links up to the edge budget, never closing a triangle so
+  // that clustering stays ~0 like the real HOT graph.
+  std::size_t guard = 0;
+  const std::size_t guard_limit = 200 * options.num_edges + 1000;
+  while (g.num_edges() < options.num_edges && guard++ < guard_limit) {
+    const bool gateway_side = rng.bernoulli(0.5);
+    if (gateway_side) {
+      // Gateway dual-homing to a second core node.
+      const NodeId gw =
+          gateway_base + static_cast<NodeId>(rng.uniform(num_gateways));
+      const NodeId core = static_cast<NodeId>(rng.uniform(num_core));
+      if (!g.has_edge(gw, core) && !would_close_triangle(g, gw, core)) {
+        g.add_edge(gw, core);
+      }
+    } else {
+      // Access router dual-homing to a second gateway.
+      const NodeId ar =
+          access_base + static_cast<NodeId>(rng.uniform(num_access));
+      const NodeId gw =
+          gateway_base + static_cast<NodeId>(rng.uniform(num_gateways));
+      if (!g.has_edge(ar, gw) && !would_close_triangle(g, ar, gw)) {
+        g.add_edge(ar, gw);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace orbis::topo

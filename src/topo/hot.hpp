@@ -1,0 +1,44 @@
+// Synthetic HOT-like router-level topology — the stand-in for the
+// Heuristically Optimal Topology of Li et al. [19] used throughout the
+// paper's evaluation (939 nodes / 988 edges).
+//
+// Reproduces the structural regime the paper leans on:
+//   * a sparse low-degree mesh core (high-bandwidth, few interfaces),
+//   * mid-degree gateways hanging off the core,
+//   * high-degree access routers at the PERIPHERY fanning out to
+//     degree-1 end hosts (power-law-ish fanout),
+//   * a handful of redundancy links (the graph is almost a tree),
+//   * clustering ≈ 0 (redundancy links avoid closing triangles),
+//   * strong disassortativity (hubs attach to leaves).
+// This is the "targeted design" regime where degree distributions alone
+// fail (1K-random ≠ HOT) and d = 3 is needed — the paper's hard case.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace orbis::topo {
+
+struct HotOptions {
+  NodeId num_core = 12;            // core mesh size (ring + chords)
+  NodeId core_chords = 3;          // extra intra-core links
+  NodeId gateways_per_core = 3;    // tier-2 routers per core node
+  NodeId access_per_gateway = 3;   // tier-3 routers per gateway
+  NodeId num_nodes = 939;          // total including end hosts
+  std::size_t num_edges = 988;     // total; the excess over a tree is
+                                   // added as triangle-free redundancy
+  double fanout_zipf = 0.5;        // Zipf skew of the access-router fanout
+};
+
+/// Build the HOT-like topology.  The result is connected and simple with
+/// exactly the requested node count; the edge count is met exactly unless
+/// the redundancy budget cannot be placed without triangles (then as
+/// close as possible).  Throws std::invalid_argument for inconsistent
+/// sizes (e.g. num_nodes smaller than the router tiers).
+Graph hot_topology(const HotOptions& options, util::Rng& rng);
+
+inline Graph hot_topology(util::Rng& rng) {
+  return hot_topology(HotOptions{}, rng);
+}
+
+}  // namespace orbis::topo

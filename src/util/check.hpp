@@ -1,0 +1,33 @@
+// Precondition / invariant helpers.
+//
+// The library reports misuse of its public API with std::invalid_argument
+// (expects) and broken internal invariants with std::logic_error (ensures).
+// Both stay active in release builds: all call sites are far from hot inner
+// loops or guard states whose corruption would silently poison experiment
+// results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace orbis::util {
+
+/// Throws std::invalid_argument when a caller-supplied precondition fails.
+inline void expects(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+inline void expects(bool condition, const std::string& message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+/// Throws std::logic_error when an internal invariant fails.
+inline void ensures(bool condition, const char* message) {
+  if (!condition) throw std::logic_error(message);
+}
+
+inline void ensures(bool condition, const std::string& message) {
+  if (!condition) throw std::logic_error(message);
+}
+
+}  // namespace orbis::util

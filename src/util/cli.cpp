@@ -1,0 +1,75 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace orbis::util {
+
+namespace {
+
+bool is_flag(const std::string& token) {
+  return token.size() > 2 && token[0] == '-' && token[1] == '-';
+}
+
+}  // namespace
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  expects(argc >= 1, "ArgParser: argc must be at least 1");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (!is_flag(token)) {
+      positional_.push_back(token);
+      continue;
+    }
+    const auto equals = token.find('=');
+    if (equals != std::string::npos) {
+      values_[token.substr(0, equals)] = token.substr(equals + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag.
+    if (i + 1 < argc && !is_flag(argv[i + 1])) {
+      values_[token] = argv[i + 1];
+      ++i;
+    } else {
+      values_[token] = "";
+    }
+  }
+}
+
+bool ArgParser::has_flag(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name,
+                                std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag " + name + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag " + name + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+std::string ArgParser::get_string(const std::string& name,
+                                  const std::string& fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return it->second;
+}
+
+}  // namespace orbis::util

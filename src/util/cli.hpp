@@ -1,0 +1,36 @@
+// Minimal command-line flag parser for the bench/example binaries.
+// Supports `--name value`, `--name=value` and boolean `--name` forms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace orbis::util {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  bool has_flag(const std::string& name) const;
+
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  const std::string& program_name() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;  // flag -> value ("" if bare)
+  std::vector<std::string> positional_;
+};
+
+}  // namespace orbis::util

@@ -1,0 +1,99 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace orbis::util {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // SplitMix64 expansion guarantees a non-zero xoshiro state for any seed.
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  expects(bound > 0, "Rng::uniform: bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+  for (;;) {
+    const std::uint64_t value = next();
+    if (value >= threshold) return value % bound;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  expects(lo <= hi, "Rng::uniform_int: lo > hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full range
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Rng::uniform_real() noexcept {
+  // 53 random bits into [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform_real() < p;
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  expects(mean >= 0.0, "Rng::poisson: negative mean");
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's product-of-uniforms method.
+    const double limit = std::exp(-mean);
+    std::uint64_t count = 0;
+    double product = uniform_real();
+    while (product > limit) {
+      ++count;
+      product *= uniform_real();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction for large means.
+  for (;;) {
+    const double u1 = uniform_real();
+    const double u2 = uniform_real();
+    const double z =
+        std::sqrt(-2.0 * std::log(1.0 - u1)) * std::cos(6.283185307179586 * u2);
+    const double value = mean + std::sqrt(mean) * z + 0.5;
+    if (value >= 0.0) return static_cast<std::uint64_t>(value);
+  }
+}
+
+Rng Rng::split() noexcept {
+  Rng child(next() ^ 0xd2b74407b1ce6e93ull);
+  return child;
+}
+
+}  // namespace orbis::util

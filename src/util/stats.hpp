@@ -1,0 +1,52 @@
+// Streaming and batch statistics used throughout metrics and benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace orbis::util {
+
+/// Welford streaming accumulator: numerically stable mean/variance.
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divide by n); 0 for fewer than 2 samples.
+  double variance() const noexcept;
+  /// Sample variance (divide by n-1); 0 for fewer than 2 samples.
+  double sample_variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merge another accumulator into this one (parallel-friendly).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Pearson correlation coefficient of two equally sized samples.
+/// Returns 0 when either sample is degenerate (zero variance).
+double pearson_correlation(const std::vector<double>& xs,
+                           const std::vector<double>& ys);
+
+/// Mean of a vector (0 for empty input).
+double mean_of(const std::vector<double>& values) noexcept;
+
+/// Population standard deviation of a vector (0 for size < 2).
+double stddev_of(const std::vector<double>& values) noexcept;
+
+/// Shannon entropy (nats) of a discrete histogram given as counts.
+double entropy_of_counts(const std::vector<std::uint64_t>& counts);
+
+}  // namespace orbis::util

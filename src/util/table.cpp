@@ -1,0 +1,93 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace orbis::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  expects(!header_.empty(), "TextTable: header must not be empty");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  expects(cells.size() == header_.size(),
+          "TextTable::add_row: wrong number of cells");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_separator() { rows_.emplace_back(); }
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << "  ";
+      if (c == 0) {
+        out << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      } else {
+        out << std::string(widths[c] - row[c].size(), ' ') << row[c];
+      }
+    }
+    out << '\n';
+  };
+  const auto emit_rule = [&] {
+    std::size_t total = 0;
+    for (const auto w : widths) total += w;
+    total += 2 * (widths.size() - 1);
+    out << std::string(total, '-') << '\n';
+  };
+
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_rule();
+    } else {
+      emit_row(row);
+    }
+  }
+  return out.str();
+}
+
+std::string TextTable::fmt(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+std::string TextTable::fmt_int(std::uint64_t value) {
+  // Thousands separators for readability of Table 5-style counts.
+  std::string digits = std::to_string(value);
+  std::string result;
+  result.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) result.push_back(',');
+    result.push_back(digits[i]);
+  }
+  return result;
+}
+
+std::string TextTable::fmt_sig(double value, int significant) {
+  if (value == 0.0) return "0";
+  const double magnitude = std::floor(std::log10(std::fabs(value)));
+  const int decimals =
+      std::max(0, significant - 1 - static_cast<int>(magnitude));
+  return fmt(value, decimals);
+}
+
+}  // namespace orbis::util

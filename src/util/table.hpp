@@ -1,0 +1,33 @@
+// Fixed-width text table used by the bench harness to print the paper's
+// tables side by side with measured values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace orbis::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Horizontal separator row (rendered as dashes).
+  void add_separator();
+
+  /// Render with aligned columns; first column left-aligned, rest right.
+  std::string str() const;
+
+  /// Number formatting helpers used by all benches.
+  static std::string fmt(double value, int precision = 2);
+  static std::string fmt_int(std::uint64_t value);
+  /// Scientific-ish: trims to given significant digits (for λ1 ~ 0.004).
+  static std::string fmt_sig(double value, int significant = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace orbis::util

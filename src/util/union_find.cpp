@@ -1,0 +1,54 @@
+#include "util/union_find.hpp"
+
+#include "util/check.hpp"
+
+namespace orbis::util {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), set_size_(n, 1), components_(n) {
+  for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<std::uint32_t>(i);
+}
+
+std::size_t UnionFind::find(std::size_t v) {
+  expects(v < parent_.size(), "UnionFind::find: index out of range");
+  while (parent_[v] != v) {
+    parent_[v] = parent_[parent_[v]];  // path halving
+    v = parent_[v];
+  }
+  return v;
+}
+
+bool UnionFind::unite(std::size_t a, std::size_t b) {
+  std::size_t ra = find(a);
+  std::size_t rb = find(b);
+  if (ra == rb) return false;
+  if (set_size_[ra] < set_size_[rb]) std::swap(ra, rb);
+  parent_[rb] = static_cast<std::uint32_t>(ra);
+  set_size_[ra] += set_size_[rb];
+  --components_;
+  return true;
+}
+
+bool UnionFind::connected(std::size_t a, std::size_t b) {
+  return find(a) == find(b);
+}
+
+std::size_t UnionFind::component_size(std::size_t v) {
+  return set_size_[find(v)];
+}
+
+std::size_t UnionFind::largest_component_representative() {
+  expects(!parent_.empty(), "UnionFind: empty structure");
+  std::size_t best = 0;
+  std::size_t best_size = 0;
+  for (std::size_t i = 0; i < parent_.size(); ++i) {
+    const std::size_t root = find(i);
+    if (root == i && set_size_[root] > best_size) {
+      best = root;
+      best_size = set_size_[root];
+    }
+  }
+  return best;
+}
+
+}  // namespace orbis::util

@@ -1,0 +1,37 @@
+// Disjoint-set forest with union by size and path halving.
+// Used for cheap connected-component bookkeeping during graph construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace orbis::util {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  /// Representative of v's set.
+  std::size_t find(std::size_t v);
+
+  /// Merge the sets containing a and b; returns false if already joined.
+  bool unite(std::size_t a, std::size_t b);
+
+  bool connected(std::size_t a, std::size_t b);
+
+  /// Size of the set containing v.
+  std::size_t component_size(std::size_t v);
+
+  std::size_t num_components() const noexcept { return components_; }
+  std::size_t size() const noexcept { return parent_.size(); }
+
+  /// Index of any element of the largest set.
+  std::size_t largest_component_representative();
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> set_size_;
+  std::size_t components_;
+};
+
+}  // namespace orbis::util

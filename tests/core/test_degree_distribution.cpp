@@ -1,0 +1,81 @@
+#include "core/degree_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+
+namespace orbis::dk {
+namespace {
+
+TEST(DegreeDistribution, FromStar) {
+  const auto g = builders::star(5);  // center degree 4, four leaves
+  const auto dist = DegreeDistribution::from_graph(g);
+  EXPECT_EQ(dist.num_nodes(), 5u);
+  EXPECT_EQ(dist.n_of_k(1), 4u);
+  EXPECT_EQ(dist.n_of_k(4), 1u);
+  EXPECT_EQ(dist.n_of_k(2), 0u);
+  EXPECT_EQ(dist.max_degree(), 4u);
+  EXPECT_DOUBLE_EQ(dist.p_of_k(1), 0.8);
+  EXPECT_DOUBLE_EQ(dist.average_degree(), 8.0 / 5.0);
+}
+
+TEST(DegreeDistribution, EmptyDistribution) {
+  const auto dist = DegreeDistribution::from_sequence({});
+  EXPECT_EQ(dist.num_nodes(), 0u);
+  EXPECT_EQ(dist.max_degree(), 0u);
+  EXPECT_DOUBLE_EQ(dist.average_degree(), 0.0);
+  EXPECT_DOUBLE_EQ(dist.p_of_k(3), 0.0);
+}
+
+TEST(DegreeDistribution, BeyondMaxDegreeIsZero) {
+  const auto dist = DegreeDistribution::from_sequence({2, 2});
+  EXPECT_EQ(dist.n_of_k(100), 0u);
+}
+
+TEST(DegreeDistribution, SequenceRoundTrip) {
+  const std::vector<std::size_t> degrees{0, 1, 1, 3, 5, 5};
+  const auto dist = DegreeDistribution::from_sequence(degrees);
+  EXPECT_EQ(dist.to_sequence(), degrees);  // ascending order preserved
+}
+
+TEST(DegreeDistribution, Support) {
+  const auto dist = DegreeDistribution::from_sequence({1, 1, 4});
+  EXPECT_EQ(dist.support(), (std::vector<std::size_t>{1, 4}));
+}
+
+TEST(DegreeDistribution, AverageDegreeIsInclusionProjection) {
+  // P1 -> P0: k̄ = Σ k P(k) must equal the graph's average degree.
+  util::Rng rng(3);
+  const auto g = builders::gnm(40, 80, rng);
+  const auto dist = DegreeDistribution::from_graph(g);
+  EXPECT_NEAR(dist.average_degree(), g.average_degree(), 1e-12);
+}
+
+TEST(DegreeDistribution, MeanExcessDegree) {
+  // Star with n=5: k̄ = 8/5; Σ k(k-1) n(k) = 4*3 = 12; Σ k n(k) = 8.
+  const auto dist =
+      DegreeDistribution::from_graph(builders::star(5));
+  EXPECT_DOUBLE_EQ(dist.mean_excess_degree(), 12.0 / 8.0);
+  // Regular graph: excess degree = k - 1.
+  const auto ring = DegreeDistribution::from_graph(builders::cycle(9));
+  EXPECT_DOUBLE_EQ(ring.mean_excess_degree(), 1.0);
+}
+
+TEST(DegreeDistribution, EqualityComparable) {
+  const auto a = DegreeDistribution::from_sequence({1, 2, 3});
+  const auto b = DegreeDistribution::from_sequence({1, 2, 3});
+  const auto c = DegreeDistribution::from_sequence({1, 2, 4});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(DegreeDistribution, IsolatedNodesCounted) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  const auto dist = DegreeDistribution::from_graph(g);
+  EXPECT_EQ(dist.n_of_k(0), 2u);
+  EXPECT_EQ(dist.n_of_k(1), 2u);
+}
+
+}  // namespace
+}  // namespace orbis::dk

@@ -1,0 +1,112 @@
+#include "core/joint_degree_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace orbis::dk {
+namespace {
+
+/// The paper's running example: the "paw" graph — triangle {a,b,c} plus a
+/// pendant d attached to a.  Degrees: a=3, b=c=2, d=1.
+Graph paw() {
+  Graph g(4);
+  g.add_edge(0, 1);  // a-b
+  g.add_edge(0, 2);  // a-c
+  g.add_edge(1, 2);  // b-c
+  g.add_edge(0, 3);  // a-d
+  return g;
+}
+
+TEST(Jdd, PaperSize4Example) {
+  const auto jdd = JointDegreeDistribution::from_graph(paw());
+  // Paper §3: "P(2,3) = 2 means that G contains 2 edges between 2- and
+  // 3-degree nodes".
+  EXPECT_EQ(jdd.m_of(2, 3), 2);
+  EXPECT_EQ(jdd.m_of(3, 2), 2);  // symmetric accessor
+  EXPECT_EQ(jdd.m_of(1, 3), 1);
+  EXPECT_EQ(jdd.m_of(2, 2), 1);
+  EXPECT_EQ(jdd.m_of(1, 1), 0);
+  EXPECT_EQ(jdd.num_edges(), 4);
+}
+
+TEST(Jdd, ProbabilityNormalization) {
+  const auto jdd = JointDegreeDistribution::from_graph(paw());
+  // P(k1,k2) = m mu / 2m is a distribution over ORDERED degree pairs:
+  // off-diagonal canonical bins are counted twice, diagonal ones once
+  // (their mu = 2 already covers both orientations).
+  double total = 0.0;
+  for (const auto& entry : jdd.entries()) {
+    const double multiplicity = (entry.k1 == entry.k2) ? 1.0 : 2.0;
+    total += multiplicity * jdd.p_of(entry.k1, entry.k2);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Jdd, RegularGraphSingleBin) {
+  const auto jdd =
+      JointDegreeDistribution::from_graph(builders::cycle(8));
+  EXPECT_EQ(jdd.m_of(2, 2), 8);
+  EXPECT_EQ(jdd.histogram().num_bins(), 1u);
+}
+
+TEST(Jdd, StarSingleOffDiagonalBin) {
+  const auto jdd = JointDegreeDistribution::from_graph(builders::star(6));
+  EXPECT_EQ(jdd.m_of(1, 5), 5);
+  EXPECT_EQ(jdd.histogram().num_bins(), 1u);
+}
+
+TEST(Jdd, EndpointsOfDegree) {
+  const auto jdd = JointDegreeDistribution::from_graph(paw());
+  // k * n(k): degree 2 has two nodes -> 4 endpoints; degree 3 one node ->
+  // 3; degree 1 one node -> 1.
+  EXPECT_EQ(jdd.endpoints_of_degree(2), 4);
+  EXPECT_EQ(jdd.endpoints_of_degree(3), 3);
+  EXPECT_EQ(jdd.endpoints_of_degree(1), 1);
+}
+
+TEST(Jdd, ProjectionRecovers1K) {
+  const auto jdd = JointDegreeDistribution::from_graph(paw());
+  const auto one_k = jdd.project_to_1k();
+  EXPECT_EQ(one_k.n_of_k(1), 1u);
+  EXPECT_EQ(one_k.n_of_k(2), 2u);
+  EXPECT_EQ(one_k.n_of_k(3), 1u);
+  EXPECT_EQ(one_k.num_nodes(), 4u);
+}
+
+TEST(Jdd, ProjectionMatchesDirectExtractionOnRandomGraphs) {
+  // Inclusion property P2 -> P1 on a family of random graphs (no
+  // degree-0 nodes in the comparison: the JDD cannot see them).
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    util::Rng rng(seed);
+    const auto g = builders::gnm(60, 150, rng);
+    const auto jdd = JointDegreeDistribution::from_graph(g);
+    const auto direct = DegreeDistribution::from_graph(g);
+    const auto projected = jdd.project_to_1k();
+    for (std::size_t k = 1; k <= direct.max_degree(); ++k) {
+      EXPECT_EQ(projected.n_of_k(k), direct.n_of_k(k)) << "k=" << k;
+    }
+  }
+}
+
+TEST(Jdd, EntriesSortedCanonical) {
+  const auto jdd = JointDegreeDistribution::from_graph(paw());
+  const auto entries = jdd.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_LE(entries[0].k1, entries[0].k2);
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(std::tie(entries[i - 1].k1, entries[i - 1].k2),
+              std::tie(entries[i].k1, entries[i].k2));
+  }
+}
+
+TEST(Jdd, EmptyGraph) {
+  const auto jdd = JointDegreeDistribution::from_graph(Graph(3));
+  EXPECT_EQ(jdd.num_edges(), 0);
+  EXPECT_DOUBLE_EQ(jdd.p_of(1, 1), 0.0);
+  EXPECT_EQ(jdd.project_to_1k().num_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace orbis::dk

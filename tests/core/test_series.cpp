@@ -1,0 +1,77 @@
+#include "core/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace orbis::dk {
+namespace {
+
+TEST(Series, ExtractLevels) {
+  const auto g = builders::complete(5);
+  const auto d0 = extract(g, 0);
+  EXPECT_DOUBLE_EQ(d0.average_degree, 4.0);
+  EXPECT_EQ(d0.degree.num_nodes(), 0u);  // not extracted
+
+  const auto d3 = extract(g, 3);
+  EXPECT_EQ(d3.degree.n_of_k(4), 5u);
+  EXPECT_EQ(d3.joint.m_of(4, 4), 10);
+  EXPECT_EQ(d3.three_k.triangle_count(4, 4, 4), 10);
+  EXPECT_EQ(d3.num_nodes, 5u);
+  EXPECT_EQ(d3.num_edges, 10u);
+}
+
+TEST(Series, ExtractRejectsBadLevel) {
+  EXPECT_THROW(extract(Graph(2), 4), std::invalid_argument);
+  EXPECT_THROW(extract(Graph(2), -1), std::invalid_argument);
+}
+
+TEST(Series, Distance0K) {
+  const auto a = extract(builders::complete(5), 0);
+  const auto b = extract(builders::cycle(5), 0);
+  EXPECT_DOUBLE_EQ(distance_0k(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(distance_0k(a, b), 4.0);  // (4-2)^2
+}
+
+TEST(Series, Distance1K) {
+  const auto a = DegreeDistribution::from_sequence({1, 1, 2});
+  const auto b = DegreeDistribution::from_sequence({1, 2, 2});
+  EXPECT_DOUBLE_EQ(distance_1k(a, a), 0.0);
+  // n(1): 2 vs 1 -> 1; n(2): 1 vs 2 -> 1.
+  EXPECT_DOUBLE_EQ(distance_1k(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(distance_1k(b, a), 2.0);
+}
+
+TEST(Series, Distance2KAnd3KZeroIffEqual) {
+  util::Rng rng(3);
+  const auto g = builders::gnm(30, 60, rng);
+  const auto h = builders::gnm(30, 60, rng);
+  const auto dg = extract(g, 3);
+  const auto dh = extract(h, 3);
+  EXPECT_DOUBLE_EQ(distance_2k(dg.joint, dg.joint), 0.0);
+  EXPECT_DOUBLE_EQ(distance_3k(dg.three_k, dg.three_k), 0.0);
+  EXPECT_GT(distance_2k(dg.joint, dh.joint), 0.0);
+  EXPECT_GT(distance_3k(dg.three_k, dh.three_k), 0.0);
+}
+
+TEST(Series, DistancesAreSymmetric) {
+  util::Rng rng(7);
+  const auto a = extract(builders::gnm(25, 50, rng), 3);
+  const auto b = extract(builders::gnm(25, 50, rng), 3);
+  EXPECT_DOUBLE_EQ(distance_2k(a.joint, b.joint),
+                   distance_2k(b.joint, a.joint));
+  EXPECT_DOUBLE_EQ(distance_3k(a.three_k, b.three_k),
+                   distance_3k(b.three_k, a.three_k));
+}
+
+TEST(Series, DescribeMentionsKeyFields) {
+  const auto dists = extract(builders::complete(4), 3);
+  const auto text = describe(dists);
+  EXPECT_NE(text.find("n=4"), std::string::npos);
+  EXPECT_NE(text.find("m=6"), std::string::npos);
+  EXPECT_NE(text.find("triangles=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace orbis::dk

@@ -1,0 +1,84 @@
+#include "core/sparse_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace orbis::dk {
+namespace {
+
+TEST(SparseHistogram, StartsEmpty) {
+  SparseHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(42), 0);
+  EXPECT_EQ(h.total(), 0);
+}
+
+TEST(SparseHistogram, AddAndCount) {
+  SparseHistogram h;
+  h.add(1, 3);
+  h.increment(1);
+  h.increment(2);
+  EXPECT_EQ(h.count(1), 4);
+  EXPECT_EQ(h.count(2), 1);
+  EXPECT_EQ(h.num_bins(), 2u);
+  EXPECT_EQ(h.total(), 5);
+}
+
+TEST(SparseHistogram, ZeroBinsErased) {
+  SparseHistogram h;
+  h.increment(7);
+  h.decrement(7);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.num_bins(), 0u);
+}
+
+TEST(SparseHistogram, AddZeroIsNoop) {
+  SparseHistogram h;
+  h.add(7, 0);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(SparseHistogram, NegativeBinThrows) {
+  SparseHistogram h;
+  h.increment(7);
+  EXPECT_THROW(h.add(7, -2), std::logic_error);
+  EXPECT_THROW(h.decrement(8), std::logic_error);
+}
+
+TEST(SparseHistogram, EqualityIsBinwise) {
+  SparseHistogram a;
+  SparseHistogram b;
+  a.add(1, 2);
+  b.add(1, 2);
+  EXPECT_EQ(a, b);
+  b.increment(3);
+  EXPECT_FALSE(a == b);
+  b.decrement(3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SparseHistogram, SquaredDifferenceSymmetric) {
+  SparseHistogram a;
+  SparseHistogram b;
+  a.add(1, 4);   // diff 4-1 = 3 -> 9
+  a.add(2, 2);   // diff 2-0 = 2 -> 4
+  b.add(1, 1);
+  b.add(3, 5);   // diff 0-5 -> 25
+  EXPECT_DOUBLE_EQ(SparseHistogram::squared_difference(a, b), 38.0);
+  EXPECT_DOUBLE_EQ(SparseHistogram::squared_difference(b, a), 38.0);
+}
+
+TEST(SparseHistogram, SquaredDifferenceZeroForEqual) {
+  SparseHistogram a;
+  a.add(10, 3);
+  EXPECT_DOUBLE_EQ(SparseHistogram::squared_difference(a, a), 0.0);
+}
+
+TEST(SparseHistogram, ClearResets) {
+  SparseHistogram h;
+  h.add(5, 5);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+}
+
+}  // namespace
+}  // namespace orbis::dk

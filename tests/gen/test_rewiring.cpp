@@ -1,0 +1,269 @@
+#include "gen/rewiring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/series.hpp"
+#include "gen/matching.hpp"
+#include "graph/builders.hpp"
+#include "metrics/clustering.hpp"
+#include "metrics/scalar.hpp"
+
+namespace orbis::gen {
+namespace {
+
+Graph test_graph(std::uint64_t seed, NodeId n = 60, std::size_t m = 150) {
+  util::Rng rng(seed);
+  return builders::gnm(n, m, rng);
+}
+
+TEST(Randomize, Level0PreservesOnlySize) {
+  const auto g = test_graph(1);
+  util::Rng rng(2);
+  RandomizeOptions options;
+  options.d = 0;
+  RewiringStats stats;
+  const auto randomized = randomize(g, options, rng, &stats);
+  EXPECT_EQ(randomized.num_nodes(), g.num_nodes());
+  EXPECT_EQ(randomized.num_edges(), g.num_edges());
+  EXPECT_GT(stats.accepted, 0u);
+  EXPECT_FALSE(randomized == g);
+}
+
+TEST(Randomize, Level1PreservesDegreeSequence) {
+  const auto g = test_graph(3);
+  util::Rng rng(4);
+  RandomizeOptions options;
+  options.d = 1;
+  const auto randomized = randomize(g, options, rng);
+  EXPECT_EQ(randomized.degree_sequence(), g.degree_sequence());
+  EXPECT_FALSE(randomized == g);
+}
+
+TEST(Randomize, Level2PreservesJddExactly) {
+  const auto g = test_graph(5);
+  const auto target = dk::JointDegreeDistribution::from_graph(g);
+  util::Rng rng(6);
+  RandomizeOptions options;
+  options.d = 2;
+  RewiringStats stats;
+  const auto randomized = randomize(g, options, rng, &stats);
+  EXPECT_EQ(dk::JointDegreeDistribution::from_graph(randomized), target);
+  EXPECT_GT(stats.accepted, 0u);
+  // S is a function of the JDD: must be bit-identical up to FP noise.
+  EXPECT_NEAR(metrics::likelihood_s(randomized), metrics::likelihood_s(g),
+              1e-6);
+}
+
+TEST(Randomize, Level3Preserves3KExactly) {
+  const auto g = test_graph(7, 40, 100);
+  const auto target = dk::ThreeKProfile::from_graph(g);
+  util::Rng rng(8);
+  RandomizeOptions options;
+  options.d = 3;
+  options.attempts_per_edge = 30;
+  RewiringStats stats;
+  const auto randomized = randomize(g, options, rng, &stats);
+  EXPECT_EQ(dk::ThreeKProfile::from_graph(randomized), target);
+  EXPECT_EQ(dk::JointDegreeDistribution::from_graph(randomized),
+            dk::JointDegreeDistribution::from_graph(g));
+  // Clustering is a function of P3.
+  EXPECT_NEAR(metrics::mean_clustering(randomized),
+              metrics::mean_clustering(g), 1e-9);
+}
+
+TEST(Randomize, InclusionHierarchyOfAcceptance) {
+  // (d+1)K-rewirings are a subset of dK-rewirings: with equal budgets the
+  // acceptance rate must not increase with d.
+  const auto g = test_graph(9);
+  std::vector<double> acceptance;
+  for (int d = 1; d <= 3; ++d) {
+    util::Rng rng(10);
+    RandomizeOptions options;
+    options.d = d;
+    options.attempts = 4000;
+    RewiringStats stats;
+    randomize(g, options, rng, &stats);
+    acceptance.push_back(stats.acceptance_rate());
+  }
+  EXPECT_GE(acceptance[0], acceptance[1]);
+  EXPECT_GE(acceptance[1], acceptance[2]);
+}
+
+TEST(Randomize, BadLevelThrows) {
+  util::Rng rng(1);
+  EXPECT_THROW(randomize(Graph(3), RandomizeOptions{.d = 4}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(randomize(Graph(3), RandomizeOptions{.d = -1}, rng),
+               std::invalid_argument);
+}
+
+TEST(Randomize, TinyGraphsAreNoops) {
+  util::Rng rng(1);
+  const auto g = builders::path(2);
+  const auto randomized = randomize(g, RandomizeOptions{.d = 1}, rng);
+  EXPECT_TRUE(randomized == g);
+}
+
+TEST(Target2K, ReachesTargetJddOnSmallGraphs) {
+  const auto original = test_graph(11, 40, 90);
+  const auto target = dk::JointDegreeDistribution::from_graph(original);
+  // Bootstrap: exact same 1K, random wiring.
+  util::Rng rng(12);
+  const auto start =
+      matching_1k(dk::DegreeDistribution::from_graph(original), rng);
+
+  TargetingOptions options;
+  options.attempts_per_edge = 2000;
+  RewiringStats stats;
+  double final_distance = -1.0;
+  const auto result =
+      target_2k(start, target, options, rng, &stats, &final_distance);
+  // 1K preserved (as a multiset — node ids are not aligned with the
+  // original's).
+  auto realized = result.degree_sequence();
+  std::sort(realized.begin(), realized.end());
+  auto expected = original.degree_sequence();
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(realized, expected);
+  // Metropolis descent with plateau moves reaches the exact JDD on
+  // graphs this small.
+  EXPECT_DOUBLE_EQ(final_distance, 0.0);
+  EXPECT_EQ(dk::JointDegreeDistribution::from_graph(result), target);
+}
+
+TEST(Target2K, DistanceNeverIncreasesAtZeroTemperature) {
+  const auto original = test_graph(13, 30, 70);
+  const auto target = dk::JointDegreeDistribution::from_graph(original);
+  util::Rng rng(14);
+  const auto start =
+      matching_1k(dk::DegreeDistribution::from_graph(original), rng);
+  const double initial = dk::SparseHistogram::squared_difference(
+      dk::JointDegreeDistribution::from_graph(start).histogram(),
+      target.histogram());
+  TargetingOptions options;
+  options.attempts_per_edge = 50;
+  double final_distance = -1.0;
+  target_2k(start, target, options, rng, nullptr, &final_distance);
+  EXPECT_LE(final_distance, initial);
+}
+
+TEST(Target3K, ConvergesTowardTargetProfile) {
+  const auto original = test_graph(15, 35, 80);
+  const auto dists = dk::extract(original, 3);
+  util::Rng rng(16);
+  // Start from a 2K-exact graph (matching), then walk the 3K distance.
+  const auto start = matching_2k(dists.joint, rng);
+  const double initial =
+      dk::distance_3k(dk::ThreeKProfile::from_graph(start), dists.three_k);
+
+  TargetingOptions options;
+  options.attempts_per_edge = 1500;
+  double final_distance = -1.0;
+  const auto result = target_3k(start, dists.three_k, options, rng, nullptr,
+                                &final_distance);
+  // JDD must be untouched (2K-preserving swaps only).
+  EXPECT_EQ(dk::JointDegreeDistribution::from_graph(result), dists.joint);
+  EXPECT_LT(final_distance, initial);
+  // And the reported distance must match a fresh recount.
+  EXPECT_NEAR(final_distance,
+              dk::distance_3k(dk::ThreeKProfile::from_graph(result),
+                              dists.three_k),
+              1e-6);
+}
+
+TEST(Targeting, PositiveTemperatureAcceptsUphillMoves) {
+  const auto original = test_graph(17, 40, 90);
+  const auto target = dk::JointDegreeDistribution::from_graph(original);
+  util::Rng rng(18);
+  const auto start =
+      matching_1k(dk::DegreeDistribution::from_graph(original), rng);
+
+  TargetingOptions hot;
+  hot.attempts_per_edge = 30;
+  hot.temperature = 1e9;  // T -> infinity: pure randomizing
+  RewiringStats stats;
+  target_2k(start, target, hot, rng, &stats);
+  // At huge T essentially every structurally valid swap is accepted.
+  EXPECT_EQ(stats.rejected_objective, 0u);
+}
+
+TEST(Explore, MaximizeAndMinimizeLikelihood) {
+  const auto g = test_graph(19);
+  const double s0 = metrics::likelihood_s(g);
+  ExploreOptions options;
+  options.attempts_per_edge = 60;
+
+  util::Rng rng_up(20);
+  const auto up = explore(g, ExploreObjective::maximize_s, options, rng_up);
+  util::Rng rng_down(21);
+  const auto down =
+      explore(g, ExploreObjective::minimize_s, options, rng_down);
+
+  EXPECT_GT(metrics::likelihood_s(up), s0);
+  EXPECT_LT(metrics::likelihood_s(down), s0);
+  // 1K-preserving: degree sequences unchanged.
+  EXPECT_EQ(up.degree_sequence(), g.degree_sequence());
+  EXPECT_EQ(down.degree_sequence(), g.degree_sequence());
+}
+
+TEST(Explore, ClusteringExtremesPreserveJdd) {
+  const auto g = test_graph(23, 50, 140);
+  const auto jdd = dk::JointDegreeDistribution::from_graph(g);
+  const double c0 = metrics::mean_clustering(g);
+  ExploreOptions options;
+  options.attempts_per_edge = 80;
+
+  util::Rng rng_up(24);
+  const auto up =
+      explore(g, ExploreObjective::maximize_clustering, options, rng_up);
+  util::Rng rng_down(25);
+  const auto down =
+      explore(g, ExploreObjective::minimize_clustering, options, rng_down);
+
+  EXPECT_GE(metrics::mean_clustering(up), c0);
+  EXPECT_LE(metrics::mean_clustering(down), c0);
+  EXPECT_GT(metrics::mean_clustering(up), metrics::mean_clustering(down));
+  EXPECT_EQ(dk::JointDegreeDistribution::from_graph(up), jdd);
+  EXPECT_EQ(dk::JointDegreeDistribution::from_graph(down), jdd);
+}
+
+TEST(Explore, S2ExtremesPreserveJdd) {
+  const auto g = test_graph(27, 50, 140);
+  const auto jdd = dk::JointDegreeDistribution::from_graph(g);
+  const double s2_0 = objective_value(g, ExploreObjective::maximize_s2);
+  ExploreOptions options;
+  options.attempts_per_edge = 80;
+
+  util::Rng rng_up(28);
+  const auto up = explore(g, ExploreObjective::maximize_s2, options, rng_up);
+  EXPECT_GE(objective_value(up, ExploreObjective::maximize_s2), s2_0);
+  EXPECT_EQ(dk::JointDegreeDistribution::from_graph(up), jdd);
+}
+
+TEST(Explore, StopAtValueHalts) {
+  const auto g = test_graph(29, 50, 140);
+  const double c0 = metrics::mean_clustering(g);
+  ExploreOptions options;
+  options.attempts_per_edge = 500;
+  options.stop_at_value = c0 + 0.02;
+  util::Rng rng(30);
+  const auto result =
+      explore(g, ExploreObjective::maximize_clustering, options, rng);
+  const double c1 = metrics::mean_clustering(result);
+  EXPECT_GE(c1, c0 + 0.02 - 1e-12);
+  // It should stop soon after crossing, not run to the extreme.
+  EXPECT_LT(c1, c0 + 0.2);
+}
+
+TEST(ObjectiveValue, MatchesMetrics) {
+  const auto g = test_graph(31);
+  EXPECT_NEAR(objective_value(g, ExploreObjective::maximize_s),
+              metrics::likelihood_s(g), 1e-9);
+  EXPECT_NEAR(objective_value(g, ExploreObjective::minimize_clustering),
+              metrics::mean_clustering(g), 1e-12);
+}
+
+}  // namespace
+}  // namespace orbis::gen

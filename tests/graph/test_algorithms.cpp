@@ -1,0 +1,104 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+
+namespace orbis {
+namespace {
+
+TEST(BfsDistances, PathGraph) {
+  const auto g = builders::path(5);
+  const auto dist = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(dist[v], static_cast<std::int32_t>(v));
+  }
+}
+
+TEST(BfsDistances, DisconnectedMarksUnreachable) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], -1);
+  EXPECT_EQ(dist[3], -1);
+}
+
+TEST(BfsDistances, CycleWrapsAround) {
+  const auto g = builders::cycle(6);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[3], 3);
+  EXPECT_EQ(dist[5], 1);
+}
+
+TEST(BfsDistances, SourceOutOfRangeThrows) {
+  const auto g = builders::path(3);
+  EXPECT_THROW(bfs_distances(g, 3), std::invalid_argument);
+}
+
+TEST(ConnectedComponents, SingleComponent) {
+  const auto g = builders::cycle(5);
+  const auto components = connected_components(g);
+  EXPECT_EQ(components.count(), 1u);
+  EXPECT_EQ(components.sizes[0], 5u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(ConnectedComponents, MultipleComponents) {
+  Graph g(7);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  // 5, 6 isolated.
+  const auto components = connected_components(g);
+  EXPECT_EQ(components.count(), 4u);
+  EXPECT_EQ(components.sizes[components.largest()], 3u);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(ConnectedComponents, EmptyGraphIsConnected) {
+  Graph g;
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(LargestComponent, ExtractsAndRelabels) {
+  Graph g(7);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(4, 5);
+  const auto gcc = largest_connected_component(g);
+  EXPECT_EQ(gcc.graph.num_nodes(), 3u);
+  EXPECT_EQ(gcc.graph.num_edges(), 3u);
+  EXPECT_EQ(gcc.num_components, 4u);  // triangle, pair, two isolated
+  ASSERT_EQ(gcc.original_ids.size(), 3u);
+  for (const auto original : gcc.original_ids) EXPECT_LE(original, 2u);
+  EXPECT_TRUE(is_connected(gcc.graph));
+}
+
+TEST(LargestComponent, EmptyGraph) {
+  Graph g;
+  const auto gcc = largest_connected_component(g);
+  EXPECT_EQ(gcc.graph.num_nodes(), 0u);
+}
+
+TEST(InducedSubgraph, KeepsInternalEdgesOnly) {
+  const auto g = builders::cycle(6);
+  std::vector<NodeId> nodes{0, 1, 2};
+  std::vector<NodeId> original;
+  const auto sub = induced_subgraph(g, nodes, &original);
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  EXPECT_EQ(sub.num_edges(), 2u);  // 0-1, 1-2 but not 2-0 (not in cycle 6)
+  EXPECT_EQ(original, nodes);
+}
+
+TEST(InducedSubgraph, DuplicateSelectionThrows) {
+  const auto g = builders::path(4);
+  EXPECT_THROW(induced_subgraph(g, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(induced_subgraph(g, {9}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace orbis

@@ -1,0 +1,98 @@
+#include "graph/builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+
+namespace orbis::builders {
+namespace {
+
+TEST(Builders, Path) {
+  const auto g = path(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Builders, PathDegenerate) {
+  EXPECT_EQ(path(1).num_edges(), 0u);
+  EXPECT_EQ(path(2).num_edges(), 1u);
+}
+
+TEST(Builders, Cycle) {
+  const auto g = cycle(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_THROW(cycle(2), std::invalid_argument);
+}
+
+TEST(Builders, Star) {
+  const auto g = star(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 6u);
+  for (NodeId v = 1; v < 7; ++v) EXPECT_EQ(g.degree(v), 1u);
+  EXPECT_THROW(star(1), std::invalid_argument);
+}
+
+TEST(Builders, Complete) {
+  const auto g = complete(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(Builders, CompleteBipartite) {
+  const auto g = complete_bipartite(2, 3);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_FALSE(g.has_edge(0, 1));  // same side
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(Builders, Grid) {
+  const auto g = grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 17u);  // 3*3 horizontal + 2*4 vertical
+  EXPECT_EQ(g.degree(0), 2u);     // corner
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Builders, GnmExactEdgeCount) {
+  util::Rng rng(5);
+  const auto g = gnm(20, 30, rng);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  EXPECT_EQ(g.num_edges(), 30u);
+}
+
+TEST(Builders, GnmRejectsOverfull) {
+  util::Rng rng(5);
+  EXPECT_THROW(gnm(4, 7, rng), std::invalid_argument);
+  EXPECT_NO_THROW(gnm(4, 6, rng));  // complete graph is the limit
+}
+
+TEST(Builders, GnpEdgeCases) {
+  util::Rng rng(5);
+  EXPECT_EQ(gnp(10, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(gnp(10, 1.0, rng).num_edges(), 45u);
+  EXPECT_THROW(gnp(10, 1.5, rng), std::invalid_argument);
+}
+
+TEST(Builders, GnpDensityNearP) {
+  util::Rng rng(11);
+  const auto g = gnp(120, 0.2, rng);
+  const double realized = static_cast<double>(g.num_edges()) /
+                          (120.0 * 119.0 / 2.0);
+  EXPECT_NEAR(realized, 0.2, 0.04);
+}
+
+TEST(Builders, RandomTreeIsTree) {
+  util::Rng rng(13);
+  const auto g = random_tree(40, rng);
+  EXPECT_EQ(g.num_edges(), 39u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+}  // namespace
+}  // namespace orbis::builders

@@ -1,0 +1,182 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace orbis {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+}
+
+TEST(Graph, IsolatedNodes) {
+  Graph g(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));  // undirected
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph g(3);
+  EXPECT_FALSE(g.add_edge(1, 1));
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, RejectsDuplicate) {
+  Graph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, AddEdgeOutOfRangeThrows) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 3), std::invalid_argument);
+  EXPECT_THROW(g.degree(3), std::invalid_argument);
+  EXPECT_THROW(g.neighbors(7), std::invalid_argument);
+}
+
+TEST(Graph, HasEdgeOutOfRangeIsFalse) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(g.has_edge(0, 99));
+  EXPECT_FALSE(g.has_edge(2, 2));
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.remove_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_FALSE(g.remove_edge(1, 2));  // already gone
+}
+
+TEST(Graph, RemoveKeepsEdgeArrayConsistent) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.remove_edge(0, 1);  // exercises swap-with-last
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (std::size_t i = 0; i < g.num_edges(); ++i) {
+    const auto& e = g.edge_at(i);
+    seen.insert({std::min(e.u, e.v), std::max(e.u, e.v)});
+    EXPECT_TRUE(g.has_edge(e.u, e.v));
+  }
+  EXPECT_EQ(seen.size(), 3u);
+  // Removing an edge that was relocated by the swap must still work.
+  for (const auto& [u, v] : seen) EXPECT_TRUE(g.remove_edge(u, v));
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, NeighborsMatchEdges) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  const auto nbrs = g.neighbors(0);
+  std::set<NodeId> neighbor_set(nbrs.begin(), nbrs.end());
+  EXPECT_EQ(neighbor_set, (std::set<NodeId>{1, 2, 3}));
+}
+
+TEST(Graph, AddNode) {
+  Graph g(2);
+  const NodeId v = g.add_node();
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_TRUE(g.add_edge(v, 0));
+}
+
+TEST(Graph, FromEdges) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}};
+  const auto g = Graph::from_edges(3, edges);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(Graph, FromEdgesRejectsBadInput) {
+  EXPECT_THROW(Graph::from_edges(2, std::vector<Edge>{{0, 2}}),
+               std::invalid_argument);
+  EXPECT_THROW(Graph::from_edges(2, std::vector<Edge>{{1, 1}}),
+               std::invalid_argument);
+  EXPECT_THROW(Graph::from_edges(2, std::vector<Edge>{{0, 1}, {1, 0}}),
+               std::invalid_argument);
+}
+
+TEST(Graph, FromEdgesDedupSkipsQuietly) {
+  const std::vector<Edge> edges{{0, 1}, {1, 0}, {1, 1}, {1, 2}};
+  const auto g = Graph::from_edges_dedup(3, edges);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Graph, AverageAndMaxDegree) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.5);  // 2*3/4
+  EXPECT_EQ(g.max_degree(), 3u);
+  const auto degrees = g.degree_sequence();
+  EXPECT_EQ(degrees, (std::vector<std::size_t>{3, 1, 1, 1}));
+}
+
+TEST(Graph, EqualityIgnoresConstructionOrder) {
+  Graph a(3);
+  a.add_edge(0, 1);
+  a.add_edge(1, 2);
+  Graph b(3);
+  b.add_edge(1, 2);
+  b.add_edge(1, 0);
+  EXPECT_TRUE(a == b);
+  b.remove_edge(1, 2);
+  b.add_edge(0, 2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Graph, StressAddRemoveStaysConsistent) {
+  Graph g(50);
+  // Deterministic add/remove churn, then verify adjacency == edge set.
+  for (NodeId u = 0; u < 50; ++u) {
+    for (NodeId v = u + 1; v < 50; v += (u % 3) + 1) g.add_edge(u, v);
+  }
+  std::size_t removed = 0;
+  for (NodeId u = 0; u < 50; u += 2) {
+    for (NodeId v = u + 1; v < 50; v += 3) removed += g.remove_edge(u, v);
+  }
+  EXPECT_GT(removed, 0u);
+  std::size_t adjacency_total = 0;
+  for (NodeId v = 0; v < 50; ++v) {
+    for (const NodeId w : g.neighbors(v)) {
+      EXPECT_TRUE(g.has_edge(v, w));
+    }
+    adjacency_total += g.degree(v);
+  }
+  EXPECT_EQ(adjacency_total, 2 * g.num_edges());
+}
+
+}  // namespace
+}  // namespace orbis

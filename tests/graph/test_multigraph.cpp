@@ -1,0 +1,61 @@
+#include "graph/multigraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace orbis {
+namespace {
+
+TEST(Multigraph, AllowsLoopsAndParallels) {
+  Multigraph g(3);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.count_self_loops(), 1u);
+}
+
+TEST(Multigraph, DegreeCountsLoopsTwice) {
+  Multigraph g(2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  const auto degrees = g.degree_sequence();
+  EXPECT_EQ(degrees[0], 3u);  // loop contributes 2
+  EXPECT_EQ(degrees[1], 1u);
+}
+
+TEST(Multigraph, ToSimpleDropsBadEdges) {
+  Multigraph g(3);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  SimplificationReport report;
+  const Graph simple = g.to_simple(&report);
+  EXPECT_EQ(simple.num_edges(), 2u);
+  EXPECT_EQ(report.self_loops_removed, 1u);
+  EXPECT_EQ(report.parallel_edges_removed, 1u);
+  EXPECT_TRUE(simple.has_edge(0, 1));
+  EXPECT_TRUE(simple.has_edge(1, 2));
+}
+
+TEST(Multigraph, ToSimpleWithoutReport) {
+  Multigraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.to_simple().num_edges(), 1u);
+}
+
+TEST(Multigraph, OutOfRangeThrows) {
+  Multigraph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), std::invalid_argument);
+}
+
+TEST(Multigraph, EmptyToSimple) {
+  Multigraph g(4);
+  const Graph simple = g.to_simple();
+  EXPECT_EQ(simple.num_nodes(), 4u);
+  EXPECT_EQ(simple.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace orbis

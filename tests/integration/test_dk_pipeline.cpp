@@ -1,0 +1,146 @@
+// Integration tests: the paper's §5 evaluation pipeline at reduced scale.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/series.hpp"
+#include "gen/generate.hpp"
+#include "gen/rewiring.hpp"
+#include "graph/algorithms.hpp"
+#include "metrics/clustering.hpp"
+#include "metrics/distance.hpp"
+#include "metrics/scalar.hpp"
+#include "topo/as_level.hpp"
+#include "topo/hot.hpp"
+
+namespace orbis {
+namespace {
+
+/// The Table-6 experiment in miniature: dK-randomized counterparts of an
+/// AS-like graph must approach its metrics as d grows.
+TEST(DkPipeline, ConvergenceOrderingOnAsLikeGraph) {
+  topo::AsLevelOptions options;
+  options.num_nodes = 500;
+  options.max_degree_cap = 150;
+  options.clustering_target = 0.35;
+  options.clustering_attempts_per_edge = 60;
+  util::Rng topo_rng(3);
+  const auto original = topo::as_level_topology(options, topo_rng);
+  const double c_original = metrics::mean_clustering(original);
+  const double r_original = metrics::assortativity(original);
+
+  util::Rng rng(4);
+  gen::RandomizeOptions randomize_options;
+
+  randomize_options.d = 1;
+  const auto g1 = gen::randomize(original, randomize_options, rng);
+  randomize_options.d = 2;
+  const auto g2 = gen::randomize(original, randomize_options, rng);
+  randomize_options.d = 3;
+  const auto g3 = gen::randomize(original, randomize_options, rng);
+
+  // 2K: assortativity exact (r is a function of the JDD).
+  EXPECT_NEAR(metrics::assortativity(g2), r_original, 1e-9);
+  // 3K: clustering exact (C̄ is a function of the 3K profile).
+  EXPECT_NEAR(metrics::mean_clustering(g3), c_original, 1e-9);
+  // 1K: clustering differs visibly from the clustered original (the
+  // paper's point that 1K misses clustering).
+  const double c1_error =
+      std::fabs(metrics::mean_clustering(g1) - c_original);
+  const double c3_error =
+      std::fabs(metrics::mean_clustering(g3) - c_original);
+  EXPECT_GT(c1_error, c3_error);
+  EXPECT_GT(c1_error, 0.05);
+}
+
+/// 2K-random graphs of the HOT-like topology reproduce r but overshoot
+/// distances; the 3K-random ones match the distance scale much better
+/// (paper Table 8 / Figure 8).
+TEST(DkPipeline, HotDistancesNeedHigherD) {
+  topo::HotOptions options;
+  options.num_core = 8;
+  options.core_chords = 2;
+  options.gateways_per_core = 2;
+  options.access_per_gateway = 3;
+  options.num_nodes = 350;
+  options.num_edges = 370;
+  util::Rng topo_rng(5);
+  const auto original = topo::hot_topology(options, topo_rng);
+  const auto d_original =
+      metrics::distance_distribution(original).mean();
+
+  util::Rng rng(6);
+  gen::RandomizeOptions randomize_options;
+  randomize_options.d = 1;
+  const auto g1 =
+      largest_connected_component(gen::randomize(original,
+                                                 randomize_options, rng))
+          .graph;
+  randomize_options.d = 3;
+  const auto g3 =
+      largest_connected_component(gen::randomize(original,
+                                                 randomize_options, rng))
+          .graph;
+
+  const double error_1k =
+      std::fabs(metrics::distance_distribution(g1).mean() - d_original);
+  const double error_3k =
+      std::fabs(metrics::distance_distribution(g3).mean() - d_original);
+  EXPECT_LE(error_3k, error_1k + 1e-9);
+}
+
+/// Distribution-only generation (no original graph): extract -> serialize
+/// mental model -> generate -> compare, the paper's deployment story.
+TEST(DkPipeline, GenerateFromDistributionsMatchesMetrics) {
+  topo::AsLevelOptions options;
+  options.num_nodes = 400;
+  options.max_degree_cap = 120;
+  options.clustering_target = 0.3;
+  options.clustering_attempts_per_edge = 50;
+  util::Rng topo_rng(7);
+  const auto original = topo::as_level_topology(options, topo_rng);
+  const auto target = dk::extract(original, 2);
+
+  util::Rng rng(8);
+  const auto generated = gen::generate_dk_random(
+      target, 2, gen::GenerateOptions{.method = gen::Method::matching},
+      rng);
+  // Exact JDD -> exact r and S.
+  EXPECT_EQ(dk::JointDegreeDistribution::from_graph(generated),
+            target.joint);
+  EXPECT_NEAR(metrics::assortativity(generated),
+              metrics::assortativity(original), 1e-9);
+  EXPECT_NEAR(metrics::likelihood_s(generated),
+              metrics::likelihood_s(original), 1e-6);
+}
+
+/// dK-space exploration brackets the original: C̄(min) <= C̄(orig) <=
+/// C̄(max) with the 2K-random value in between (paper Table 7).
+TEST(DkPipeline, TwoKSpaceExplorationBracketsOriginal) {
+  topo::AsLevelOptions options;
+  options.num_nodes = 300;
+  options.max_degree_cap = 90;
+  options.clustering_target = 0.25;
+  options.clustering_attempts_per_edge = 40;
+  util::Rng topo_rng(9);
+  const auto original = topo::as_level_topology(options, topo_rng);
+  const double c_original = metrics::mean_clustering(original);
+
+  gen::ExploreOptions explore_options;
+  explore_options.attempts_per_edge = 40;
+  util::Rng rng_max(10);
+  const double c_max = metrics::mean_clustering(
+      gen::explore(original, gen::ExploreObjective::maximize_clustering,
+                   explore_options, rng_max));
+  util::Rng rng_min(11);
+  const double c_min = metrics::mean_clustering(
+      gen::explore(original, gen::ExploreObjective::minimize_clustering,
+                   explore_options, rng_min));
+
+  EXPECT_LE(c_min, c_original);
+  EXPECT_GE(c_max, c_original);
+  EXPECT_GT(c_max - c_min, 0.05);  // the 2K space is genuinely wide
+}
+
+}  // namespace
+}  // namespace orbis

@@ -1,0 +1,285 @@
+// Parameterized property sweeps: the library's core invariants checked
+// across seeds x graph families x series levels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/series.hpp"
+#include "gen/matching.hpp"
+#include "gen/rewiring.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/builders.hpp"
+#include "metrics/betweenness.hpp"
+#include "metrics/clustering.hpp"
+#include "metrics/distance.hpp"
+#include "metrics/scalar.hpp"
+#include "metrics/spectrum.hpp"
+
+namespace orbis {
+namespace {
+
+enum class Family { gnm, gnp, tree_plus_chords, clustered, bipartite };
+
+const char* family_name(Family family) {
+  switch (family) {
+    case Family::gnm:
+      return "gnm";
+    case Family::gnp:
+      return "gnp";
+    case Family::tree_plus_chords:
+      return "tree_plus_chords";
+    case Family::clustered:
+      return "clustered";
+    default:
+      return "bipartite";
+  }
+}
+
+Graph make_family(Family family, std::uint64_t seed) {
+  util::Rng rng(seed * 7919 + 13);
+  switch (family) {
+    case Family::gnm:
+      return builders::gnm(48, 120, rng);
+    case Family::gnp:
+      return builders::gnp(40, 0.12, rng);
+    case Family::tree_plus_chords: {
+      Graph g = builders::random_tree(50, rng);
+      for (int i = 0; i < 8; ++i) {
+        g.add_edge(static_cast<NodeId>(rng.uniform(50)),
+                   static_cast<NodeId>(rng.uniform(50)));
+      }
+      return g;
+    }
+    case Family::clustered: {
+      // Ring of cliques: strong clustering plus long range structure.
+      Graph g(36);
+      for (NodeId block = 0; block < 6; ++block) {
+        const NodeId base = block * 6;
+        for (NodeId i = 0; i < 6; ++i) {
+          for (NodeId j = i + 1; j < 6; ++j) g.add_edge(base + i, base + j);
+        }
+        g.add_edge(base, (base + 6) % 36);
+      }
+      return g;
+    }
+    default:
+      return builders::complete_bipartite(7, 9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 1: randomizing rewiring preserves exactly the P_d it claims to.
+// ---------------------------------------------------------------------------
+
+using RewiringParam = std::tuple<int, std::uint64_t, Family>;
+
+class RewiringInvariantSweep
+    : public testing::TestWithParam<RewiringParam> {};
+
+TEST_P(RewiringInvariantSweep, PreservesClaimedDistribution) {
+  const auto [d, seed, family] = GetParam();
+  const Graph original = make_family(family, seed);
+  util::Rng rng(seed);
+  gen::RandomizeOptions options;
+  options.d = d;
+  options.attempts_per_edge = 20;
+  const Graph randomized = gen::randomize(original, options, rng);
+
+  EXPECT_EQ(randomized.num_nodes(), original.num_nodes());
+  EXPECT_EQ(randomized.num_edges(), original.num_edges());
+  if (d >= 1) {
+    EXPECT_EQ(randomized.degree_sequence(), original.degree_sequence());
+  }
+  if (d >= 2) {
+    EXPECT_EQ(dk::JointDegreeDistribution::from_graph(randomized),
+              dk::JointDegreeDistribution::from_graph(original));
+  }
+  if (d >= 3) {
+    EXPECT_EQ(dk::ThreeKProfile::from_graph(randomized),
+              dk::ThreeKProfile::from_graph(original));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLevels, RewiringInvariantSweep,
+    testing::Combine(testing::Values(0, 1, 2, 3),
+                     testing::Values(1ull, 2ull, 3ull),
+                     testing::Values(Family::gnm, Family::tree_plus_chords,
+                                     Family::clustered)),
+    [](const testing::TestParamInfo<RewiringParam>& info) {
+      return "d" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param)) + "_" +
+             family_name(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Sweep 2: extraction identities across families.
+// ---------------------------------------------------------------------------
+
+using ExtractionParam = std::tuple<std::uint64_t, Family>;
+
+class ExtractionIdentitySweep
+    : public testing::TestWithParam<ExtractionParam> {};
+
+TEST_P(ExtractionIdentitySweep, FastEqualsNaiveAndProjectionsHold) {
+  const auto [seed, family] = GetParam();
+  const Graph g = make_family(family, seed);
+
+  // Fast == naive 3K extraction.
+  const auto fast = dk::ThreeKProfile::from_graph(g);
+  EXPECT_EQ(fast, dk::ThreeKProfile::from_graph_naive(g));
+
+  // P2 -> P1 (over k >= 1; the JDD cannot see isolated nodes).
+  const auto jdd = dk::JointDegreeDistribution::from_graph(g);
+  const auto direct = dk::DegreeDistribution::from_graph(g);
+  const auto projected = jdd.project_to_1k();
+  for (std::size_t k = 1; k <= direct.max_degree(); ++k) {
+    EXPECT_EQ(projected.n_of_k(k), direct.n_of_k(k)) << "k=" << k;
+  }
+
+  // P3 -> P2 (excluding (1,1) bins, invisible at d=3).
+  const auto projected_jdd = fast.project_to_2k();
+  for (const auto& entry : jdd.entries()) {
+    if (entry.k1 == 1 && entry.k2 == 1) continue;
+    EXPECT_EQ(projected_jdd.m_of(entry.k1, entry.k2), entry.count)
+        << "(" << entry.k1 << "," << entry.k2 << ")";
+  }
+
+  // Wedge/triangle totals vs neighbor-pair counting.
+  std::int64_t neighbor_pairs = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto k = static_cast<std::int64_t>(g.degree(v));
+    neighbor_pairs += k * (k - 1) / 2;
+  }
+  EXPECT_EQ(fast.total_wedges() + 3 * fast.total_triangles(),
+            neighbor_pairs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, ExtractionIdentitySweep,
+    testing::Combine(testing::Values(1ull, 2ull, 3ull, 4ull),
+                     testing::Values(Family::gnm, Family::gnp,
+                                     Family::tree_plus_chords,
+                                     Family::clustered, Family::bipartite)),
+    [](const testing::TestParamInfo<ExtractionParam>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_" +
+             family_name(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Sweep 3: generators hit their targets exactly, for every seed.
+// ---------------------------------------------------------------------------
+
+class GeneratorExactnessSweep
+    : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorExactnessSweep, MatchingIsExactAtBothLevels) {
+  const std::uint64_t seed = GetParam();
+  const Graph original = make_family(Family::gnm, seed);
+  const auto dists = dk::extract(original, 2);
+  util::Rng rng(seed + 1000);
+
+  const Graph one_k = gen::matching_1k(dists.degree, rng);
+  auto realized = one_k.degree_sequence();
+  std::sort(realized.begin(), realized.end());
+  auto expected = original.degree_sequence();
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(realized, expected);
+
+  const Graph two_k = gen::matching_2k(dists.joint, rng);
+  EXPECT_EQ(dk::JointDegreeDistribution::from_graph(two_k), dists.joint);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorExactnessSweep,
+                         testing::Range(std::uint64_t{1}, std::uint64_t{9}));
+
+// ---------------------------------------------------------------------------
+// Sweep 4: metric invariants across families.
+// ---------------------------------------------------------------------------
+
+class MetricInvariantSweep : public testing::TestWithParam<ExtractionParam> {
+};
+
+TEST_P(MetricInvariantSweep, CrossMetricIdentitiesHold) {
+  const auto [seed, family] = GetParam();
+  const Graph whole = make_family(family, seed);
+  const Graph g = largest_connected_component(whole).graph;
+
+  // Betweenness pair identity: Σ_v b(v) = Σ_{s<t} (d(s,t) - 1).
+  const auto b = metrics::betweenness(g);
+  const auto dist = metrics::distance_distribution(g);
+  double expected = 0.0;
+  for (std::size_t x = 2; x < dist.counts.size(); ++x) {
+    expected += static_cast<double>(dist.counts[x]) / 2.0 *
+                (static_cast<double>(x) - 1.0);
+  }
+  const double total = std::accumulate(b.begin(), b.end(), 0.0);
+  EXPECT_NEAR(total, expected, 1e-6 * (1.0 + expected));
+
+  // Distance pdf including self-pairs sums to 1 on a connected graph.
+  const auto pdf = dist.pdf();
+  EXPECT_NEAR(std::accumulate(pdf.begin(), pdf.end(), 0.0), 1.0, 1e-9);
+
+  // Laplacian extremes within [0,2], lambda1 <= lambda_max.
+  const auto spectrum = metrics::laplacian_extremes(g);
+  EXPECT_GT(spectrum.lambda1, 0.0);
+  EXPECT_LE(spectrum.lambda1, spectrum.lambda_max + 1e-12);
+  EXPECT_LE(spectrum.lambda_max, 2.0 + 1e-9);
+
+  // Assortativity within [-1,1]; clustering within [0,1].
+  const double r = metrics::assortativity(g);
+  EXPECT_GE(r, -1.0 - 1e-12);
+  EXPECT_LE(r, 1.0 + 1e-12);
+  const double c = metrics::mean_clustering(g);
+  EXPECT_GE(c, 0.0);
+  EXPECT_LE(c, 1.0);
+
+  // S consistency: likelihood equals the JDD-weighted sum.
+  const auto jdd = dk::JointDegreeDistribution::from_graph(g);
+  double s_from_jdd = 0.0;
+  for (const auto& entry : jdd.entries()) {
+    s_from_jdd += static_cast<double>(entry.count) *
+                  static_cast<double>(entry.k1) *
+                  static_cast<double>(entry.k2);
+  }
+  EXPECT_NEAR(metrics::likelihood_s(g), s_from_jdd, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, MetricInvariantSweep,
+    testing::Combine(testing::Values(5ull, 6ull, 7ull),
+                     testing::Values(Family::gnm, Family::gnp,
+                                     Family::tree_plus_chords,
+                                     Family::clustered, Family::bipartite)),
+    [](const testing::TestParamInfo<ExtractionParam>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_" +
+             family_name(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Sweep 5: targeting rewiring converges for every seed on small graphs.
+// ---------------------------------------------------------------------------
+
+class TargetingConvergenceSweep
+    : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TargetingConvergenceSweep, TwoKTargetingReachesZero) {
+  const std::uint64_t seed = GetParam();
+  const Graph original = make_family(Family::gnm, seed);
+  const auto target = dk::JointDegreeDistribution::from_graph(original);
+  util::Rng rng(seed + 5000);
+  const Graph start = gen::matching_1k(
+      dk::DegreeDistribution::from_graph(original), rng);
+  gen::TargetingOptions options;
+  options.attempts_per_edge = 3000;
+  double final_distance = -1.0;
+  gen::target_2k(start, target, options, rng, nullptr, &final_distance);
+  EXPECT_DOUBLE_EQ(final_distance, 0.0) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TargetingConvergenceSweep,
+                         testing::Range(std::uint64_t{1}, std::uint64_t{7}));
+
+}  // namespace
+}  // namespace orbis

@@ -1,0 +1,59 @@
+#include "io/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builders.hpp"
+
+namespace orbis::io {
+namespace {
+
+TEST(Dot, ContainsAllNodesAndEdges) {
+  const auto g = builders::path(3);
+  std::stringstream out;
+  write_dot(out, g);
+  const auto text = out.str();
+  EXPECT_NE(text.find("graph \"orbis\""), std::string::npos);
+  EXPECT_NE(text.find("n0"), std::string::npos);
+  EXPECT_NE(text.find("n2"), std::string::npos);
+  EXPECT_NE(text.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(text.find("n1 -- n2"), std::string::npos);
+}
+
+TEST(Dot, OptionsControlStyling) {
+  const auto g = builders::star(4);
+  DotOptions options;
+  options.graph_name = "mygraph";
+  options.size_nodes_by_degree = false;
+  options.color_nodes_by_degree = false;
+  std::stringstream out;
+  write_dot(out, g, options);
+  const auto text = out.str();
+  EXPECT_NE(text.find("mygraph"), std::string::npos);
+  EXPECT_EQ(text.find("width="), std::string::npos);
+  EXPECT_EQ(text.find("fillcolor"), std::string::npos);
+}
+
+TEST(Dot, DegreeStylingPresent) {
+  const auto g = builders::star(4);
+  std::stringstream out;
+  write_dot(out, g);
+  const auto text = out.str();
+  EXPECT_NE(text.find("width="), std::string::npos);
+  EXPECT_NE(text.find("fillcolor"), std::string::npos);
+}
+
+TEST(Dot, FileWriteFailsOnBadPath) {
+  EXPECT_THROW(write_dot_file("/nonexistent/dir/g.dot", builders::path(2)),
+               std::runtime_error);
+}
+
+TEST(Dot, EmptyGraph) {
+  std::stringstream out;
+  write_dot(out, Graph(0));
+  EXPECT_NE(out.str().find("}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace orbis::io

@@ -1,0 +1,64 @@
+// Round-trip fidelity details of the edge-list format: the writer's
+// header lets the reader preserve node ids and isolated nodes exactly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builders.hpp"
+#include "io/edge_list.hpp"
+
+namespace orbis::io {
+namespace {
+
+TEST(EdgeListRoundTrip, IsolatedNodesSurvive) {
+  Graph g(6);  // nodes 4, 5 isolated
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const auto result = read_edge_list(buffer);
+  EXPECT_EQ(result.graph.num_nodes(), 6u);
+  EXPECT_TRUE(result.graph == g);
+}
+
+TEST(EdgeListRoundTrip, NodeIdsPreservedVerbatim) {
+  Graph g(5);
+  g.add_edge(4, 0);  // first edge mentions the LAST node first
+  g.add_edge(1, 3);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const auto result = read_edge_list(buffer);
+  // Without header support, node 4 would have been densified to id 0.
+  EXPECT_TRUE(result.graph.has_edge(4, 0));
+  EXPECT_TRUE(result.graph.has_edge(1, 3));
+}
+
+TEST(EdgeListRoundTrip, ForeignFilesStillDensified) {
+  // No orbis header: ids are interned in first-appearance order.
+  std::istringstream in("7 9\n9 3\n");
+  const auto result = read_edge_list(in);
+  EXPECT_EQ(result.graph.num_nodes(), 3u);
+  EXPECT_EQ(result.original_ids[0], 7u);
+}
+
+TEST(EdgeListRoundTrip, HeaderWithOutOfRangeIdsFallsBack) {
+  // A lying header (claims 2 nodes, references id 5) must not break the
+  // reader; it falls back to densification.
+  std::istringstream in("# orbis edge list: 2 nodes, 1 edges\n5 0\n");
+  const auto result = read_edge_list(in);
+  EXPECT_EQ(result.graph.num_nodes(), 2u);
+  EXPECT_EQ(result.graph.num_edges(), 1u);
+}
+
+TEST(EdgeListRoundTrip, EmptyGraphWithNodes) {
+  Graph g(4);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const auto result = read_edge_list(buffer);
+  // Header-only file: node count restored, no edges.
+  EXPECT_EQ(result.graph.num_nodes(), 4u);
+  EXPECT_EQ(result.graph.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace orbis::io

@@ -1,0 +1,94 @@
+#include "metrics/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace orbis::metrics {
+namespace {
+
+Graph paw() {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  return g;
+}
+
+TEST(Clustering, CompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(mean_clustering(builders::complete(5)), 1.0);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ(local_clustering(builders::complete(5), v), 1.0);
+  }
+}
+
+TEST(Clustering, TreesAreZero) {
+  EXPECT_DOUBLE_EQ(mean_clustering(builders::star(8)), 0.0);
+  EXPECT_DOUBLE_EQ(mean_clustering(builders::path(10)), 0.0);
+  util::Rng rng(5);
+  EXPECT_DOUBLE_EQ(mean_clustering(builders::random_tree(30, rng)), 0.0);
+}
+
+TEST(Clustering, BipartiteIsZero) {
+  EXPECT_DOUBLE_EQ(mean_clustering(builders::complete_bipartite(3, 4)), 0.0);
+}
+
+TEST(Clustering, PawHandComputed) {
+  const auto g = paw();
+  EXPECT_NEAR(local_clustering(g, 0), 1.0 / 3.0, 1e-12);  // hub
+  EXPECT_DOUBLE_EQ(local_clustering(g, 1), 1.0);
+  EXPECT_DOUBLE_EQ(local_clustering(g, 2), 1.0);
+  EXPECT_DOUBLE_EQ(local_clustering(g, 3), 0.0);  // leaf: k < 2
+  EXPECT_NEAR(mean_clustering(g), (1.0 / 3.0 + 1.0 + 1.0 + 0.0) / 4.0,
+              1e-12);
+}
+
+TEST(Clustering, TrianglesThrough) {
+  const auto g = paw();
+  EXPECT_EQ(triangles_through(g, 0), 1);
+  EXPECT_EQ(triangles_through(g, 3), 0);
+  EXPECT_EQ(total_triangles(g), 1);
+  EXPECT_EQ(total_triangles(builders::complete(6)), 20);  // C(6,3)
+}
+
+TEST(Clustering, ByDegreeSeries) {
+  const auto series = clustering_by_degree(paw());
+  ASSERT_EQ(series.size(), 3u);  // degrees 1, 2, 3
+  EXPECT_EQ(series[0].k, 1u);
+  EXPECT_EQ(series[0].num_nodes, 1u);
+  EXPECT_DOUBLE_EQ(series[0].mean_clustering, 0.0);
+  EXPECT_EQ(series[1].k, 2u);
+  EXPECT_EQ(series[1].num_nodes, 2u);
+  EXPECT_DOUBLE_EQ(series[1].mean_clustering, 1.0);
+  EXPECT_EQ(series[2].k, 3u);
+  EXPECT_NEAR(series[2].mean_clustering, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Clustering, GlobalVsMeanDiffer) {
+  // The paw is the classic example where transitivity != mean clustering:
+  // global C = 3*1 / (closed+open pairs) = 3/5, mean C = 7/12.
+  EXPECT_NEAR(global_clustering(paw()), 3.0 / 5.0, 1e-12);
+  EXPECT_NEAR(mean_clustering(paw()), 7.0 / 12.0, 1e-12);
+  EXPECT_NE(mean_clustering(paw()), global_clustering(paw()));
+}
+
+TEST(Clustering, EmptyAndDegenerate) {
+  EXPECT_DOUBLE_EQ(mean_clustering(Graph(0)), 0.0);
+  EXPECT_DOUBLE_EQ(mean_clustering(Graph(3)), 0.0);
+  EXPECT_DOUBLE_EQ(global_clustering(Graph(3)), 0.0);
+}
+
+TEST(Clustering, ConsistentWithThreeKTriangles) {
+  util::Rng rng(23);
+  const auto g = builders::gnp(30, 0.25, rng);
+  std::int64_t through_sum = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    through_sum += triangles_through(g, v);
+  }
+  EXPECT_EQ(through_sum, 3 * total_triangles(g));
+}
+
+}  // namespace
+}  // namespace orbis::metrics

@@ -1,0 +1,100 @@
+#include "metrics/distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/builders.hpp"
+
+namespace orbis::metrics {
+namespace {
+
+TEST(DistanceDistribution, CompleteGraph) {
+  const auto dist = distance_distribution(builders::complete(4));
+  ASSERT_EQ(dist.counts.size(), 2u);
+  EXPECT_EQ(dist.counts[0], 4u);    // self-pairs
+  EXPECT_EQ(dist.counts[1], 12u);   // ordered pairs
+  EXPECT_DOUBLE_EQ(dist.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(dist.stddev(), 0.0);
+  EXPECT_EQ(dist.diameter(), 1u);
+}
+
+TEST(DistanceDistribution, PathOf3HandComputed) {
+  const auto dist = distance_distribution(builders::path(3));
+  ASSERT_EQ(dist.counts.size(), 3u);
+  EXPECT_EQ(dist.counts[0], 3u);
+  EXPECT_EQ(dist.counts[1], 4u);
+  EXPECT_EQ(dist.counts[2], 2u);
+  EXPECT_NEAR(dist.mean(), 8.0 / 6.0, 1e-12);
+  EXPECT_EQ(dist.diameter(), 2u);
+}
+
+TEST(DistanceDistribution, PaperPdfNormalization) {
+  // d(x) = counts/n^2 including self-pairs (paper §2): sums to 1 for a
+  // connected graph.
+  const auto dist = distance_distribution(builders::cycle(7));
+  const auto pdf = dist.pdf();
+  const double total = std::accumulate(pdf.begin(), pdf.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(pdf[0], 1.0 / 7.0, 1e-12);
+}
+
+TEST(DistanceDistribution, StarMean) {
+  // Star n=5: ordered pairs — 8 at distance 1, 12 at distance 2.
+  const auto dist = distance_distribution(builders::star(5));
+  EXPECT_EQ(dist.counts[1], 8u);
+  EXPECT_EQ(dist.counts[2], 12u);
+  EXPECT_NEAR(dist.mean(), (8.0 + 24.0) / 20.0, 1e-12);
+}
+
+TEST(DistanceDistribution, CycleEvenDiameter) {
+  const auto dist = distance_distribution(builders::cycle(8));
+  EXPECT_EQ(dist.diameter(), 4u);
+  // Each node: 2 at distances 1..3, 1 at distance 4.
+  EXPECT_EQ(dist.counts[1], 16u);
+  EXPECT_EQ(dist.counts[4], 8u);
+}
+
+TEST(DistanceDistribution, DisconnectedCountsUnreachable) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto dist = distance_distribution(g);
+  EXPECT_EQ(dist.unreachable_pairs, 8u);  // each node misses 2 others
+  EXPECT_DOUBLE_EQ(dist.mean(), 1.0);     // only the 4 adjacent pairs
+}
+
+TEST(DistanceDistribution, EmptyGraph) {
+  const auto dist = distance_distribution(Graph(0));
+  EXPECT_TRUE(dist.counts.empty());
+  EXPECT_DOUBLE_EQ(dist.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(dist.stddev(), 0.0);
+}
+
+TEST(DistanceDistribution, StddevHandComputed) {
+  // Path of 3 (pairs >= 1): four at 1, two at 2.
+  // mean = 4/3; E[x^2] = (4 + 8)/6 = 2; var = 2 - 16/9 = 2/9.
+  const auto dist = distance_distribution(builders::path(3));
+  EXPECT_NEAR(dist.stddev(), std::sqrt(2.0 / 9.0), 1e-12);
+}
+
+TEST(DistanceDistribution, SampledConvergesToExact) {
+  util::Rng rng(5);
+  const auto g = builders::grid(8, 8);
+  const auto exact = distance_distribution(g);
+  util::Rng sample_rng(7);
+  const auto sampled = sampled_distance_distribution(g, 32, sample_rng);
+  EXPECT_NEAR(sampled.mean(), exact.mean(), 0.25);
+  // num_sources >= n short-circuits to the exact computation.
+  util::Rng rng2(9);
+  const auto full = sampled_distance_distribution(g, 64, rng2);
+  EXPECT_EQ(full.counts, exact.counts);
+}
+
+TEST(DistanceDistribution, AverageDistanceWrapper) {
+  EXPECT_DOUBLE_EQ(average_distance(builders::complete(5)), 1.0);
+}
+
+}  // namespace
+}  // namespace orbis::metrics

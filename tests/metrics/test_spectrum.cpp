@@ -1,0 +1,159 @@
+#include "metrics/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builders.hpp"
+#include "metrics/dense_eigen.hpp"
+#include "util/rng.hpp"
+
+namespace orbis::metrics {
+namespace {
+
+constexpr double pi = 3.14159265358979323846;
+
+TEST(TridiagonalEigenvalues, TwoByTwo) {
+  // [[2,1],[1,2]] -> {1,3}.
+  const auto values = tridiagonal_eigenvalues({2.0, 2.0}, {1.0});
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_NEAR(values[0], 1.0, 1e-12);
+  EXPECT_NEAR(values[1], 3.0, 1e-12);
+}
+
+TEST(TridiagonalEigenvalues, DiagonalOnly) {
+  const auto values = tridiagonal_eigenvalues({3.0, 1.0, 2.0}, {0.0, 0.0});
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_NEAR(values[0], 1.0, 1e-12);
+  EXPECT_NEAR(values[1], 2.0, 1e-12);
+  EXPECT_NEAR(values[2], 3.0, 1e-12);
+}
+
+TEST(TridiagonalEigenvalues, DiscreteLaplacianChain) {
+  // Tridiag(-1, 2, -1) of size n has eigenvalues 2 - 2cos(k pi/(n+1)).
+  const std::size_t n = 12;
+  const auto values = tridiagonal_eigenvalues(
+      std::vector<double>(n, 2.0), std::vector<double>(n - 1, -1.0));
+  for (std::size_t k = 1; k <= n; ++k) {
+    const double expected =
+        2.0 - 2.0 * std::cos(static_cast<double>(k) * pi /
+                             static_cast<double>(n + 1));
+    EXPECT_NEAR(values[k - 1], expected, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(TridiagonalEigenvalues, SizeMismatchThrows) {
+  EXPECT_THROW(tridiagonal_eigenvalues({1.0, 2.0}, {0.5, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(DenseEigen, KnownSymmetricMatrix) {
+  const auto values =
+      dense_symmetric_eigenvalues({{2.0, 1.0}, {1.0, 2.0}});
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_NEAR(values[0], 1.0, 1e-9);
+  EXPECT_NEAR(values[1], 3.0, 1e-9);
+}
+
+TEST(DenseEigen, NonSquareThrows) {
+  EXPECT_THROW(dense_symmetric_eigenvalues({{1.0, 2.0}}),
+               std::invalid_argument);
+}
+
+TEST(FullSpectrum, CompleteGraph) {
+  // K_n normalized Laplacian: 0 once, n/(n-1) with multiplicity n-1.
+  const auto values = full_laplacian_spectrum(builders::complete(5));
+  EXPECT_NEAR(values[0], 0.0, 1e-9);
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_NEAR(values[i], 5.0 / 4.0, 1e-9);
+  }
+}
+
+TEST(FullSpectrum, StarGraph) {
+  // Star: eigenvalues {0, 1 (n-2 times), 2}.
+  const auto values = full_laplacian_spectrum(builders::star(6));
+  EXPECT_NEAR(values.front(), 0.0, 1e-9);
+  EXPECT_NEAR(values.back(), 2.0, 1e-9);
+  for (std::size_t i = 1; i + 1 < values.size(); ++i) {
+    EXPECT_NEAR(values[i], 1.0, 1e-9);
+  }
+}
+
+TEST(LaplacianExtremes, CompleteGraph) {
+  const auto result = laplacian_extremes(builders::complete(6));
+  EXPECT_NEAR(result.lambda1, 6.0 / 5.0, 1e-7);
+  EXPECT_NEAR(result.lambda_max, 6.0 / 5.0, 1e-7);
+}
+
+TEST(LaplacianExtremes, CycleClosedForm) {
+  // C_n: eigenvalues 1 - cos(2 pi k / n).
+  const auto result = laplacian_extremes(builders::cycle(10));
+  EXPECT_NEAR(result.lambda1, 1.0 - std::cos(2.0 * pi / 10.0), 1e-7);
+  EXPECT_NEAR(result.lambda_max, 2.0, 1e-7);  // even cycle is bipartite
+}
+
+TEST(LaplacianExtremes, BipartiteHasLambdaMaxTwo) {
+  EXPECT_NEAR(laplacian_extremes(builders::star(9)).lambda_max, 2.0, 1e-7);
+  EXPECT_NEAR(laplacian_extremes(builders::grid(3, 4)).lambda_max, 2.0,
+              1e-7);
+  EXPECT_NEAR(
+      laplacian_extremes(builders::complete_bipartite(3, 5)).lambda_max,
+      2.0, 1e-7);
+}
+
+TEST(LaplacianExtremes, SingleEdge) {
+  const auto result = laplacian_extremes(builders::path(2));
+  EXPECT_NEAR(result.lambda1, 2.0, 1e-12);
+  EXPECT_NEAR(result.lambda_max, 2.0, 1e-12);
+}
+
+TEST(LaplacianExtremes, EmptyAndEdgeless) {
+  EXPECT_DOUBLE_EQ(laplacian_extremes(Graph(0)).lambda_max, 0.0);
+  EXPECT_DOUBLE_EQ(laplacian_extremes(Graph(5)).lambda_max, 0.0);
+}
+
+TEST(LaplacianExtremes, UsesGiantComponent) {
+  // A triangle plus an isolated edge: spectrum of the GCC (triangle).
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(3, 4);
+  const auto result = laplacian_extremes(g);
+  EXPECT_NEAR(result.lambda1, 1.5, 1e-7);   // K3: n/(n-1)
+  EXPECT_NEAR(result.lambda_max, 1.5, 1e-7);
+}
+
+TEST(LaplacianExtremes, MatchesDenseSolverOnRandomGraphs) {
+  for (const std::uint64_t seed : {2ull, 3ull, 4ull, 5ull}) {
+    util::Rng rng(seed);
+    const auto g = builders::gnm(40, 90, rng);
+    const auto gcc_full = full_laplacian_spectrum(g);
+    const auto lanczos = laplacian_extremes(g);
+    // Dense spectrum is over the whole graph; pick the smallest non-zero
+    // and the largest.  The random graphs here are connected w.h.p., and
+    // isolated nodes contribute extra zeros only.
+    double smallest_nonzero = 2.0;
+    for (const double v : gcc_full) {
+      if (v > 1e-8) {
+        smallest_nonzero = v;
+        break;
+      }
+    }
+    EXPECT_NEAR(lanczos.lambda1, smallest_nonzero, 1e-6) << "seed " << seed;
+    EXPECT_NEAR(lanczos.lambda_max, gcc_full.back(), 1e-6)
+        << "seed " << seed;
+  }
+}
+
+TEST(LaplacianExtremes, AllEigenvaluesWithinBounds) {
+  util::Rng rng(11);
+  const auto g = builders::gnp(60, 0.1, rng);
+  const auto result = laplacian_extremes(g);
+  EXPECT_GT(result.lambda1, 0.0);
+  EXPECT_LE(result.lambda1, result.lambda_max + 1e-12);
+  EXPECT_LE(result.lambda_max, 2.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace orbis::metrics

@@ -1,0 +1,68 @@
+#include "metrics/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "metrics/clustering.hpp"
+
+namespace orbis::metrics {
+namespace {
+
+TEST(Summary, CompleteGraphAllFields) {
+  const auto m = compute_scalar_metrics(builders::complete(6));
+  EXPECT_DOUBLE_EQ(m.average_degree, 5.0);
+  EXPECT_DOUBLE_EQ(m.assortativity, 0.0);  // regular -> degenerate
+  EXPECT_DOUBLE_EQ(m.mean_clustering, 1.0);
+  EXPECT_DOUBLE_EQ(m.mean_distance, 1.0);
+  EXPECT_DOUBLE_EQ(m.distance_stddev, 0.0);
+  EXPECT_NEAR(m.lambda1, 6.0 / 5.0, 1e-6);
+  EXPECT_NEAR(m.lambda_max, 6.0 / 5.0, 1e-6);
+  EXPECT_EQ(m.gcc_nodes, 6u);
+  EXPECT_EQ(m.gcc_edges, 15u);
+  EXPECT_DOUBLE_EQ(m.s2, 0.0);  // no wedges in a clique
+}
+
+TEST(Summary, MetricsComputedOnGcc) {
+  // Star plus isolated noise nodes: GCC metrics must ignore the noise.
+  Graph g(9);
+  for (NodeId v = 1; v < 6; ++v) g.add_edge(0, v);
+  const auto with_noise = compute_scalar_metrics(g);
+  const auto clean = compute_scalar_metrics(builders::star(6));
+  EXPECT_DOUBLE_EQ(with_noise.average_degree, clean.average_degree);
+  EXPECT_DOUBLE_EQ(with_noise.mean_distance, clean.mean_distance);
+  EXPECT_EQ(with_noise.gcc_nodes, 6u);
+}
+
+TEST(Summary, OptionsSkipExpensiveParts) {
+  SummaryOptions options;
+  options.with_spectrum = false;
+  options.with_distance = false;
+  options.with_s2 = false;
+  const auto m = compute_scalar_metrics(builders::complete(5), options);
+  EXPECT_DOUBLE_EQ(m.lambda_max, 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_distance, 0.0);
+  EXPECT_DOUBLE_EQ(m.average_degree, 4.0);  // cheap parts still computed
+}
+
+TEST(Summary, EmptyGraph) {
+  const auto m = compute_scalar_metrics(Graph(0));
+  EXPECT_EQ(m.gcc_nodes, 0u);
+  EXPECT_DOUBLE_EQ(m.average_degree, 0.0);
+}
+
+TEST(Summary, ToStringMentionsFields) {
+  const auto m = compute_scalar_metrics(builders::complete(4));
+  const auto text = to_string(m);
+  EXPECT_NE(text.find("kbar="), std::string::npos);
+  EXPECT_NE(text.find("lambda1="), std::string::npos);
+  EXPECT_NE(text.find("gcc 4/6"), std::string::npos);
+}
+
+TEST(Summary, S2MatchesProfile) {
+  const auto g = builders::star(7);
+  const auto m = compute_scalar_metrics(g);
+  EXPECT_DOUBLE_EQ(m.s2, 15.0);  // C(6,2) wedges with ends (1,1)
+}
+
+}  // namespace
+}  // namespace orbis::metrics

@@ -1,0 +1,106 @@
+#include "topo/hot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "metrics/clustering.hpp"
+#include "metrics/distance.hpp"
+#include "metrics/scalar.hpp"
+
+namespace orbis::topo {
+namespace {
+
+TEST(HotTopology, PaperScaleDefaults) {
+  util::Rng rng(1);
+  const auto g = hot_topology(rng);
+  EXPECT_EQ(g.num_nodes(), 939u);   // Li et al. HOT size
+  EXPECT_EQ(g.num_edges(), 988u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(HotTopology, AlmostATreeWithZeroClustering) {
+  util::Rng rng(2);
+  const auto g = hot_topology(rng);
+  // 988 edges on 939 nodes: 50 redundancy edges over a tree.
+  EXPECT_EQ(g.num_edges() - (g.num_nodes() - 1), 50u);
+  // Redundancy links avoid closing triangles.
+  EXPECT_DOUBLE_EQ(metrics::mean_clustering(g), 0.0);
+}
+
+TEST(HotTopology, Disassortative) {
+  util::Rng rng(3);
+  const auto g = hot_topology(rng);
+  EXPECT_LT(metrics::assortativity(g), -0.15);
+}
+
+TEST(HotTopology, HighDegreeNodesAtPeripheryLowDegreeCore) {
+  util::Rng rng(4);
+  HotOptions options;
+  const auto g = hot_topology(options, rng);
+  // Core nodes (ids < num_core) have small degree; the max-degree node is
+  // an access router (periphery).
+  std::size_t core_max = 0;
+  for (NodeId v = 0; v < options.num_core; ++v) {
+    core_max = std::max(core_max, g.degree(v));
+  }
+  EXPECT_LE(core_max, 12u);
+  EXPECT_GT(g.max_degree(), 25u);  // hub access router
+  // The hub is NOT a core node.
+  NodeId hub = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > g.degree(hub)) hub = v;
+  }
+  EXPECT_GE(hub, options.num_core + options.num_core *
+                     options.gateways_per_core);
+}
+
+TEST(HotTopology, ManyDegreeOneHosts) {
+  util::Rng rng(5);
+  const auto g = hot_topology(rng);
+  std::size_t leaves = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) leaves += (g.degree(v) == 1);
+  EXPECT_GT(leaves, 600u);  // end hosts dominate, like the real HOT graph
+}
+
+TEST(HotTopology, LongPathsUnlikeAsGraphs) {
+  util::Rng rng(6);
+  const auto g = hot_topology(rng);
+  const auto dist = metrics::distance_distribution(g);
+  EXPECT_GT(dist.mean(), 5.0);  // paper: d̄ = 6.81 for HOT vs 3.1 for AS
+  EXPECT_GT(dist.diameter(), 8u);
+}
+
+TEST(HotTopology, CustomSizesRespected) {
+  HotOptions options;
+  options.num_core = 6;
+  options.core_chords = 2;
+  options.gateways_per_core = 2;
+  options.access_per_gateway = 2;
+  options.num_nodes = 200;
+  options.num_edges = 210;
+  util::Rng rng(7);
+  const auto g = hot_topology(options, rng);
+  EXPECT_EQ(g.num_nodes(), 200u);
+  EXPECT_EQ(g.num_edges(), 210u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_DOUBLE_EQ(metrics::mean_clustering(g), 0.0);
+}
+
+TEST(HotTopology, InconsistentSizesThrow) {
+  HotOptions options;
+  options.num_nodes = 100;  // smaller than the router tiers need
+  util::Rng rng(8);
+  EXPECT_THROW(hot_topology(options, rng), std::invalid_argument);
+  options = HotOptions{};
+  options.num_core = 3;
+  EXPECT_THROW(hot_topology(options, rng), std::invalid_argument);
+}
+
+TEST(HotTopology, DeterministicPerSeed) {
+  util::Rng rng_a(11);
+  util::Rng rng_b(11);
+  EXPECT_TRUE(hot_topology(rng_a) == hot_topology(rng_b));
+}
+
+}  // namespace
+}  // namespace orbis::topo

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace orbis::util {
+namespace {
+
+ArgParser make_parser(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return ArgParser(static_cast<int>(args.size()), args.data());
+}
+
+TEST(ArgParser, SpaceSeparatedValue) {
+  const auto parser = make_parser({"--seeds", "7"});
+  EXPECT_EQ(parser.get_int("--seeds", 1), 7);
+}
+
+TEST(ArgParser, EqualsSeparatedValue) {
+  const auto parser = make_parser({"--seeds=9"});
+  EXPECT_EQ(parser.get_int("--seeds", 1), 9);
+}
+
+TEST(ArgParser, DefaultWhenAbsent) {
+  const auto parser = make_parser({});
+  EXPECT_EQ(parser.get_int("--seeds", 5), 5);
+  EXPECT_DOUBLE_EQ(parser.get_double("--temp", 1.5), 1.5);
+  EXPECT_EQ(parser.get_string("--name", "x"), "x");
+}
+
+TEST(ArgParser, BareFlag) {
+  const auto parser = make_parser({"--fast", "--seeds", "3"});
+  EXPECT_TRUE(parser.has_flag("--fast"));
+  EXPECT_FALSE(parser.has_flag("--slow"));
+  EXPECT_EQ(parser.get_int("--seeds", 1), 3);
+}
+
+TEST(ArgParser, DoubleParsing) {
+  const auto parser = make_parser({"--temp", "0.25"});
+  EXPECT_DOUBLE_EQ(parser.get_double("--temp", 0.0), 0.25);
+}
+
+TEST(ArgParser, MalformedNumberThrows) {
+  const auto parser = make_parser({"--seeds", "abc"});
+  EXPECT_THROW(parser.get_int("--seeds", 1), std::invalid_argument);
+}
+
+TEST(ArgParser, PositionalArguments) {
+  const auto parser = make_parser({"input.txt", "--seeds", "2", "out.txt"});
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "input.txt");
+  EXPECT_EQ(parser.positional()[1], "out.txt");
+}
+
+TEST(ArgParser, ProgramName) {
+  const auto parser = make_parser({});
+  EXPECT_EQ(parser.program_name(), "prog");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"Metric", "A", "B"});
+  table.add_row({"kbar", "6.29", "2.1"});
+  table.add_row({"r", "-0.24", "-0.22"});
+  const auto rendered = table.str();
+  EXPECT_NE(rendered.find("Metric"), std::string::npos);
+  EXPECT_NE(rendered.find("-0.24"), std::string::npos);
+  // All lines equal width (header, rule, two rows).
+  std::size_t newline_count = 0;
+  for (const char c : rendered) newline_count += (c == '\n');
+  EXPECT_EQ(newline_count, 4u);
+}
+
+TEST(TextTable, WrongCellCountThrows) {
+  TextTable table({"A", "B"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(-0.236, 2), "-0.24");
+  EXPECT_EQ(TextTable::fmt_int(435546699ull), "435,546,699");
+  EXPECT_EQ(TextTable::fmt_int(146ull), "146");
+  EXPECT_EQ(TextTable::fmt_int(1000ull), "1,000");
+  EXPECT_EQ(TextTable::fmt_sig(0.004123, 2), "0.0041");
+  EXPECT_EQ(TextTable::fmt_sig(1.997, 4), "1.997");
+  EXPECT_EQ(TextTable::fmt_sig(0.0, 3), "0");
+}
+
+}  // namespace
+}  // namespace orbis::util

@@ -1,0 +1,162 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace orbis::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.next() != b.next()) ++differences;
+  }
+  EXPECT_GT(differences, 28);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng rng(0);
+  // SplitMix expansion must not produce the all-zero xoshiro state.
+  bool any_nonzero = false;
+  for (int i = 0; i < 8; ++i) any_nonzero |= (rng.next() != 0);
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform(bound), bound);
+  }
+}
+
+TEST(Rng, UniformZeroBoundThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformCoversAllResidues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const auto value = rng.uniform_int(-3, 3);
+    EXPECT_GE(value, -3);
+    EXPECT_LE(value, 3);
+  }
+}
+
+TEST(Rng, UniformIntBadRangeThrows) {
+  Rng rng(9);
+  EXPECT_THROW(rng.uniform_int(3, -3), std::invalid_argument);
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_real();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRealMeanNearHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform_real();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyTracksP) {
+  Rng rng(19);
+  int heads = 0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) heads += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.02);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(23);
+  for (const double mean : {0.5, 3.0, 50.0}) {
+    double sum = 0.0;
+    constexpr int n = 5000;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(rng.poisson(mean));
+    }
+    EXPECT_NEAR(sum / n, mean, 0.1 * mean + 0.1);
+  }
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(27);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_THROW(rng.poisson(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, PickFromVector) {
+  Rng rng(29);
+  const std::vector<int> values{10, 20, 30};
+  std::set<int> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng.pick(values));
+  EXPECT_EQ(seen.size(), 3u);
+  const std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(31);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, values);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(37);
+  std::vector<int> values(50);
+  for (int i = 0; i < 50; ++i) values[i] = i;
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(41);
+  Rng child = parent.split();
+  EXPECT_NE(parent.next(), child.next());
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace orbis::util

@@ -1,0 +1,121 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace orbis::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(v);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, SampleVarianceUsesNMinusOne) {
+  RunningStats stats;
+  stats.add(1.0);
+  stats.add(3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.sample_variance(), 2.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats left;
+  RunningStats right;
+  RunningStats reference;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10.0;
+    (i % 2 == 0 ? left : right).add(v);
+    reference.add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), reference.count());
+  EXPECT_NEAR(left.mean(), reference.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), reference.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), reference.min());
+  EXPECT_DOUBLE_EQ(left.max(), reference.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats stats;
+  stats.add(1.0);
+  RunningStats empty;
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 1u);
+  empty.merge(stats);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(PearsonCorrelation, PerfectPositive) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson_correlation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, PerfectNegative) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, DegenerateInputsReturnZero) {
+  EXPECT_DOUBLE_EQ(pearson_correlation({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(pearson_correlation({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(pearson_correlation({1}, {2}), 0.0);
+}
+
+TEST(PearsonCorrelation, SizeMismatchThrows) {
+  EXPECT_THROW(pearson_correlation({1, 2}, {1}), std::invalid_argument);
+}
+
+TEST(VectorStats, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(stddev_of({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev_of({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.0);
+}
+
+TEST(Entropy, UniformMaximizes) {
+  const double uniform = entropy_of_counts({10, 10, 10, 10});
+  const double skewed = entropy_of_counts({37, 1, 1, 1});
+  EXPECT_GT(uniform, skewed);
+  EXPECT_NEAR(uniform, std::log(4.0), 1e-12);
+}
+
+TEST(Entropy, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(entropy_of_counts({}), 0.0);
+  EXPECT_DOUBLE_EQ(entropy_of_counts({0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(entropy_of_counts({5}), 0.0);
+}
+
+}  // namespace
+}  // namespace orbis::util

@@ -1,0 +1,68 @@
+#include "util/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+namespace orbis::util {
+namespace {
+
+TEST(UnionFind, InitiallyAllSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_components(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+    EXPECT_EQ(uf.component_size(i), 1u);
+  }
+}
+
+TEST(UnionFind, UniteMergesAndCounts) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_EQ(uf.num_components(), 3u);
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_FALSE(uf.connected(0, 2));
+  EXPECT_EQ(uf.component_size(0), 2u);
+}
+
+TEST(UnionFind, UniteSameSetReturnsFalse) {
+  UnionFind uf(3);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_EQ(uf.num_components(), 2u);
+}
+
+TEST(UnionFind, TransitiveConnectivity) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.connected(0, 3));
+  EXPECT_EQ(uf.component_size(3), 4u);
+  EXPECT_EQ(uf.num_components(), 3u);  // {0,1,2,3}, {4}, {5}
+}
+
+TEST(UnionFind, LargestComponentRepresentative) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(3, 4);
+  uf.unite(4, 5);
+  const auto rep = uf.largest_component_representative();
+  EXPECT_EQ(uf.component_size(rep), 3u);
+  EXPECT_TRUE(uf.connected(rep, 3));
+}
+
+TEST(UnionFind, OutOfRangeThrows) {
+  UnionFind uf(3);
+  EXPECT_THROW(uf.find(3), std::invalid_argument);
+}
+
+TEST(UnionFind, ChainCollapsesWithPathHalving) {
+  constexpr std::size_t n = 1000;
+  UnionFind uf(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) uf.unite(i, i + 1);
+  EXPECT_EQ(uf.num_components(), 1u);
+  EXPECT_EQ(uf.component_size(0), n);
+  EXPECT_TRUE(uf.connected(0, n - 1));
+}
+
+}  // namespace
+}  // namespace orbis::util
