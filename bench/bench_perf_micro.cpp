@@ -5,6 +5,7 @@
 
 #include "core/dk_state.hpp"
 #include "core/series.hpp"
+#include "gen/matching.hpp"
 #include "gen/rewiring.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/builders.hpp"
@@ -67,6 +68,58 @@ void BM_RewiringStep3K(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RewiringStep3K)->Arg(1 << 11);
+
+// Swap-attempt throughput of the 2K-targeting path (the cost that
+// dominates every table/figure reproduction).  Items processed = swap
+// attempts, so items_per_second is the headline number.
+void BM_Target2KAttempts(benchmark::State& state) {
+  const auto original = make_graph(state.range(0));
+  const auto target = dk::JointDegreeDistribution::from_graph(original);
+  util::Rng start_rng(13);
+  const auto start =
+      gen::matching_1k(dk::DegreeDistribution::from_graph(original),
+                       start_rng);
+  gen::TargetingOptions options;
+  options.attempts = 100000;
+  // Never satisfied: the chain keeps attempting swaps after reaching the
+  // target, so the measurement is sustained attempt throughput.
+  options.stop_distance = -1.0;
+  util::Rng rng(7);
+  std::uint64_t attempts = 0;
+  std::uint64_t accepted = 0;
+  for (auto _ : state) {
+    gen::RewiringStats stats;
+    benchmark::DoNotOptimize(
+        gen::target_2k(start, target, options, rng, &stats));
+    attempts += stats.attempts;
+    accepted += stats.accepted;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(attempts));
+  state.counters["accepted_per_second"] = benchmark::Counter(
+      static_cast<double>(accepted), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Target2KAttempts)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+// Swap-attempt throughput of 2K-preserving randomization.
+void BM_Randomize2KAttempts(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  gen::RandomizeOptions options;
+  options.d = 2;
+  options.attempts = 100000;
+  util::Rng rng(7);
+  std::uint64_t attempts = 0;
+  std::uint64_t accepted = 0;
+  for (auto _ : state) {
+    gen::RewiringStats stats;
+    benchmark::DoNotOptimize(gen::randomize(g, options, rng, &stats));
+    attempts += stats.attempts;
+    accepted += stats.accepted;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(attempts));
+  state.counters["accepted_per_second"] = benchmark::Counter(
+      static_cast<double>(accepted), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Randomize2KAttempts)->Arg(10000)->Unit(benchmark::kMillisecond);
 
 void BM_DkStateSwap(benchmark::State& state) {
   const auto g = make_graph(1 << 12);

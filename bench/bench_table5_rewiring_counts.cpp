@@ -10,10 +10,12 @@
 //
 // Expected shape: counts collapse by orders of magnitude from d=0 to
 // d=3 — the 3K space around HOT is tiny.
+#include <chrono>
 #include <cstdio>
 
 #include "common/bench_common.hpp"
 #include "gen/count_rewirings.hpp"
+#include "gen/rewiring.hpp"
 
 int main(int argc, char** argv) {
   using namespace orbis;
@@ -44,6 +46,35 @@ int main(int argc, char** argv) {
       "paper reference (their HOT):\n"
       "  d=0: 435,546,699 / -        d=1: 477,905 / 440,355\n"
       "  d=2: 326,409 / 268,871      d=3: 146 / 44\n"
-      "shape: ~9 orders of magnitude collapse from d=0 to d=3.\n");
+      "shape: ~9 orders of magnitude collapse from d=0 to d=3.\n\n");
+
+  // Companion measurement: realized swap throughput of the rewiring
+  // engine on the same graph.  The indexed candidate selection keeps the
+  // acceptance rate high where the seed implementation rejection-sampled
+  // the 2K constraint (engine baseline at n=10k: randomize d=2 went from
+  // 6.4M attempts/s at 22% acceptance to 3.3M attempts/s at ~99%
+  // acceptance — 1.4M -> 3.2M accepted swaps/s).
+  std::printf("rewiring-engine swap throughput on this graph:\n");
+  util::TextTable throughput(
+      {"d", "attempts/s", "accepted/s", "acceptance"});
+  for (int d = 1; d <= 3; ++d) {
+    auto rng = context.rng(1000 + static_cast<std::uint64_t>(d));
+    gen::RandomizeOptions options;
+    options.d = d;
+    options.attempts = d == 3 ? 20000 : 200000;
+    gen::RewiringStats stats;
+    const auto t0 = std::chrono::steady_clock::now();
+    gen::randomize(hot, options, rng, &stats);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    throughput.add_row(
+        {std::to_string(d),
+         util::TextTable::fmt_int(static_cast<std::int64_t>(
+             static_cast<double>(stats.attempts) / secs)),
+         util::TextTable::fmt_int(static_cast<std::int64_t>(
+             static_cast<double>(stats.accepted) / secs)),
+         std::to_string(stats.acceptance_rate())});
+  }
+  std::printf("%s\n", throughput.str().c_str());
   return 0;
 }

@@ -14,6 +14,13 @@ double clustering_weight(std::uint32_t degree) {
                 static_cast<double>(degree - 1));
 }
 
+void journal_add(DeltaJournal::Map& map, std::uint64_t key,
+                 std::int64_t delta) {
+  auto [it, inserted] = map.try_emplace(key, 0);
+  it->second += delta;
+  if (it->second == 0) map.erase(it);
+}
+
 }  // namespace
 
 DkState::DkState(Graph graph, TrackLevel level)
@@ -74,6 +81,7 @@ void DkState::bump_wedge(std::uint32_t end1, std::uint32_t center,
   const std::uint64_t key = util::wedge_key(end1, center, end2);
   const std::int64_t before = three_k_.wedges().count(key);
   three_k_.wedges().add(key, delta);
+  if (journaling_) journal_add(journal_.wedge, key, delta);
   if (listener_) listener_(BinKind::wedge, key, before, before + delta);
 }
 
@@ -83,6 +91,7 @@ void DkState::bump_triangle(std::uint32_t a, std::uint32_t b,
   const std::uint64_t key = util::triangle_key(a, b, c);
   const std::int64_t before = three_k_.triangles().count(key);
   three_k_.triangles().add(key, delta);
+  if (journaling_) journal_add(journal_.triangle, key, delta);
   if (listener_) listener_(BinKind::triangle, key, before, before + delta);
 }
 

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "core/joint_degree_distribution.hpp"
@@ -26,6 +27,26 @@
 #include "graph/graph.hpp"
 
 namespace orbis::dk {
+
+/// Net wedge/triangle histogram deltas accumulated between
+/// journal_begin/journal_end: bins whose net change is zero are dropped,
+/// so an in-flight double-edge swap is 3K-preserving iff the journal is
+/// empty afterwards.  Rewiring engines also read the non-zero deltas to
+/// evaluate ΔD3 incrementally against a target without a per-mutation
+/// callback.  JDD deltas are deliberately not journaled: a swap's four
+/// JDD bin moves follow in O(1) from the frozen endpoint degrees, so
+/// callers that need them compute them directly.
+struct DeltaJournal {
+  using Map = std::unordered_map<std::uint64_t, std::int64_t>;
+  Map wedge;
+  Map triangle;
+
+  bool all_zero() const noexcept { return wedge.empty() && triangle.empty(); }
+  void clear() noexcept {
+    wedge.clear();
+    triangle.clear();
+  }
+};
 
 enum class TrackLevel : int {
   jdd_only = 2,        // maintain 2K + S (cheap; for 1K/2K processes)
@@ -73,6 +94,17 @@ class DkState {
   }
   void clear_bin_listener() { listener_ = nullptr; }
 
+  // Delta journal: cheap alternative to a bin listener for code that
+  // only needs the net histogram change of a short mutation window
+  // (one double-edge swap).  begin clears and arms the journal; end
+  // disarms it.  The journal may be read while armed or after end.
+  void journal_begin() {
+    journal_.clear();
+    journaling_ = true;
+  }
+  void journal_end() { journaling_ = false; }
+  const DeltaJournal& journal() const noexcept { return journal_; }
+
   /// Recomputes everything from scratch and verifies it matches the
   /// incrementally maintained state (test/debug aid). Throws on mismatch.
   void verify_consistency() const;
@@ -102,6 +134,8 @@ class DkState {
   double s2_ = 0.0;
   double clustering_sum_ = 0.0;               // Σ_v 2 t_v / (k_v(k_v-1))
   BinListener listener_;
+  DeltaJournal journal_;
+  bool journaling_ = false;
 };
 
 }  // namespace orbis::dk

@@ -1,0 +1,213 @@
+#include "gen/edge_index.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/keys.hpp"
+
+namespace orbis::gen {
+
+namespace {
+
+std::size_t hash_capacity_for(std::size_t expected_edges) {
+  // Load factor <= 0.5 keeps linear-probe chains short; the capacity is
+  // static because double-edge swaps preserve the edge count.
+  std::size_t capacity = 16;
+  while (capacity < 2 * expected_edges + 1) capacity <<= 1;
+  return capacity;
+}
+
+}  // namespace
+
+FlatEdgeHash::FlatEdgeHash(std::size_t expected_edges) {
+  const std::size_t capacity = hash_capacity_for(expected_edges);
+  keys_.assign(capacity, 0);
+  slots_.assign(capacity, npos);
+  mask_ = capacity - 1;
+}
+
+void FlatEdgeHash::insert(std::uint64_t key, std::uint32_t slot) {
+  std::size_t i = index_of(key);
+  while (keys_[i] != 0) i = (i + 1) & mask_;
+  keys_[i] = key;
+  slots_[i] = slot;
+}
+
+std::uint32_t FlatEdgeHash::find(std::uint64_t key) const {
+  std::size_t i = index_of(key);
+  while (keys_[i] != 0) {
+    if (keys_[i] == key) return slots_[i];
+    i = (i + 1) & mask_;
+  }
+  return npos;
+}
+
+void FlatEdgeHash::reassign(std::uint64_t key, std::uint32_t slot) {
+  std::size_t i = index_of(key);
+  while (keys_[i] != key) {
+    util::ensures(keys_[i] != 0, "FlatEdgeHash::reassign: key not found");
+    i = (i + 1) & mask_;
+  }
+  slots_[i] = slot;
+}
+
+void FlatEdgeHash::erase(std::uint64_t key) {
+  std::size_t i = index_of(key);
+  while (keys_[i] != key) {
+    util::ensures(keys_[i] != 0, "FlatEdgeHash::erase: key not found");
+    i = (i + 1) & mask_;
+  }
+  // Backward-shift deletion: pull later chain members into the hole so
+  // probe sequences stay gap-free without tombstones.
+  std::size_t hole = i;
+  std::size_t probe = i;
+  while (true) {
+    probe = (probe + 1) & mask_;
+    if (keys_[probe] == 0) break;
+    const std::size_t ideal = index_of(keys_[probe]);
+    // The element at `probe` may fill the hole iff its ideal position
+    // is cyclically outside (hole, probe].
+    if (((probe - ideal) & mask_) >= ((probe - hole) & mask_)) {
+      keys_[hole] = keys_[probe];
+      slots_[hole] = slots_[probe];
+      hole = probe;
+    }
+  }
+  keys_[hole] = 0;
+  slots_[hole] = npos;
+}
+
+EdgeIndex::EdgeIndex(const Graph& g)
+    : edges_(g.edges()), hash_(g.num_edges()) {
+  const NodeId n = g.num_nodes();
+  degree_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    degree_[v] = static_cast<std::uint32_t>(g.degree(v));
+  }
+
+  // Degree classes, sorted by degree so class order mirrors degree order.
+  std::vector<std::uint32_t> distinct(degree_);
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  class_degree_ = distinct;
+  node_class_.resize(n);
+  class_nodes_.resize(class_degree_.size());
+  for (NodeId v = 0; v < n; ++v) {
+    const auto it = std::lower_bound(class_degree_.begin(),
+                                     class_degree_.end(), degree_[v]);
+    const auto cls =
+        static_cast<std::uint32_t>(it - class_degree_.begin());
+    node_class_[v] = cls;
+    class_nodes_[cls].push_back(v);
+  }
+
+  // CSR rows with fixed extents; filled edge by edge so the hash can
+  // record both adjacency positions.
+  row_offset_.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    row_offset_[v + 1] = row_offset_[v] + degree_[v];
+  }
+  adj_.assign(row_offset_[n], 0);
+  std::vector<std::uint32_t> fill(n, 0);
+
+  records_.resize(edges_.size());
+  buckets_.resize(class_degree_.size());
+  for (std::uint32_t slot = 0; slot < edges_.size(); ++slot) {
+    const auto [u, v] = edges_[slot];
+    const auto pos_u =
+        static_cast<std::uint32_t>(row_offset_[u] + fill[u]++);
+    const auto pos_v =
+        static_cast<std::uint32_t>(row_offset_[v] + fill[v]++);
+    adj_[pos_u] = v;
+    adj_[pos_v] = u;
+    records_[slot].pos_u = pos_u;
+    records_[slot].pos_v = pos_v;
+    hash_.insert(util::pair_key(u, v), slot);
+    bucket_insert(slot, true);
+    bucket_insert(slot, false);
+  }
+}
+
+std::uint32_t EdgeIndex::class_of_degree(std::uint32_t degree) const {
+  const auto it =
+      std::lower_bound(class_degree_.begin(), class_degree_.end(), degree);
+  if (it == class_degree_.end() || *it != degree) return npos;
+  return static_cast<std::uint32_t>(it - class_degree_.begin());
+}
+
+void EdgeIndex::bucket_insert(std::uint32_t slot, bool anchor_is_u) {
+  const Edge& e = edges_[slot];
+  const NodeId anchor = anchor_is_u ? e.u : e.v;
+  auto& bucket = buckets_[node_class_[anchor]];
+  bucket_backref(slot, anchor_is_u) =
+      static_cast<std::uint32_t>(bucket.size());
+  bucket.push_back(half_edge_handle(slot, anchor_is_u));
+}
+
+bool EdgeIndex::sample_half_edge(std::uint32_t cls, util::Rng& rng,
+                                 HalfEdge& out) const {
+  const auto& bucket = buckets_[cls];
+  if (bucket.empty()) return false;
+  const std::uint64_t handle = bucket[rng.uniform(bucket.size())];
+  out.slot = static_cast<std::uint32_t>(handle >> 1);
+  out.anchor_is_u = (handle & 1) != 0;
+  return true;
+}
+
+void EdgeIndex::apply_swap(NodeId a, NodeId b, NodeId c, NodeId d) {
+  const std::uint32_t s1 = hash_.find(util::pair_key(a, b));
+  const std::uint32_t s2 = hash_.find(util::pair_key(c, d));
+  util::ensures(s1 != npos && s2 != npos,
+                "EdgeIndex::apply_swap: edge not present");
+
+  EdgeRecord& r1 = records_[s1];
+  EdgeRecord& r2 = records_[s2];
+  const bool a_is_u = edges_[s1].u == a;
+  const bool c_is_u = edges_[s2].u == c;
+  // Adjacency cells in the stored orientation of each edge.
+  const std::uint32_t cell_a = a_is_u ? r1.pos_u : r1.pos_v;
+  const std::uint32_t cell_b = a_is_u ? r1.pos_v : r1.pos_u;
+  const std::uint32_t cell_c = c_is_u ? r2.pos_u : r2.pos_v;
+  const std::uint32_t cell_d = c_is_u ? r2.pos_v : r2.pos_u;
+  // Bucket positions of the half-edges anchored at a, b, c, d.  The swap
+  // keeps the same four anchors (a and d end up on s1, c and b on s2),
+  // so every bucket entry is rewritten in place — no erase/insert.
+  const std::uint32_t bpos_a = bucket_backref(s1, a_is_u);
+  const std::uint32_t bpos_b = bucket_backref(s1, !a_is_u);
+  const std::uint32_t bpos_c = bucket_backref(s2, c_is_u);
+  const std::uint32_t bpos_d = bucket_backref(s2, !c_is_u);
+
+  // (a,b),(c,d) -> (a,d),(c,b): each endpoint keeps its adjacency cell,
+  // only the stored neighbor changes.
+  adj_[cell_a] = d;  // a's cell: b -> d
+  adj_[cell_b] = c;  // b's cell: a -> c
+  adj_[cell_c] = b;  // c's cell: d -> b
+  adj_[cell_d] = a;  // d's cell: c -> a
+
+  hash_.erase(util::pair_key(a, b));
+  hash_.erase(util::pair_key(c, d));
+  edges_[s1] = Edge{a, d};
+  r1.pos_u = cell_a;
+  r1.pos_v = cell_d;
+  hash_.insert(util::pair_key(a, d), s1);
+  edges_[s2] = Edge{c, b};
+  r2.pos_u = cell_c;
+  r2.pos_v = cell_b;
+  hash_.insert(util::pair_key(c, b), s2);
+
+  buckets_[node_class_[a]][bpos_a] = half_edge_handle(s1, true);
+  r1.bucket_pos_u = bpos_a;
+  buckets_[node_class_[d]][bpos_d] = half_edge_handle(s1, false);
+  r1.bucket_pos_v = bpos_d;
+  buckets_[node_class_[c]][bpos_c] = half_edge_handle(s2, true);
+  r2.bucket_pos_u = bpos_c;
+  buckets_[node_class_[b]][bpos_b] = half_edge_handle(s2, false);
+  r2.bucket_pos_v = bpos_b;
+}
+
+Graph EdgeIndex::to_graph() const {
+  return Graph::from_edges_unchecked(num_nodes(), edges_);
+}
+
+}  // namespace orbis::gen

@@ -1,0 +1,97 @@
+// Incremental ΔD objective evaluation shared by the rewiring modes.
+//
+//   JddObjective    D2 against a target JDD over frozen degree classes:
+//                   a dense (current - target) difference matrix makes a
+//                   proposed swap's ΔD2 an O(1), allocation-free integer
+//                   computation, and doubles as the deviating-bin set the
+//                   guided 2K proposer samples from.
+//   ThreeKObjective D3 against a target 3K profile, evaluated from the
+//                   DkState delta journal of an applied swap (exact, no
+//                   per-mutation callback).
+//
+// Distances are exact integers: histogram counts and targets are counts,
+// so D_d = Σ (count - target)^2 has no floating-point drift, and "reached
+// the target" is distance() == 0, not a tolerance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dk_state.hpp"
+#include "core/joint_degree_distribution.hpp"
+#include "core/three_k_profile.hpp"
+#include "gen/edge_index.hpp"
+#include "util/rng.hpp"
+
+namespace orbis::gen {
+
+class JddObjective {
+ public:
+  JddObjective(const EdgeIndex& index,
+               const dk::JointDegreeDistribution& target);
+
+  /// Current D2 (includes any target bins whose degrees do not exist in
+  /// the graph — those are unreachable and contribute a constant).
+  std::int64_t distance() const noexcept { return distance_; }
+
+  /// Applies the bin moves of swap (a,b),(c,d) -> (a,d),(c,b), given the
+  /// four endpoint degree CLASSES, and returns ΔD2.  Mutates the
+  /// difference matrix; call revert() to undo a rejected trial.
+  std::int64_t apply(std::uint32_t ca, std::uint32_t cb, std::uint32_t cc,
+                     std::uint32_t cd);
+  void revert(std::uint32_t ca, std::uint32_t cb, std::uint32_t cc,
+              std::uint32_t cd);
+
+  /// Refreshes deviating-set membership of the four bins an accepted
+  /// swap touched (membership only changes at accepted swaps).
+  void commit(std::uint32_t ca, std::uint32_t cb, std::uint32_t cc,
+              std::uint32_t cd);
+
+  bool has_deviating_bin() const noexcept { return !deviating_.empty(); }
+
+  struct DeviatingBin {
+    std::uint32_t c1 = 0;  // canonical: c1 <= c2
+    std::uint32_t c2 = 0;
+    bool deficit = false;  // current < target: the bin wants a new edge
+  };
+  /// Uniform random deviating bin (requires has_deviating_bin()).
+  DeviatingBin sample_deviating_bin(util::Rng& rng) const;
+
+ private:
+  std::size_t cell(std::uint32_t c1, std::uint32_t c2) const {
+    // canonical (min,max) cell of the upper-triangular logical matrix
+    return c1 <= c2 ? c1 * num_classes_ + c2 : c2 * num_classes_ + c1;
+  }
+  std::int64_t bump(std::size_t cell_index, std::int64_t delta);
+  void refresh_deviation(std::uint32_t c1, std::uint32_t c2);
+
+  std::uint32_t num_classes_ = 0;
+  std::vector<std::int32_t> diff_;      // current - target, per class pair
+  std::int64_t distance_ = 0;
+
+  // Sampleable deviating set: packed (c1,c2) keys + position backrefs.
+  static constexpr std::uint32_t no_position = 0xffffffffu;
+  std::vector<std::uint64_t> deviating_;
+  std::vector<std::uint32_t> deviating_pos_;  // per cell, or no_position
+};
+
+class ThreeKObjective {
+ public:
+  ThreeKObjective(const dk::DkState& state, const dk::ThreeKProfile& target);
+
+  std::int64_t distance() const noexcept { return distance_; }
+
+  /// ΔD3 of the swap whose net bin changes are in `journal` (already
+  /// applied to `state`'s histograms), computed from the post-swap
+  /// counts.  Call commit() to fold it in, or nothing if the caller
+  /// reverts the swap.
+  std::int64_t delta_from_journal(const dk::DkState& state,
+                                  const dk::DeltaJournal& journal) const;
+  void commit(std::int64_t delta) noexcept { distance_ += delta; }
+
+ private:
+  const dk::ThreeKProfile* target_;
+  std::int64_t distance_ = 0;
+};
+
+}  // namespace orbis::gen

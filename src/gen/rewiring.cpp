@@ -1,210 +1,30 @@
 #include "gen/rewiring.hpp"
 
-#include <cmath>
-#include <unordered_map>
-
+#include "gen/rewiring_engine.hpp"
 #include "util/check.hpp"
+
+// Public rewiring entry points.  All dK-preserving swap machinery lives
+// in the RewiringEngine subsystem (rewiring_engine / edge_index /
+// objective); this file only dispatches modes and resolves budgets.
 
 namespace orbis::gen {
 
 namespace {
-
-/// A candidate double-edge swap: (a,b),(c,d) -> (a,d),(c,b).
-struct Swap {
-  NodeId a, b, c, d;
-};
-
-/// Draws a candidate with a uniformly random orientation of the second
-/// edge.  Returns false if the graph has fewer than 2 edges.
-bool draw_swap(const Graph& g, util::Rng& rng, Swap& swap) {
-  const std::size_t m = g.num_edges();
-  if (m < 2) return false;
-  const std::size_t i = rng.uniform(m);
-  std::size_t j = rng.uniform(m - 1);
-  if (j >= i) ++j;
-  const Edge e1 = g.edge_at(i);
-  Edge e2 = g.edge_at(j);
-  if (rng.bernoulli(0.5)) std::swap(e2.u, e2.v);
-  swap = Swap{e1.u, e1.v, e2.u, e2.v};
-  return true;
-}
-
-/// All four endpoints distinct and neither replacement edge present.
-bool structurally_valid(const Graph& g, const Swap& s) {
-  if (s.a == s.c || s.a == s.d || s.b == s.c || s.b == s.d) return false;
-  return !g.has_edge(s.a, s.d) && !g.has_edge(s.c, s.b);
-}
-
-/// Necessary and sufficient condition for the swap to preserve the JDD.
-bool preserves_jdd(const Swap& s, const dk::DkState& state) {
-  return state.frozen_degree(s.b) == state.frozen_degree(s.d) ||
-         state.frozen_degree(s.a) == state.frozen_degree(s.c);
-}
-
-bool preserves_jdd_plain(const Graph& g, const Swap& s) {
-  return g.degree(s.b) == g.degree(s.d) || g.degree(s.a) == g.degree(s.c);
-}
-
-void apply_swap(dk::DkState& state, const Swap& s) {
-  state.remove_edge(s.a, s.b);
-  state.remove_edge(s.c, s.d);
-  state.add_edge(s.a, s.d);
-  state.add_edge(s.c, s.b);
-}
-
-void revert_swap(dk::DkState& state, const Swap& s) {
-  state.remove_edge(s.a, s.d);
-  state.remove_edge(s.c, s.b);
-  state.add_edge(s.a, s.b);
-  state.add_edge(s.c, s.d);
-}
-
-/// Net histogram deltas of the in-flight swap, for exact 3K checks.
-class DeltaJournal {
- public:
-  void attach(dk::DkState& state) {
-    state.set_bin_listener([this](dk::BinKind kind, std::uint64_t key,
-                                  std::int64_t before, std::int64_t after) {
-      if (!recording_ || kind == dk::BinKind::jdd) return;
-      auto& map = (kind == dk::BinKind::wedge) ? wedge_ : triangle_;
-      auto [it, inserted] = map.try_emplace(key, 0);
-      it->second += after - before;
-      if (it->second == 0) map.erase(it);
-    });
-  }
-
-  void start() {
-    wedge_.clear();
-    triangle_.clear();
-    recording_ = true;
-  }
-  void stop() { recording_ = false; }
-  bool all_zero() const { return wedge_.empty() && triangle_.empty(); }
-
- private:
-  bool recording_ = false;
-  std::unordered_map<std::uint64_t, std::int64_t> wedge_;
-  std::unordered_map<std::uint64_t, std::int64_t> triangle_;
-};
 
 std::size_t budget_of(std::size_t attempts, std::size_t attempts_per_edge,
                       std::size_t m) {
   return attempts > 0 ? attempts : attempts_per_edge * m;
 }
 
-/// Sampleable set of histogram keys whose current count deviates from the
-/// target (vector + position map for O(1) insert/erase/sample).
-class DeviatingBins {
- public:
-  void set(std::uint64_t key, bool deviating) {
-    const auto it = position_.find(key);
-    if (deviating && it == position_.end()) {
-      position_.emplace(key, keys_.size());
-      keys_.push_back(key);
-    } else if (!deviating && it != position_.end()) {
-      const std::size_t index = it->second;
-      position_.erase(it);
-      keys_[index] = keys_.back();
-      if (index != keys_.size() - 1) position_[keys_[index]] = index;
-      keys_.pop_back();
-    }
-  }
-  bool empty() const noexcept { return keys_.empty(); }
-  std::uint64_t sample(util::Rng& rng) const {
-    return keys_[rng.uniform(keys_.size())];
-  }
-
- private:
-  std::vector<std::uint64_t> keys_;
-  std::unordered_map<std::uint64_t, std::size_t> position_;
-};
-
-/// Guided 2K proposal machinery: index nodes by (frozen) degree so a
-/// deviating bin (k1,k2) can be attacked directly.
-class GuidedProposer {
- public:
-  GuidedProposer(const dk::DkState& state,
-                 const dk::JointDegreeDistribution& target)
-      : state_(state), target_(target) {
-    const Graph& g = state.graph();
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      const std::uint32_t degree = state.frozen_degree(v);
-      if (degree >= nodes_by_degree_.size()) {
-        nodes_by_degree_.resize(degree + 1);
-      }
-      if (degree > 0) nodes_by_degree_[degree].push_back(v);
-    }
-  }
-
-  DeviatingBins& bins() noexcept { return deviating_; }
-
-  /// Builds a swap targeting a deviating bin; false if no proposal could
-  /// be formed this round (caller falls back to a uniform draw).
-  bool propose(util::Rng& rng, Swap& swap) const {
-    if (deviating_.empty()) return false;
-    const std::uint64_t key = deviating_.sample(rng);
-    const auto [k1, k2] = util::unpack_pair(key);
-    const bool deficit =
-        state_.jdd().histogram().count(key) < target_.histogram().count(key);
-    const Graph& g = state_.graph();
-
-    const NodeId u = pick_node(k1, rng);
-    if (deficit) {
-      // Create a (k1,k2) edge (u,v): remove (u,b) and (c,v), add (u,v)
-      // and (c,b).
-      const NodeId v = pick_node(k2, rng);
-      if (u == v || g.has_edge(u, v)) return false;
-      if (g.degree(u) == 0 || g.degree(v) == 0) return false;
-      const NodeId b = g.neighbors(u)[rng.uniform(g.degree(u))];
-      const NodeId c = g.neighbors(v)[rng.uniform(g.degree(v))];
-      swap = Swap{u, b, c, v};
-      return true;
-    }
-    // Destroy a (k1,k2) edge (u,v): swap it against a random edge.
-    const NodeId v = pick_neighbor_with_degree(u, k2, rng);
-    if (v == u) return false;  // no matching neighbor
-    if (g.num_edges() < 2) return false;
-    Edge other = g.edge_at(rng.uniform(g.num_edges()));
-    if (rng.bernoulli(0.5)) std::swap(other.u, other.v);
-    swap = Swap{u, v, other.u, other.v};
-    return true;
-  }
-
- private:
-  NodeId pick_node(std::uint32_t degree, util::Rng& rng) const {
-    const auto& candidates = nodes_by_degree_[degree];
-    return candidates[rng.uniform(candidates.size())];
-  }
-
-  /// Random neighbor of u with the given frozen degree; returns u when
-  /// none exists.
-  NodeId pick_neighbor_with_degree(NodeId u, std::uint32_t degree,
-                                   util::Rng& rng) const {
-    const auto nbrs = state_.graph().neighbors(u);
-    std::size_t matches = 0;
-    NodeId chosen = u;
-    for (const NodeId w : nbrs) {
-      if (state_.frozen_degree(w) == degree) {
-        ++matches;
-        if (rng.uniform(matches) == 0) chosen = w;  // reservoir sample
-      }
-    }
-    return chosen;
-  }
-
-  const dk::DkState& state_;
-  const dk::JointDegreeDistribution& target_;
-  DeviatingBins deviating_;
-  std::vector<std::vector<NodeId>> nodes_by_degree_;
-};
-
+/// 0K randomization is the one process that does not preserve degrees,
+/// so it runs on a plain Graph rather than the frozen-degree engine.
 Graph randomize_0k(const Graph& g, std::size_t budget, util::Rng& rng,
                    RewiringStats* stats) {
   Graph work = g;
   const NodeId n = work.num_nodes();
   for (std::size_t attempt = 0; attempt < budget; ++attempt) {
-    if (stats != nullptr) ++stats->attempts;
     if (work.num_edges() == 0 || n < 2) break;
+    if (stats != nullptr) ++stats->attempts;
     const Edge old_edge = work.edge_at(rng.uniform(work.num_edges()));
     const auto u = static_cast<NodeId>(rng.uniform(n));
     const auto v = static_cast<NodeId>(rng.uniform(n));
@@ -219,64 +39,6 @@ Graph randomize_0k(const Graph& g, std::size_t budget, util::Rng& rng,
   return work;
 }
 
-Graph randomize_plain(const Graph& g, int d, std::size_t budget,
-                      util::Rng& rng, RewiringStats* stats) {
-  // d == 1 or d == 2: no histogram bookkeeping needed, operate in place.
-  Graph work = g;
-  for (std::size_t attempt = 0; attempt < budget; ++attempt) {
-    if (stats != nullptr) ++stats->attempts;
-    Swap swap{};
-    if (!draw_swap(work, rng, swap)) break;
-    if (!structurally_valid(work, swap)) {
-      if (stats != nullptr) ++stats->rejected_structural;
-      continue;
-    }
-    if (d == 2 && !preserves_jdd_plain(work, swap)) {
-      if (stats != nullptr) ++stats->rejected_constraint;
-      continue;
-    }
-    work.remove_edge(swap.a, swap.b);
-    work.remove_edge(swap.c, swap.d);
-    work.add_edge(swap.a, swap.d);
-    work.add_edge(swap.c, swap.b);
-    if (stats != nullptr) ++stats->accepted;
-  }
-  return work;
-}
-
-Graph randomize_3k(const Graph& g, std::size_t budget, util::Rng& rng,
-                   RewiringStats* stats) {
-  dk::DkState state(g, dk::TrackLevel::full_three_k);
-  DeltaJournal journal;
-  journal.attach(state);
-  for (std::size_t attempt = 0; attempt < budget; ++attempt) {
-    if (stats != nullptr) ++stats->attempts;
-    Swap swap{};
-    if (!draw_swap(state.graph(), rng, swap)) break;
-    if (!structurally_valid(state.graph(), swap)) {
-      if (stats != nullptr) ++stats->rejected_structural;
-      continue;
-    }
-    // 3K-preserving rewirings are a subset of 2K-preserving ones; the JDD
-    // condition is a cheap necessary pre-filter.
-    if (!preserves_jdd(swap, state)) {
-      if (stats != nullptr) ++stats->rejected_constraint;
-      continue;
-    }
-    journal.start();
-    apply_swap(state, swap);
-    journal.stop();
-    if (journal.all_zero()) {
-      if (stats != nullptr) ++stats->accepted;
-    } else {
-      revert_swap(state, swap);
-      if (stats != nullptr) ++stats->rejected_constraint;
-    }
-  }
-  state.clear_bin_listener();
-  return state.graph();
-}
-
 }  // namespace
 
 Graph randomize(const Graph& g, const RandomizeOptions& options,
@@ -289,217 +51,142 @@ Graph randomize(const Graph& g, const RandomizeOptions& options,
     case 0:
       return randomize_0k(g, budget, rng, stats);
     case 1:
-    case 2:
-      return randomize_plain(g, options.d, budget, rng, stats);
-    default:
-      return randomize_3k(g, budget, rng, stats);
-  }
-}
-
-namespace {
-
-/// Shared Metropolis engine for 2K/3K targeting.  `distance` must be the
-/// very variable the caller's bin listener maintains — the engine reads
-/// it around each swap to obtain ΔD, and reverting a swap restores it
-/// exactly (the listener sees the inverse bin moves).  `propose` fills
-/// the candidate swap (guided or uniform); `constraint` filters it.
-template <typename ProposeFn, typename ConstraintFn>
-Graph run_targeting(dk::DkState& state, double& distance,
-                    const TargetingOptions& options, util::Rng& rng,
-                    RewiringStats* stats, double* final_distance,
-                    ProposeFn propose, ConstraintFn constraint) {
-  const std::size_t budget = budget_of(
-      options.attempts, options.attempts_per_edge, state.graph().num_edges());
-
-  for (std::size_t attempt = 0;
-       attempt < budget && distance > options.stop_distance; ++attempt) {
-    if (stats != nullptr) ++stats->attempts;
-    Swap swap{};
-    if (state.graph().num_edges() < 2) break;
-    if (!propose(swap)) {
-      if (stats != nullptr) ++stats->rejected_structural;
-      continue;
+    case 2: {
+      RewiringEngine engine(g);
+      engine.randomize(options.d, budget, rng, stats);
+      return engine.graph();
     }
-    if (!structurally_valid(state.graph(), swap)) {
-      if (stats != nullptr) ++stats->rejected_structural;
-      continue;
-    }
-    if (!constraint(swap)) {
-      if (stats != nullptr) ++stats->rejected_constraint;
-      continue;
-    }
-    const double before = distance;
-    apply_swap(state, swap);
-    const double delta = distance - before;
-    // Standard Metropolis: always accept downhill AND neutral moves
-    // (plateau diffusion is what lets greedy descent reach D = 0);
-    // uphill moves pass with probability e^{-ΔD/T}.
-    const bool accept =
-        delta <= 0.0 ||
-        (options.temperature > 0.0 &&
-         rng.uniform_real() < std::exp(-delta / options.temperature));
-    if (accept) {
-      if (stats != nullptr) ++stats->accepted;
-    } else {
-      revert_swap(state, swap);  // listener restores `distance` exactly
-      if (stats != nullptr) ++stats->rejected_objective;
+    default: {
+      ThreeKRewirer rewirer(g);
+      rewirer.randomize(budget, rng, stats);
+      return rewirer.graph();
     }
   }
-  if (final_distance != nullptr) *final_distance = distance;
-  state.clear_bin_listener();
-  return state.graph();
 }
-
-}  // namespace
 
 Graph target_2k(const Graph& start, const dk::JointDegreeDistribution& target,
                 const TargetingOptions& options, util::Rng& rng,
                 RewiringStats* stats, double* final_distance) {
-  dk::DkState state(start, dk::TrackLevel::jdd_only);
-  double distance = dk::SparseHistogram::squared_difference(
-      state.jdd().histogram(), target.histogram());
-
-  GuidedProposer guided(state, target);
-  // Seed the deviating-bin set from the initial histograms.
-  for (const auto& [key, count] : state.jdd().histogram().bins()) {
-    guided.bins().set(key, count != target.histogram().count(key));
+  const std::size_t budget = budget_of(
+      options.attempts, options.attempts_per_edge, start.num_edges());
+  RewiringEngine engine(start);
+  const std::int64_t distance =
+      engine.target_2k(target, options, budget, rng, stats);
+  if (final_distance != nullptr) {
+    *final_distance = static_cast<double>(distance);
   }
-  for (const auto& [key, count] : target.histogram().bins()) {
-    if (state.jdd().histogram().count(key) != count) {
-      guided.bins().set(key, true);
-    }
-  }
-
-  // D2 is maintained incrementally: each bin move old->new contributes
-  // (new-t)^2 - (old-t)^2.  The deviating-bin set rides along.
-  double* distance_ptr = &distance;
-  const auto* target_hist = &target.histogram();
-  auto* guided_ptr = &guided;
-  state.set_bin_listener([distance_ptr, target_hist, guided_ptr](
-                             dk::BinKind kind, std::uint64_t key,
-                             std::int64_t before, std::int64_t after) {
-    if (kind != dk::BinKind::jdd) return;
-    const std::int64_t t = target_hist->count(key);
-    const double b = static_cast<double>(before - t);
-    const double a = static_cast<double>(after - t);
-    *distance_ptr += a * a - b * b;
-    guided_ptr->bins().set(key, after != t);
-  });
-
-  const auto propose = [&](Swap& swap) {
-    if (rng.bernoulli(options.guided_fraction) &&
-        guided.propose(rng, swap)) {
-      return true;
-    }
-    return draw_swap(state.graph(), rng, swap);
-  };
-  return run_targeting(state, distance, options, rng, stats, final_distance,
-                       propose, [](const Swap&) { return true; });
+  return engine.graph();
 }
 
 Graph target_3k(const Graph& start, const dk::ThreeKProfile& target,
                 const TargetingOptions& options, util::Rng& rng,
                 RewiringStats* stats, double* final_distance) {
-  dk::DkState state(start, dk::TrackLevel::full_three_k);
-  double distance =
-      dk::SparseHistogram::squared_difference(state.three_k().wedges(),
-                                              target.wedges()) +
-      dk::SparseHistogram::squared_difference(state.three_k().triangles(),
-                                              target.triangles());
+  const std::size_t budget = budget_of(
+      options.attempts, options.attempts_per_edge, start.num_edges());
+  ThreeKRewirer rewirer(start);
+  const std::int64_t distance =
+      rewirer.target(target, options, budget, rng, stats);
+  if (final_distance != nullptr) {
+    *final_distance = static_cast<double>(distance);
+  }
+  return rewirer.graph();
+}
 
-  double* distance_ptr = &distance;
-  const auto* wedge_target = &target.wedges();
-  const auto* triangle_target = &target.triangles();
-  state.set_bin_listener([distance_ptr, wedge_target, triangle_target](
-                             dk::BinKind kind, std::uint64_t key,
-                             std::int64_t before, std::int64_t after) {
-    if (kind == dk::BinKind::jdd) return;  // invariant under 2K swaps
-    const auto* hist =
-        (kind == dk::BinKind::wedge) ? wedge_target : triangle_target;
-    const double t = static_cast<double>(hist->count(key));
-    const double b = static_cast<double>(before) - t;
-    const double a = static_cast<double>(after) - t;
-    *distance_ptr += a * a - b * b;
-  });
+namespace {
 
-  const auto propose = [&](Swap& swap) {
-    return draw_swap(state.graph(), rng, swap);
-  };
-  return run_targeting(
-      state, distance, options, rng, stats, final_distance, propose,
-      [&state](const Swap& s) { return preserves_jdd(s, state); });
+void accumulate(RewiringStats& total, const RewiringStats& chain) {
+  total.attempts += chain.attempts;
+  total.accepted += chain.accepted;
+  total.rejected_structural += chain.rejected_structural;
+  total.rejected_constraint += chain.rejected_constraint;
+  total.rejected_objective += chain.rejected_objective;
+}
+
+Graph finish_multichain(std::vector<ChainOutcome>& outcomes,
+                        std::size_t best, MultiChainResult* result) {
+  if (result != nullptr) {
+    result->best_chain = best;
+    result->best_distance = outcomes[best].distance;
+    result->total_stats = RewiringStats{};
+    for (const auto& outcome : outcomes) {
+      accumulate(result->total_stats, outcome.stats);
+    }
+  }
+  return std::move(outcomes[best].graph);
+}
+
+}  // namespace
+
+Graph target_2k_multichain(const Graph& start,
+                           const dk::JointDegreeDistribution& target,
+                           const TargetingOptions& options,
+                           const MultiChainOptions& chains, util::Rng& rng,
+                           MultiChainResult* result) {
+  const std::size_t budget = budget_of(
+      options.attempts, options.attempts_per_edge, start.num_edges());
+  std::vector<ChainOutcome> outcomes;
+  const std::size_t best = run_multichain(
+      chains.chains, rng,
+      [&](std::size_t, util::Rng& chain_rng) {
+        ChainOutcome outcome;
+        RewiringEngine engine(start);
+        outcome.distance = static_cast<double>(engine.target_2k(
+            target, options, budget, chain_rng, &outcome.stats));
+        outcome.graph = engine.graph();
+        return outcome;
+      },
+      outcomes);
+  return finish_multichain(outcomes, best, result);
+}
+
+Graph target_3k_multichain(const Graph& start,
+                           const dk::ThreeKProfile& target,
+                           const TargetingOptions& options,
+                           const MultiChainOptions& chains, util::Rng& rng,
+                           MultiChainResult* result) {
+  const std::size_t budget = budget_of(
+      options.attempts, options.attempts_per_edge, start.num_edges());
+  std::vector<ChainOutcome> outcomes;
+  const std::size_t best = run_multichain(
+      chains.chains, rng,
+      [&](std::size_t, util::Rng& chain_rng) {
+        ChainOutcome outcome;
+        ThreeKRewirer rewirer(start);
+        outcome.distance = static_cast<double>(rewirer.target(
+            target, options, budget, chain_rng, &outcome.stats));
+        outcome.graph = rewirer.graph();
+        return outcome;
+      },
+      outcomes);
+  return finish_multichain(outcomes, best, result);
 }
 
 Graph explore(const Graph& g, ExploreObjective objective,
               const ExploreOptions& options, util::Rng& rng,
               RewiringStats* stats) {
-  const bool needs_three_k = objective != ExploreObjective::maximize_s &&
-                             objective != ExploreObjective::minimize_s;
-  const bool constrain_jdd = needs_three_k;  // S2/C̄ live in 2K space
-  // Exploration only reads the scalar objectives, so skip the (hub-
-  // expensive) wedge/triangle histogram maintenance.
-  dk::DkState state(g, needs_three_k ? dk::TrackLevel::three_k_scalars
-                                     : dk::TrackLevel::jdd_only);
-
-  const auto current = [&]() -> double {
-    switch (objective) {
-      case ExploreObjective::maximize_s:
-      case ExploreObjective::minimize_s:
-        return state.likelihood_s();
-      case ExploreObjective::maximize_s2:
-      case ExploreObjective::minimize_s2:
-        return state.second_order_likelihood();
-      default:
-        return state.mean_clustering();
-    }
-  };
-  const bool maximize = objective == ExploreObjective::maximize_s ||
-                        objective == ExploreObjective::maximize_s2 ||
-                        objective == ExploreObjective::maximize_clustering;
-
-  const bool has_stop = !std::isnan(options.stop_at_value);
-  const auto reached_stop = [&]() {
-    if (!has_stop) return false;
-    return maximize ? current() >= options.stop_at_value
-                    : current() <= options.stop_at_value;
-  };
-
   const std::size_t budget =
       budget_of(options.attempts, options.attempts_per_edge, g.num_edges());
-  for (std::size_t attempt = 0; attempt < budget && !reached_stop();
-       ++attempt) {
-    if (stats != nullptr) ++stats->attempts;
-    Swap swap{};
-    if (!draw_swap(state.graph(), rng, swap)) break;
-    if (!structurally_valid(state.graph(), swap)) {
-      if (stats != nullptr) ++stats->rejected_structural;
-      continue;
-    }
-    if (constrain_jdd && !preserves_jdd(swap, state)) {
-      if (stats != nullptr) ++stats->rejected_constraint;
-      continue;
-    }
-    const double before = current();
-    apply_swap(state, swap);
-    const double delta = current() - before;
-    const bool improved = maximize ? delta > 0.0 : delta < 0.0;
-    if (improved) {
-      if (stats != nullptr) ++stats->accepted;
-    } else {
-      revert_swap(state, swap);
-      if (stats != nullptr) ++stats->rejected_objective;
-    }
+  const bool s_objective = objective == ExploreObjective::maximize_s ||
+                           objective == ExploreObjective::minimize_s;
+  if (s_objective) {
+    RewiringEngine engine(g);
+    engine.explore_s(objective == ExploreObjective::maximize_s, budget,
+                     options.stop_at_value, rng, stats);
+    return engine.graph();
   }
-  state.clear_bin_listener();
-  return state.graph();
+  // Exploration only reads the scalar objectives, so skip the (hub-
+  // expensive) wedge/triangle histogram maintenance.
+  ThreeKRewirer rewirer(g, dk::TrackLevel::three_k_scalars);
+  rewirer.explore(objective, budget, options.stop_at_value, rng, stats);
+  return rewirer.graph();
 }
 
 double objective_value(const Graph& g, ExploreObjective objective) {
   switch (objective) {
     case ExploreObjective::maximize_s:
     case ExploreObjective::minimize_s: {
-      dk::DkState state(g, dk::TrackLevel::jdd_only);
-      return state.likelihood_s();
+      RewiringEngine engine(g);
+      return engine.likelihood_s();
     }
     case ExploreObjective::maximize_s2:
     case ExploreObjective::minimize_s2: {

@@ -94,6 +94,37 @@ Graph target_3k(const Graph& start, const dk::ThreeKProfile& target,
                 double* final_distance = nullptr);
 
 // ---------------------------------------------------------------------------
+// Multi-chain targeting.
+// ---------------------------------------------------------------------------
+
+struct MultiChainOptions {
+  std::size_t chains = 4;  // independently seeded annealing chains
+};
+
+struct MultiChainResult {
+  std::size_t best_chain = 0;
+  double best_distance = 0.0;
+  RewiringStats total_stats;  // summed over all chains
+};
+
+/// Runs `options.chains` independently seeded targeting chains in
+/// parallel (std::thread) and returns the best-distance result.  Chain
+/// seeds are drawn from `rng` up front and ties go to the lowest chain
+/// id, so the returned graph is a deterministic function of the inputs,
+/// independent of thread scheduling.
+Graph target_2k_multichain(const Graph& start,
+                           const dk::JointDegreeDistribution& target,
+                           const TargetingOptions& options,
+                           const MultiChainOptions& chains, util::Rng& rng,
+                           MultiChainResult* result = nullptr);
+
+Graph target_3k_multichain(const Graph& start,
+                           const dk::ThreeKProfile& target,
+                           const TargetingOptions& options,
+                           const MultiChainOptions& chains, util::Rng& rng,
+                           MultiChainResult* result = nullptr);
+
+// ---------------------------------------------------------------------------
 // dK-space exploration (§4.3).
 // ---------------------------------------------------------------------------
 

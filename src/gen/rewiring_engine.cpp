@@ -1,0 +1,406 @@
+#include "gen/rewiring_engine.hpp"
+
+#include <cmath>
+#include <exception>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace orbis::gen {
+
+namespace {
+
+/// Uniform candidate: two distinct edge slots, random orientation of the
+/// second edge.  False iff the graph has fewer than 2 edges.
+bool draw_uniform_from(const EdgeIndex& index, util::Rng& rng, Swap& swap) {
+  const std::size_t m = index.num_edges();
+  if (m < 2) return false;
+  const std::size_t i = rng.uniform(m);
+  std::size_t j = rng.uniform(m - 1);
+  if (j >= i) ++j;
+  const Edge e1 = index.edge_at(static_cast<std::uint32_t>(i));
+  Edge e2 = index.edge_at(static_cast<std::uint32_t>(j));
+  if (rng.bernoulli(0.5)) std::swap(e2.u, e2.v);
+  swap = Swap{e1.u, e1.v, e2.u, e2.v};
+  return true;
+}
+
+/// 2K-preserving candidate drawn directly from the degree buckets: after
+/// orienting the first edge (a,b), the partner edge is a half-edge
+/// anchored in class(b) (giving deg(d) = deg(b)) or in class(a) (giving
+/// deg(c) = deg(a)) — the two branches of the JDD-preservation condition
+/// — so no proposal is ever rejected for breaking the JDD.
+bool draw_jdd_preserving_from(const EdgeIndex& index, util::Rng& rng,
+                              Swap& swap) {
+  const std::size_t m = index.num_edges();
+  if (m < 2) return false;
+  Edge e1 = index.edge_at(index.sample_edge(rng));
+  if (rng.bernoulli(0.5)) std::swap(e1.u, e1.v);
+  const NodeId a = e1.u;
+  const NodeId b = e1.v;
+
+  EdgeIndex::HalfEdge half;
+  if (rng.bernoulli(0.5)) {
+    // Partner (c,d) with d in b's degree class.
+    if (!index.sample_half_edge(index.node_class(b), rng, half)) return false;
+    const Edge& e2 = index.edge_at(half.slot);
+    const NodeId d = half.anchor_is_u ? e2.u : e2.v;
+    const NodeId c = half.anchor_is_u ? e2.v : e2.u;
+    swap = Swap{a, b, c, d};
+  } else {
+    // Partner (c,d) with c in a's degree class.
+    if (!index.sample_half_edge(index.node_class(a), rng, half)) return false;
+    const Edge& e2 = index.edge_at(half.slot);
+    const NodeId c = half.anchor_is_u ? e2.u : e2.v;
+    const NodeId d = half.anchor_is_u ? e2.v : e2.u;
+    swap = Swap{a, b, c, d};
+  }
+  return true;
+}
+
+bool structurally_valid_in(const EdgeIndex& index, const Swap& s) {
+  if (s.a == s.c || s.a == s.d || s.b == s.c || s.b == s.d) return false;
+  return !index.has_edge(s.a, s.d) && !index.has_edge(s.c, s.b);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RewiringEngine: 1K-frozen fast paths.
+// ---------------------------------------------------------------------------
+
+bool RewiringEngine::draw_uniform(util::Rng& rng, Swap& swap) const {
+  return draw_uniform_from(index_, rng, swap);
+}
+
+bool RewiringEngine::draw_jdd_preserving(util::Rng& rng, Swap& swap) const {
+  return draw_jdd_preserving_from(index_, rng, swap);
+}
+
+bool RewiringEngine::structurally_valid(const Swap& swap) const {
+  return structurally_valid_in(index_, swap);
+}
+
+void RewiringEngine::randomize(int d, std::size_t budget, util::Rng& rng,
+                               RewiringStats* stats) {
+  util::expects(d == 1 || d == 2, "RewiringEngine::randomize: d must be 1|2");
+  for (std::size_t attempt = 0; attempt < budget; ++attempt) {
+    if (index_.num_edges() < 2) break;
+    if (stats != nullptr) ++stats->attempts;
+    Swap swap{};
+    const bool drawn = d == 2 ? draw_jdd_preserving(rng, swap)
+                              : draw_uniform(rng, swap);
+    if (!drawn || !structurally_valid(swap)) {
+      if (stats != nullptr) ++stats->rejected_structural;
+      continue;
+    }
+    index_.apply_swap(swap.a, swap.b, swap.c, swap.d);
+    if (stats != nullptr) ++stats->accepted;
+  }
+}
+
+bool RewiringEngine::propose_guided(const JddObjective& objective,
+                                    util::Rng& rng, Swap& swap) const {
+  if (!objective.has_deviating_bin()) return false;
+  const auto bin = objective.sample_deviating_bin(rng);
+
+  const auto& candidates1 = index_.nodes_in_class(bin.c1);
+  const NodeId u = candidates1[rng.uniform(candidates1.size())];
+  if (bin.deficit) {
+    // Create a (k1,k2) edge (u,v): remove (u,b),(c,v), add (u,v),(c,b).
+    const auto& candidates2 = index_.nodes_in_class(bin.c2);
+    const NodeId v = candidates2[rng.uniform(candidates2.size())];
+    if (u == v || index_.has_edge(u, v)) return false;
+    if (index_.degree(u) == 0 || index_.degree(v) == 0) return false;
+    const auto u_nbrs = index_.neighbors(u);
+    const auto v_nbrs = index_.neighbors(v);
+    const NodeId b = u_nbrs[rng.uniform(u_nbrs.size())];
+    const NodeId c = v_nbrs[rng.uniform(v_nbrs.size())];
+    swap = Swap{u, b, c, v};
+    return true;
+  }
+  // Destroy a (k1,k2) edge (u,v): reservoir-pick a class-c2 neighbor of
+  // u and swap the edge against a uniformly random partner.
+  NodeId v = u;
+  std::size_t matches = 0;
+  for (const NodeId w : index_.neighbors(u)) {
+    if (index_.node_class(w) == bin.c2) {
+      ++matches;
+      if (rng.uniform(matches) == 0) v = w;
+    }
+  }
+  if (v == u) return false;  // no matching neighbor
+  Edge other = index_.edge_at(index_.sample_edge(rng));
+  if (rng.bernoulli(0.5)) std::swap(other.u, other.v);
+  swap = Swap{u, v, other.u, other.v};
+  return true;
+}
+
+std::int64_t RewiringEngine::target_2k(
+    const dk::JointDegreeDistribution& target,
+    const TargetingOptions& options, std::size_t budget, util::Rng& rng,
+    RewiringStats* stats) {
+  JddObjective objective(index_, target);
+
+  for (std::size_t attempt = 0;
+       attempt < budget &&
+       static_cast<double>(objective.distance()) > options.stop_distance;
+       ++attempt) {
+    if (index_.num_edges() < 2) break;
+    if (stats != nullptr) ++stats->attempts;
+    Swap swap{};
+    const bool drawn = (rng.bernoulli(options.guided_fraction) &&
+                        propose_guided(objective, rng, swap)) ||
+                       draw_uniform(rng, swap);
+    if (!drawn || !structurally_valid(swap)) {
+      if (stats != nullptr) ++stats->rejected_structural;
+      continue;
+    }
+
+    const std::uint32_t ca = index_.node_class(swap.a);
+    const std::uint32_t cb = index_.node_class(swap.b);
+    const std::uint32_t cc = index_.node_class(swap.c);
+    const std::uint32_t cd = index_.node_class(swap.d);
+    const std::int64_t delta = objective.apply(ca, cb, cc, cd);
+    // Standard Metropolis: always accept downhill AND neutral moves
+    // (plateau diffusion is what lets greedy descent reach D = 0);
+    // uphill moves pass with probability e^{-ΔD/T}.
+    const bool accept =
+        delta <= 0 ||
+        (options.temperature > 0.0 &&
+         rng.uniform_real() <
+             std::exp(-static_cast<double>(delta) / options.temperature));
+    if (accept) {
+      index_.apply_swap(swap.a, swap.b, swap.c, swap.d);
+      objective.commit(ca, cb, cc, cd);
+      if (stats != nullptr) ++stats->accepted;
+    } else {
+      objective.revert(ca, cb, cc, cd);
+      if (stats != nullptr) ++stats->rejected_objective;
+    }
+  }
+  return objective.distance();
+}
+
+double RewiringEngine::likelihood_s() const noexcept {
+  double s = 0.0;
+  for (const auto& e : index_.edges()) {
+    s += static_cast<double>(index_.degree(e.u)) *
+         static_cast<double>(index_.degree(e.v));
+  }
+  return s;
+}
+
+void RewiringEngine::explore_s(bool maximize, std::size_t budget,
+                               double stop_at, util::Rng& rng,
+                               RewiringStats* stats) {
+  double s = likelihood_s();
+  const bool has_stop = !std::isnan(stop_at);
+  const auto reached_stop = [&]() {
+    if (!has_stop) return false;
+    return maximize ? s >= stop_at : s <= stop_at;
+  };
+
+  for (std::size_t attempt = 0; attempt < budget && !reached_stop();
+       ++attempt) {
+    if (index_.num_edges() < 2) break;
+    if (stats != nullptr) ++stats->attempts;
+    Swap swap{};
+    if (!draw_uniform(rng, swap) || !structurally_valid(swap)) {
+      if (stats != nullptr) ++stats->rejected_structural;
+      continue;
+    }
+    const double da = static_cast<double>(index_.degree(swap.a));
+    const double db = static_cast<double>(index_.degree(swap.b));
+    const double dc = static_cast<double>(index_.degree(swap.c));
+    const double dd = static_cast<double>(index_.degree(swap.d));
+    // ΔS of (a,b),(c,d) -> (a,d),(c,b) over frozen degrees.
+    const double delta = (da - dc) * (dd - db);
+    const bool improved = maximize ? delta > 0.0 : delta < 0.0;
+    if (improved) {
+      index_.apply_swap(swap.a, swap.b, swap.c, swap.d);
+      s += delta;
+      if (stats != nullptr) ++stats->accepted;
+    } else {
+      if (stats != nullptr) ++stats->rejected_objective;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ThreeKRewirer: DkState histograms + EdgeIndex candidate selection.
+// ---------------------------------------------------------------------------
+
+ThreeKRewirer::ThreeKRewirer(const Graph& start, dk::TrackLevel level)
+    : state_(start, level), index_(start) {}
+
+bool ThreeKRewirer::draw_candidate(util::Rng& rng, Swap& swap) const {
+  return draw_jdd_preserving_from(index_, rng, swap) &&
+         structurally_valid_in(index_, swap);
+}
+
+void ThreeKRewirer::apply(const Swap& s) {
+  state_.remove_edge(s.a, s.b);
+  state_.remove_edge(s.c, s.d);
+  state_.add_edge(s.a, s.d);
+  state_.add_edge(s.c, s.b);
+}
+
+void ThreeKRewirer::revert(const Swap& s) {
+  state_.remove_edge(s.a, s.d);
+  state_.remove_edge(s.c, s.b);
+  state_.add_edge(s.a, s.b);
+  state_.add_edge(s.c, s.d);
+}
+
+void ThreeKRewirer::randomize(std::size_t budget, util::Rng& rng,
+                              RewiringStats* stats) {
+  for (std::size_t attempt = 0; attempt < budget; ++attempt) {
+    if (index_.num_edges() < 2) break;
+    if (stats != nullptr) ++stats->attempts;
+    Swap swap{};
+    if (!draw_candidate(rng, swap)) {
+      if (stats != nullptr) ++stats->rejected_structural;
+      continue;
+    }
+    // Candidates preserve the JDD by construction; 3K preservation is
+    // verified exactly against the wedge/triangle delta journal.
+    state_.journal_begin();
+    apply(swap);
+    state_.journal_end();
+    if (state_.journal().all_zero()) {
+      index_.apply_swap(swap.a, swap.b, swap.c, swap.d);
+      if (stats != nullptr) ++stats->accepted;
+    } else {
+      revert(swap);
+      if (stats != nullptr) ++stats->rejected_constraint;
+    }
+  }
+}
+
+std::int64_t ThreeKRewirer::target(const dk::ThreeKProfile& target,
+                                   const TargetingOptions& options,
+                                   std::size_t budget, util::Rng& rng,
+                                   RewiringStats* stats) {
+  ThreeKObjective objective(state_, target);
+
+  for (std::size_t attempt = 0;
+       attempt < budget &&
+       static_cast<double>(objective.distance()) > options.stop_distance;
+       ++attempt) {
+    if (index_.num_edges() < 2) break;
+    if (stats != nullptr) ++stats->attempts;
+    Swap swap{};
+    if (!draw_candidate(rng, swap)) {
+      if (stats != nullptr) ++stats->rejected_structural;
+      continue;
+    }
+    state_.journal_begin();
+    apply(swap);
+    state_.journal_end();
+    const std::int64_t delta =
+        objective.delta_from_journal(state_, state_.journal());
+    const bool accept =
+        delta <= 0 ||
+        (options.temperature > 0.0 &&
+         rng.uniform_real() <
+             std::exp(-static_cast<double>(delta) / options.temperature));
+    if (accept) {
+      objective.commit(delta);
+      index_.apply_swap(swap.a, swap.b, swap.c, swap.d);
+      if (stats != nullptr) ++stats->accepted;
+    } else {
+      revert(swap);
+      if (stats != nullptr) ++stats->rejected_objective;
+    }
+  }
+  return objective.distance();
+}
+
+void ThreeKRewirer::explore(ExploreObjective objective, std::size_t budget,
+                            double stop_at, util::Rng& rng,
+                            RewiringStats* stats) {
+  const auto current = [&]() -> double {
+    switch (objective) {
+      case ExploreObjective::maximize_s2:
+      case ExploreObjective::minimize_s2:
+        return state_.second_order_likelihood();
+      default:
+        return state_.mean_clustering();
+    }
+  };
+  const bool maximize = objective == ExploreObjective::maximize_s2 ||
+                        objective == ExploreObjective::maximize_clustering;
+  const bool has_stop = !std::isnan(stop_at);
+  const auto reached_stop = [&]() {
+    if (!has_stop) return false;
+    return maximize ? current() >= stop_at : current() <= stop_at;
+  };
+
+  for (std::size_t attempt = 0; attempt < budget && !reached_stop();
+       ++attempt) {
+    if (index_.num_edges() < 2) break;
+    if (stats != nullptr) ++stats->attempts;
+    Swap swap{};
+    if (!draw_candidate(rng, swap)) {
+      if (stats != nullptr) ++stats->rejected_structural;
+      continue;
+    }
+    const double before = current();
+    apply(swap);
+    const double delta = current() - before;
+    const bool improved = maximize ? delta > 0.0 : delta < 0.0;
+    if (improved) {
+      index_.apply_swap(swap.a, swap.b, swap.c, swap.d);
+      if (stats != nullptr) ++stats->accepted;
+    } else {
+      revert(swap);
+      if (stats != nullptr) ++stats->rejected_objective;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-chain driver.
+// ---------------------------------------------------------------------------
+
+std::size_t run_multichain(
+    std::size_t chains, util::Rng& rng,
+    const std::function<ChainOutcome(std::size_t, util::Rng&)>& run_chain,
+    std::vector<ChainOutcome>& outcomes) {
+  util::expects(chains > 0, "run_multichain: need at least one chain");
+
+  // Seeds are drawn up front so the chain set is a deterministic
+  // function of `rng` no matter how threads are scheduled.
+  std::vector<std::uint64_t> seeds(chains);
+  for (auto& seed : seeds) seed = rng.next();
+
+  outcomes.assign(chains, ChainOutcome{});
+  std::vector<std::exception_ptr> errors(chains);
+  std::vector<std::thread> workers;
+  workers.reserve(chains);
+  for (std::size_t chain = 0; chain < chains; ++chain) {
+    workers.emplace_back([&, chain]() {
+      try {
+        util::Rng chain_rng(seeds[chain]);
+        outcomes[chain] = run_chain(chain, chain_rng);
+      } catch (...) {
+        errors[chain] = std::current_exception();
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  std::size_t best = 0;
+  for (std::size_t chain = 1; chain < chains; ++chain) {
+    if (outcomes[chain].distance < outcomes[best].distance) best = chain;
+  }
+  return best;
+}
+
+}  // namespace orbis::gen

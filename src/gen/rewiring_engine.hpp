@@ -1,0 +1,128 @@
+// The rewiring engine: high-throughput double-edge-swap machinery built
+// on the flat EdgeIndex (O(1) edge sampling, O(1) duplicate lookup,
+// degree-class buckets) and the incremental objectives in objective.hpp.
+//
+// Layering:
+//   * RewiringEngine      — 1K-frozen fast paths that never touch a
+//                           DkState: randomizing at d=1/2, 2K-targeting
+//                           with integer ΔD2, and S exploration.  All
+//                           graph state lives in the EdgeIndex.
+//   * ThreeKRewirer       — 3K paths that need wedge/triangle
+//                           bookkeeping: DkState carries the histograms
+//                           (with the delta-journal API), while an
+//                           EdgeIndex side-car supplies 2K-preserving
+//                           swap candidates directly from the degree
+//                           buckets instead of rejection sampling.
+//   * run_multichain      — K independently seeded chains on
+//                           std::thread; the best-distance result wins,
+//                           ties broken by lowest chain id so the
+//                           outcome is independent of thread scheduling.
+//
+// The public entry points in rewiring.hpp are thin wrappers over these.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/dk_state.hpp"
+#include "gen/edge_index.hpp"
+#include "gen/objective.hpp"
+#include "gen/rewiring.hpp"
+#include "util/rng.hpp"
+
+namespace orbis::gen {
+
+/// A candidate double-edge swap: (a,b),(c,d) -> (a,d),(c,b).
+struct Swap {
+  NodeId a = 0, b = 0, c = 0, d = 0;
+};
+
+class RewiringEngine {
+ public:
+  explicit RewiringEngine(const Graph& start) : index_(start) {}
+
+  const EdgeIndex& index() const noexcept { return index_; }
+  Graph graph() const { return index_.to_graph(); }
+
+  /// dK-randomizing rewiring at d = 1 or 2 (degree-preserving swaps; at
+  /// d = 2 candidates come from the degree buckets, so every structurally
+  /// valid proposal already preserves the JDD).
+  void randomize(int d, std::size_t budget, util::Rng& rng,
+                 RewiringStats* stats);
+
+  /// 2K-targeting 1K-preserving Metropolis rewiring.  Returns the exact
+  /// integer D2 after the run.
+  std::int64_t target_2k(const dk::JointDegreeDistribution& target,
+                         const TargetingOptions& options, std::size_t budget,
+                         util::Rng& rng, RewiringStats* stats);
+
+  /// 1K-preserving greedy exploration of the likelihood S.  `stop_at`
+  /// is NaN to run the budget out.
+  void explore_s(bool maximize, std::size_t budget, double stop_at,
+                 util::Rng& rng, RewiringStats* stats);
+
+  /// Current S = Σ_edges k_u k_v over frozen degrees.
+  double likelihood_s() const noexcept;
+
+ private:
+  bool draw_uniform(util::Rng& rng, Swap& swap) const;
+  bool draw_jdd_preserving(util::Rng& rng, Swap& swap) const;
+  bool propose_guided(const JddObjective& objective, util::Rng& rng,
+                      Swap& swap) const;
+  bool structurally_valid(const Swap& swap) const;
+
+  EdgeIndex index_;
+};
+
+/// 3K machinery: DkState histograms + EdgeIndex candidate selection.
+class ThreeKRewirer {
+ public:
+  /// `level` must be full_three_k for randomize/target (they read the
+  /// wedge/triangle journal); exploration only optimizes the scalars and
+  /// may skip histogram maintenance with three_k_scalars.
+  explicit ThreeKRewirer(
+      const Graph& start,
+      dk::TrackLevel level = dk::TrackLevel::full_three_k);
+
+  /// 3K-preserving randomization: bucket-drawn 2K-preserving candidates,
+  /// verified exactly against the wedge/triangle delta journal.
+  void randomize(std::size_t budget, util::Rng& rng, RewiringStats* stats);
+
+  /// 3K-targeting 2K-preserving Metropolis rewiring; returns exact
+  /// integer D3 after the run.
+  std::int64_t target(const dk::ThreeKProfile& target,
+                      const TargetingOptions& options, std::size_t budget,
+                      util::Rng& rng, RewiringStats* stats);
+
+  /// 2K-preserving greedy exploration (S2 or C̄).
+  void explore(ExploreObjective objective, std::size_t budget,
+               double stop_at, util::Rng& rng, RewiringStats* stats);
+
+  const Graph& graph() const noexcept { return state_.graph(); }
+
+ private:
+  bool draw_candidate(util::Rng& rng, Swap& swap) const;
+  void apply(const Swap& swap);
+  void revert(const Swap& swap);
+
+  dk::DkState state_;
+  EdgeIndex index_;
+};
+
+/// Runs `chains` independently seeded copies of `run_chain` (each given a
+/// deterministic per-chain Rng derived from `rng`) on std::thread and
+/// returns the index of the best chain: lowest distance, ties broken by
+/// lowest chain id, so the winner does not depend on thread scheduling.
+/// `run_chain(chain, rng)` must fill results[chain] itself.
+struct ChainOutcome {
+  Graph graph;
+  double distance = 0.0;
+  RewiringStats stats;
+};
+
+std::size_t run_multichain(
+    std::size_t chains, util::Rng& rng,
+    const std::function<ChainOutcome(std::size_t, util::Rng&)>& run_chain,
+    std::vector<ChainOutcome>& outcomes);
+
+}  // namespace orbis::gen

@@ -28,6 +28,14 @@ Graph Graph::from_edges_dedup(NodeId n, std::span<const Edge> edges) {
   return g;
 }
 
+Graph Graph::from_edges_unchecked(NodeId n, std::span<const Edge> edges) {
+  Graph g(n);
+  g.edges_.reserve(edges.size());
+  g.edge_index_.reserve(edges.size() * 2);
+  for (const auto& e : edges) g.push_edge(e.u, e.v);
+  return g;
+}
+
 void Graph::push_edge(NodeId u, NodeId v) {
   edge_index_.emplace(util::pair_key(u, v),
                       static_cast<std::uint32_t>(edges_.size()));

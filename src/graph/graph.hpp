@@ -42,6 +42,12 @@ class Graph {
   /// Same, but silently skips loops and duplicates (for noisy inputs).
   static Graph from_edges_dedup(NodeId n, std::span<const Edge> edges);
 
+  /// Trusted bulk construction: the caller guarantees the edge list is
+  /// simple (no loops, no duplicates) and in range.  Skips the per-edge
+  /// validation lookups; used by the rewiring engine to export its flat
+  /// edge index, whose invariants already enforce simplicity.
+  static Graph from_edges_unchecked(NodeId n, std::span<const Edge> edges);
+
   NodeId num_nodes() const noexcept {
     return static_cast<NodeId>(adjacency_.size());
   }

@@ -1,0 +1,136 @@
+#include "gen/edge_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/builders.hpp"
+#include "util/keys.hpp"
+#include "util/rng.hpp"
+
+namespace orbis::gen {
+namespace {
+
+Graph test_graph(std::uint64_t seed, NodeId n = 50, std::size_t m = 120) {
+  util::Rng rng(seed);
+  return builders::gnm(n, m, rng);
+}
+
+std::multiset<std::uint64_t> edge_keys(const std::vector<Edge>& edges) {
+  std::multiset<std::uint64_t> keys;
+  for (const auto& e : edges) keys.insert(util::pair_key(e.u, e.v));
+  return keys;
+}
+
+/// Full structural audit: hash, CSR adjacency, degree classes and the
+/// half-edge buckets must all describe the same edge set.
+void expect_consistent(const EdgeIndex& index, const Graph& reference) {
+  ASSERT_EQ(index.num_nodes(), reference.num_nodes());
+  ASSERT_EQ(index.num_edges(), reference.num_edges());
+  EXPECT_EQ(edge_keys(index.edges()), edge_keys(reference.edges()));
+
+  for (NodeId v = 0; v < reference.num_nodes(); ++v) {
+    EXPECT_EQ(index.degree(v), reference.degree(v));
+    EXPECT_EQ(index.class_degree(index.node_class(v)), index.degree(v));
+    const auto nbrs = index.neighbors(v);
+    std::multiset<NodeId> mine(nbrs.begin(), nbrs.end());
+    const auto ref_nbrs = reference.neighbors(v);
+    std::multiset<NodeId> expected(ref_nbrs.begin(), ref_nbrs.end());
+    EXPECT_EQ(mine, expected) << "adjacency row of node " << v;
+  }
+  for (const auto& e : reference.edges()) {
+    EXPECT_TRUE(index.has_edge(e.u, e.v));
+    EXPECT_TRUE(index.has_edge(e.v, e.u));
+  }
+  EXPECT_FALSE(index.has_edge(0, 0));
+}
+
+TEST(FlatEdgeHash, InsertFindEraseUnderCollisions) {
+  FlatEdgeHash hash(8);  // small capacity forces probe chains
+  std::vector<std::uint64_t> keys;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    keys.push_back(util::pair_key(i, i + 1));
+    hash.insert(keys.back(), i);
+  }
+  for (std::uint32_t i = 0; i < 8; ++i) EXPECT_EQ(hash.find(keys[i]), i);
+  // Erase every other key; survivors must stay findable (backward shift
+  // must not break probe chains).
+  for (std::uint32_t i = 0; i < 8; i += 2) hash.erase(keys[i]);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(hash.find(keys[i]), i % 2 == 0 ? FlatEdgeHash::npos : i);
+  }
+  hash.reassign(keys[1], 99);
+  EXPECT_EQ(hash.find(keys[1]), 99u);
+}
+
+TEST(EdgeIndex, MirrorsSourceGraph) {
+  const auto g = test_graph(5);
+  const EdgeIndex index(g);
+  expect_consistent(index, g);
+  EXPECT_TRUE(index.to_graph() == g);
+}
+
+TEST(EdgeIndex, DegreeClassesAreSortedAndComplete) {
+  const auto g = test_graph(6);
+  const EdgeIndex index(g);
+  for (std::uint32_t c = 1; c < index.num_classes(); ++c) {
+    EXPECT_LT(index.class_degree(c - 1), index.class_degree(c));
+  }
+  std::size_t nodes_in_classes = 0;
+  for (std::uint32_t c = 0; c < index.num_classes(); ++c) {
+    nodes_in_classes += index.nodes_in_class(c).size();
+    for (const NodeId v : index.nodes_in_class(c)) {
+      EXPECT_EQ(index.node_class(v), c);
+    }
+    EXPECT_EQ(index.class_of_degree(index.class_degree(c)), c);
+  }
+  EXPECT_EQ(nodes_in_classes, g.num_nodes());
+  EXPECT_EQ(index.class_of_degree(1u << 20), EdgeIndex::npos);
+}
+
+TEST(EdgeIndex, HalfEdgeBucketsAnchorTheRightClass) {
+  const auto g = test_graph(7);
+  const EdgeIndex index(g);
+  util::Rng rng(8);
+  for (std::uint32_t c = 0; c < index.num_classes(); ++c) {
+    if (index.class_degree(c) == 0) continue;
+    EdgeIndex::HalfEdge half;
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(index.sample_half_edge(c, rng, half));
+      const Edge& e = index.edge_at(half.slot);
+      const NodeId anchor = half.anchor_is_u ? e.u : e.v;
+      EXPECT_EQ(index.node_class(anchor), c);
+    }
+  }
+}
+
+TEST(EdgeIndex, ApplySwapKeepsEveryStructureConsistent) {
+  const auto g = test_graph(9);
+  EdgeIndex index(g);
+  Graph reference = g;
+  util::Rng rng(10);
+
+  std::size_t performed = 0;
+  while (performed < 300) {
+    const Edge e1 = index.edge_at(index.sample_edge(rng));
+    Edge e2 = index.edge_at(index.sample_edge(rng));
+    if (rng.bernoulli(0.5)) std::swap(e2.u, e2.v);
+    const NodeId a = e1.u, b = e1.v, c = e2.u, d = e2.v;
+    if (a == c || a == d || b == c || b == d) continue;
+    if (index.has_edge(a, d) || index.has_edge(c, b)) continue;
+    index.apply_swap(a, b, c, d);
+    reference.remove_edge(a, b);
+    reference.remove_edge(c, d);
+    reference.add_edge(a, d);
+    reference.add_edge(c, b);
+    ++performed;
+    if (performed % 50 == 0) expect_consistent(index, reference);
+  }
+  expect_consistent(index, reference);
+  EXPECT_TRUE(index.to_graph() == reference);
+}
+
+}  // namespace
+}  // namespace orbis::gen

@@ -265,5 +265,177 @@ TEST(ObjectiveValue, MatchesMetrics) {
               metrics::mean_clustering(g), 1e-12);
 }
 
+// ---------------------------------------------------------------------------
+// Property-based invariants: for a spread of random seed graphs, each
+// randomization level must preserve its exact dK-distribution, and the
+// stats counters must partition the attempt budget.
+// ---------------------------------------------------------------------------
+
+void expect_stats_partition_attempts(const RewiringStats& stats) {
+  EXPECT_EQ(stats.attempts, stats.accepted + stats.rejected_structural +
+                                stats.rejected_constraint +
+                                stats.rejected_objective);
+}
+
+TEST(RandomizeProperty, EveryLevelPreservesItsDkDistribution) {
+  for (const std::uint64_t seed : {101u, 202u, 303u, 404u}) {
+    const auto g = test_graph(seed, 48, 120);
+    for (int d = 0; d <= 3; ++d) {
+      util::Rng rng(seed * 7 + static_cast<std::uint64_t>(d));
+      RandomizeOptions options;
+      options.d = d;
+      options.attempts_per_edge = d == 3 ? 20 : 10;
+      RewiringStats stats;
+      const auto r = randomize(g, options, rng, &stats);
+
+      EXPECT_EQ(r.num_nodes(), g.num_nodes());
+      EXPECT_EQ(r.num_edges(), g.num_edges());
+      if (d >= 1) {
+        EXPECT_EQ(r.degree_sequence(), g.degree_sequence())
+            << "seed " << seed << " d " << d;
+      }
+      if (d >= 2) {
+        EXPECT_EQ(dk::JointDegreeDistribution::from_graph(r),
+                  dk::JointDegreeDistribution::from_graph(g))
+            << "seed " << seed << " d " << d;
+      }
+      if (d >= 3) {
+        EXPECT_EQ(dk::ThreeKProfile::from_graph(r),
+                  dk::ThreeKProfile::from_graph(g))
+            << "seed " << seed << " d " << d;
+      }
+      expect_stats_partition_attempts(stats);
+      EXPECT_GT(stats.accepted, 0u) << "seed " << seed << " d " << d;
+    }
+  }
+}
+
+TEST(RewiringStats, CountersPartitionAttemptsAcrossModes) {
+  const auto original = test_graph(41, 40, 90);
+  const auto target = dk::JointDegreeDistribution::from_graph(original);
+  util::Rng rng(42);
+  const auto start =
+      matching_1k(dk::DegreeDistribution::from_graph(original), rng);
+
+  TargetingOptions targeting;
+  targeting.attempts = 3000;
+  RewiringStats target_stats;
+  target_2k(start, target, targeting, rng, &target_stats);
+  expect_stats_partition_attempts(target_stats);
+
+  ExploreOptions exploring;
+  exploring.attempts = 3000;
+  RewiringStats explore_stats;
+  explore(original, ExploreObjective::maximize_clustering, exploring, rng,
+          &explore_stats);
+  expect_stats_partition_attempts(explore_stats);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the engine is a pure function of (input graph, options,
+// seed) — reruns must agree edge-for-edge, and the multi-chain driver
+// must not depend on thread scheduling.
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, RandomizeIsReproducibleEdgeForEdge) {
+  const auto g = test_graph(51);
+  for (int d = 1; d <= 3; ++d) {
+    RandomizeOptions options;
+    options.d = d;
+    util::Rng rng_a(99);
+    const auto a = randomize(g, options, rng_a);
+    util::Rng rng_b(99);
+    const auto b = randomize(g, options, rng_b);
+    // Stronger than graph equality: identical edge arrays, i.e. the
+    // serialized output is byte-identical.
+    EXPECT_EQ(a.edges(), b.edges()) << "d " << d;
+  }
+}
+
+TEST(Determinism, Target2kIsReproducibleEdgeForEdge) {
+  const auto original = test_graph(53, 40, 90);
+  const auto target = dk::JointDegreeDistribution::from_graph(original);
+  util::Rng seed_rng(54);
+  const auto start =
+      matching_1k(dk::DegreeDistribution::from_graph(original), seed_rng);
+  TargetingOptions options;
+  options.attempts = 20000;
+
+  util::Rng rng_a(55);
+  double distance_a = -1.0;
+  const auto a = target_2k(start, target, options, rng_a, nullptr,
+                           &distance_a);
+  util::Rng rng_b(55);
+  double distance_b = -1.0;
+  const auto b = target_2k(start, target, options, rng_b, nullptr,
+                           &distance_b);
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_EQ(distance_a, distance_b);
+}
+
+TEST(Determinism, MultiChainResultIndependentOfScheduling) {
+  const auto original = test_graph(57, 40, 90);
+  const auto target = dk::JointDegreeDistribution::from_graph(original);
+  util::Rng seed_rng(58);
+  const auto start =
+      matching_1k(dk::DegreeDistribution::from_graph(original), seed_rng);
+  TargetingOptions options;
+  options.attempts = 5000;
+  MultiChainOptions chains;
+  chains.chains = 4;
+
+  // Chains race on real threads; the selected result must still be a
+  // deterministic function of the seed (best distance, ties to the
+  // lowest chain id).
+  util::Rng rng_a(59);
+  MultiChainResult result_a;
+  const auto a =
+      target_2k_multichain(start, target, options, chains, rng_a, &result_a);
+  util::Rng rng_b(59);
+  MultiChainResult result_b;
+  const auto b =
+      target_2k_multichain(start, target, options, chains, rng_b, &result_b);
+
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_EQ(result_a.best_chain, result_b.best_chain);
+  EXPECT_EQ(result_a.best_distance, result_b.best_distance);
+  EXPECT_EQ(result_a.total_stats.attempts, result_b.total_stats.attempts);
+  expect_stats_partition_attempts(result_a.total_stats);
+
+  // The reported best distance matches a recount of the returned graph.
+  EXPECT_DOUBLE_EQ(result_a.best_distance,
+                   dk::SparseHistogram::squared_difference(
+                       dk::JointDegreeDistribution::from_graph(a).histogram(),
+                       target.histogram()));
+  // 1K is preserved by every chain.
+  auto realized = a.degree_sequence();
+  std::sort(realized.begin(), realized.end());
+  auto expected = original.degree_sequence();
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(realized, expected);
+}
+
+TEST(MultiChain, ThreeKDriverConvergesAndPreservesJdd) {
+  const auto original = test_graph(61, 35, 80);
+  const auto dists = dk::extract(original, 3);
+  util::Rng seed_rng(62);
+  const auto start = matching_2k(dists.joint, seed_rng);
+  TargetingOptions options;
+  options.attempts = 4000;
+  MultiChainOptions chains;
+  chains.chains = 3;
+
+  util::Rng rng(63);
+  MultiChainResult result;
+  const auto best = target_3k_multichain(start, dists.three_k, options,
+                                         chains, rng, &result);
+  EXPECT_EQ(dk::JointDegreeDistribution::from_graph(best), dists.joint);
+  EXPECT_LT(result.best_chain, chains.chains);
+  EXPECT_NEAR(result.best_distance,
+              dk::distance_3k(dk::ThreeKProfile::from_graph(best),
+                              dists.three_k),
+              1e-6);
+}
+
 }  // namespace
 }  // namespace orbis::gen
