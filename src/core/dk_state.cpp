@@ -1,5 +1,6 @@
 #include "core/dk_state.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.hpp"
@@ -14,61 +15,123 @@ double clustering_weight(std::uint32_t degree) {
                 static_cast<double>(degree - 1));
 }
 
+// Below this size journal_add coalesces inline with a linear scan (the
+// common case: a swap between typical-degree endpoints touches a dozen
+// bins); past it, entries are appended raw and DeltaJournal::coalesce
+// sort-merges once, keeping hub endpoints with many distinct neighbor
+// degrees off a quadratic path.
+constexpr std::size_t kInlineCoalesceLimit = 48;
+
 void journal_add(DeltaJournal::Map& map, std::uint64_t key,
                  std::int64_t delta) {
-  auto [it, inserted] = map.try_emplace(key, 0);
-  it->second += delta;
-  if (it->second == 0) map.erase(it);
+  if (map.size() < kInlineCoalesceLimit) {
+    for (auto& entry : map) {
+      if (entry.first == key) {
+        entry.second += delta;
+        if (entry.second == 0) {
+          entry = map.back();
+          map.pop_back();
+        }
+        return;
+      }
+    }
+  }
+  map.emplace_back(key, delta);
+}
+
+void coalesce_map(DeltaJournal::Map& map) {
+  if (map.size() < kInlineCoalesceLimit) return;  // already coalesced
+  std::sort(map.begin(), map.end());
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < map.size();) {
+    std::int64_t net = 0;
+    std::size_t j = i;
+    while (j < map.size() && map[j].first == map[i].first) {
+      net += map[j].second;
+      ++j;
+    }
+    if (net != 0) map[out++] = {map[i].first, net};
+    i = j;
+  }
+  map.resize(out);
 }
 
 }  // namespace
 
-DkState::DkState(Graph graph, TrackLevel level)
-    : graph_(std::move(graph)), level_(level) {
-  degrees_.resize(graph_.num_nodes());
-  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
-    degrees_[v] = static_cast<std::uint32_t>(graph_.degree(v));
+void DeltaJournal::coalesce() {
+  coalesce_map(wedge);
+  coalesce_map(triangle);
+}
+
+DkState::DkState(const Graph& graph, TrackLevel level)
+    : owned_(std::make_unique<EdgeIndex>(graph)), index_(owned_.get()) {
+  init(level);
+}
+
+DkState::DkState(EdgeIndex& index, TrackLevel level)
+    : owned_(nullptr), index_(&index) {
+  init(level);
+}
+
+void DkState::init(TrackLevel level) {
+  level_ = level;
+  const NodeId n = index_->num_nodes();
+  mark_.assign(n, 0);
+  mark_stamp_ = 0;
+
+  for (const auto& e : index_->edges()) {
+    const std::uint32_t du = index_->degree(e.u);
+    const std::uint32_t dv = index_->degree(e.v);
+    jdd_.histogram().increment(util::pair_key(du, dv));
+    s_ += static_cast<double>(du) * static_cast<double>(dv);
   }
-  jdd_ = JointDegreeDistribution::from_graph(graph_);
-  for (const auto& e : graph_.edges()) {
-    s_ += static_cast<double>(degrees_[e.u]) *
-          static_cast<double>(degrees_[e.v]);
-  }
+
   if (tracks_three_k()) {
+    // The 3K extraction algorithms run on Graph; export the edge set
+    // once (construction only — mutations never re-export).
+    const Graph graph = index_->to_graph();
     if (tracks_histograms()) {
-      three_k_ = ThreeKProfile::from_graph(graph_);
+      three_k_ = ThreeKProfile::from_graph(graph);
       s2_ = three_k_.second_order_likelihood();
     } else {
       // Scalars-only: one-shot extraction for the S2 baseline; the
       // histograms are not retained.
-      s2_ = ThreeKProfile::from_graph(graph_).second_order_likelihood();
+      s2_ = ThreeKProfile::from_graph(graph).second_order_likelihood();
     }
-    node_triangles_.assign(graph_.num_nodes(), 0);
-    // Per-node triangle counts via neighbor-pair adjacency (exact).
-    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
-      const auto nbrs = graph_.neighbors(v);
-      std::int64_t count = 0;
-      for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
-          if (graph_.has_edge(nbrs[i], nbrs[j])) ++count;
+    node_triangles_.assign(n, 0);
+    // Per-node triangle counts: t_v = half the edges among N(v), found
+    // by marking N(v) and sweeping each neighbor's row — flat scans, no
+    // hash probes.
+    for (NodeId v = 0; v < n; ++v) {
+      const auto nbrs = index_->neighbors(v);
+      if (nbrs.size() < 2) continue;
+      const std::uint64_t stamp = ++mark_stamp_;
+      for (const NodeId x : nbrs) mark_[x] = stamp;
+      std::int64_t incidences = 0;
+      for (const NodeId x : nbrs) {
+        for (const NodeId w : index_->neighbors(x)) {
+          if (mark_[w] == stamp) ++incidences;
         }
       }
+      const std::int64_t count = incidences / 2;
       node_triangles_[v] = count;
-      clustering_sum_ +=
-          static_cast<double>(count) * clustering_weight(degrees_[v]);
+      clustering_sum_ += static_cast<double>(count) *
+                         clustering_weight(index_->degree(v));
     }
   }
 }
 
 double DkState::mean_clustering() const noexcept {
-  if (graph_.num_nodes() == 0) return 0.0;
-  return clustering_sum_ / static_cast<double>(graph_.num_nodes());
+  if (index_->num_nodes() == 0) return 0.0;
+  return clustering_sum_ / static_cast<double>(index_->num_nodes());
 }
 
 void DkState::bump_jdd(std::uint32_t k1, std::uint32_t k2,
                        std::int64_t delta) {
   const std::uint64_t key = util::pair_key(k1, k2);
-  const std::int64_t before = jdd_.histogram().count(key);
+  // The pre-bump count is only observable through a listener; skip the
+  // extra histogram probe otherwise.
+  const std::int64_t before = listener_ ? jdd_.histogram().count(key) : 0;
   jdd_.histogram().add(key, delta);
   if (listener_) listener_(BinKind::jdd, key, before, before + delta);
 }
@@ -79,9 +142,8 @@ void DkState::bump_wedge(std::uint32_t end1, std::uint32_t center,
          static_cast<double>(end2);
   if (!tracks_histograms()) return;
   const std::uint64_t key = util::wedge_key(end1, center, end2);
-  const std::int64_t before = three_k_.wedges().count(key);
+  const std::int64_t before = listener_ ? three_k_.wedges().count(key) : 0;
   three_k_.wedges().add(key, delta);
-  if (journaling_) journal_add(journal_.wedge, key, delta);
   if (listener_) listener_(BinKind::wedge, key, before, before + delta);
 }
 
@@ -89,9 +151,9 @@ void DkState::bump_triangle(std::uint32_t a, std::uint32_t b,
                             std::uint32_t c, std::int64_t delta) {
   if (!tracks_histograms()) return;
   const std::uint64_t key = util::triangle_key(a, b, c);
-  const std::int64_t before = three_k_.triangles().count(key);
+  const std::int64_t before =
+      listener_ ? three_k_.triangles().count(key) : 0;
   three_k_.triangles().add(key, delta);
-  if (journaling_) journal_add(journal_.triangle, key, delta);
   if (listener_) listener_(BinKind::triangle, key, before, before + delta);
 }
 
@@ -99,21 +161,34 @@ void DkState::bump_node_triangles(NodeId v, std::int64_t delta) {
   node_triangles_[v] += delta;
   util::ensures(node_triangles_[v] >= 0,
                 "DkState: node triangle count went negative");
-  clustering_sum_ +=
-      static_cast<double>(delta) * clustering_weight(degrees_[v]);
+  clustering_sum_ += static_cast<double>(delta) *
+                     clustering_weight(index_->degree(v));
 }
 
 void DkState::remove_edge(NodeId u, NodeId v) {
-  util::expects(graph_.has_edge(u, v), "DkState::remove_edge: no such edge");
-  const std::uint32_t du = degrees_[u];
-  const std::uint32_t dv = degrees_[v];
+  util::expects(index_->has_edge(u, v), "DkState::remove_edge: no such edge");
+  const std::uint32_t du = index_->degree(u);
+  const std::uint32_t dv = index_->degree(v);
 
   if (tracks_three_k()) {
-    // Scan BEFORE structural removal so adjacency still reflects the edge.
-    for (const NodeId x : graph_.neighbors(u)) {
+    // Scan BEFORE structural removal so adjacency still reflects the
+    // edge.  One mark pass classifies every incident wedge/triangle in
+    // O(deg u + deg v) with no hash lookups: stamp N(v), sweep N(u)
+    // (common neighbor -> dying triangle, else a wedge centered at u
+    // dies), then re-sweep N(v) — entries still carrying the first
+    // stamp are non-common and lose their wedge centered at v.
+    const std::uint64_t in_v = ++mark_stamp_;
+    const std::uint64_t common = ++mark_stamp_;
+    const auto u_nbrs = index_->neighbors(u);
+    const auto v_nbrs = index_->neighbors(v);
+    for (const NodeId y : v_nbrs) {
+      if (y != u) mark_[y] = in_v;
+    }
+    for (const NodeId x : u_nbrs) {
       if (x == v) continue;
-      const std::uint32_t dx = degrees_[x];
-      if (graph_.has_edge(x, v)) {
+      const std::uint32_t dx = index_->degree(x);
+      if (mark_[x] == in_v) {
+        mark_[x] = common;
         // Triangle (u,v,x) dies; pair (u,v) at center x opens into a wedge.
         bump_triangle(du, dv, dx, -1);
         bump_wedge(du, dx, dv, +1);
@@ -125,10 +200,10 @@ void DkState::remove_edge(NodeId u, NodeId v) {
         bump_wedge(dx, du, dv, -1);
       }
     }
-    for (const NodeId y : graph_.neighbors(v)) {
+    for (const NodeId y : v_nbrs) {
       if (y == u) continue;
-      if (!graph_.has_edge(y, u)) {
-        bump_wedge(degrees_[y], dv, du, -1);
+      if (mark_[y] == in_v) {
+        bump_wedge(index_->degree(y), dv, du, -1);
       }
       // Common neighbors already handled from u's side.
     }
@@ -136,20 +211,32 @@ void DkState::remove_edge(NodeId u, NodeId v) {
 
   bump_jdd(du, dv, -1);
   s_ -= static_cast<double>(du) * static_cast<double>(dv);
-  graph_.remove_edge(u, v);
+  index_->remove_edge(u, v);
 }
 
 void DkState::add_edge(NodeId u, NodeId v) {
   util::expects(u != v, "DkState::add_edge: self-loop");
-  util::expects(!graph_.has_edge(u, v), "DkState::add_edge: edge exists");
-  const std::uint32_t du = degrees_[u];
-  const std::uint32_t dv = degrees_[v];
+  util::expects(!index_->has_edge(u, v), "DkState::add_edge: edge exists");
+  // Checked here, before any histogram bump, so a violation cannot leave
+  // the bookkeeping half-updated.
+  util::expects(index_->current_degree(u) < index_->degree(u) &&
+                    index_->current_degree(v) < index_->degree(v),
+                "DkState::add_edge: node at frozen degree");
+  const std::uint32_t du = index_->degree(u);
+  const std::uint32_t dv = index_->degree(v);
 
   if (tracks_three_k()) {
-    // Scan BEFORE structural insertion: x ranges over old neighbors only.
-    for (const NodeId x : graph_.neighbors(u)) {
-      const std::uint32_t dx = degrees_[x];
-      if (graph_.has_edge(x, v)) {
+    // Scan BEFORE structural insertion: x ranges over old neighbors
+    // only.  Mirror image of the removal pass.
+    const std::uint64_t in_v = ++mark_stamp_;
+    const std::uint64_t common = ++mark_stamp_;
+    const auto u_nbrs = index_->neighbors(u);
+    const auto v_nbrs = index_->neighbors(v);
+    for (const NodeId y : v_nbrs) mark_[y] = in_v;
+    for (const NodeId x : u_nbrs) {
+      const std::uint32_t dx = index_->degree(x);
+      if (mark_[x] == in_v) {
+        mark_[x] = common;
         // Wedge u - x - v closes into a triangle.
         bump_wedge(du, dx, dv, -1);
         bump_triangle(du, dv, dx, +1);
@@ -161,30 +248,138 @@ void DkState::add_edge(NodeId u, NodeId v) {
         bump_wedge(dx, du, dv, +1);
       }
     }
-    for (const NodeId y : graph_.neighbors(v)) {
-      if (!graph_.has_edge(y, u)) {
-        bump_wedge(degrees_[y], dv, du, +1);
+    for (const NodeId y : v_nbrs) {
+      if (mark_[y] == in_v) {
+        bump_wedge(index_->degree(y), dv, du, +1);
       }
     }
   }
 
   bump_jdd(du, dv, +1);
   s_ += static_cast<double>(du) * static_cast<double>(dv);
-  graph_.add_edge(u, v);
+  index_->add_edge(u, v);
+}
+
+void DkState::scan_edge_delta(NodeId u, NodeId v, NodeId skip_u,
+                              NodeId skip_v, bool removing,
+                              SwapDelta& out) const {
+  const std::uint32_t du = index_->degree(u);
+  const std::uint32_t dv = index_->degree(v);
+  const std::int64_t sign = removing ? -1 : +1;
+  const bool histograms = tracks_histograms();
+
+  const std::uint64_t in_v = ++mark_stamp_;
+  const std::uint64_t common = ++mark_stamp_;
+  const auto u_nbrs = index_->neighbors(u);
+  const auto v_nbrs = index_->neighbors(v);
+  for (const NodeId y : v_nbrs) {
+    if (y != u && y != skip_v) mark_[y] = in_v;
+  }
+  for (const NodeId x : u_nbrs) {
+    if (x == v || x == skip_u) continue;
+    const std::uint32_t dx = index_->degree(x);
+    if (mark_[x] == in_v) {
+      mark_[x] = common;
+      // Removing: triangle (u,v,x) dies, the pair (u,v) at center x
+      // opens into a wedge.  Adding: wedge u - x - v closes.
+      if (histograms) {
+        journal_add(out.journal.triangle, util::triangle_key(du, dv, dx),
+                    sign);
+        journal_add(out.journal.wedge, util::wedge_key(du, dx, dv), -sign);
+      }
+      out.s2_delta -= static_cast<double>(sign) * static_cast<double>(du) *
+                      static_cast<double>(dv);
+      out.triangle_nodes.emplace_back(u, static_cast<std::int32_t>(sign));
+      out.triangle_nodes.emplace_back(v, static_cast<std::int32_t>(sign));
+      out.triangle_nodes.emplace_back(x, static_cast<std::int32_t>(sign));
+      out.clustering_delta +=
+          static_cast<double>(sign) *
+          (clustering_weight(du) + clustering_weight(dv) +
+           clustering_weight(dx));
+    } else {
+      // Wedge x - u - v centered at u dies (removal) or appears (add).
+      if (histograms) {
+        journal_add(out.journal.wedge, util::wedge_key(dx, du, dv), sign);
+      }
+      out.s2_delta += static_cast<double>(sign) * static_cast<double>(dx) *
+                      static_cast<double>(dv);
+    }
+  }
+  for (const NodeId y : v_nbrs) {
+    if (y == u || y == skip_v) continue;
+    if (mark_[y] == in_v) {
+      // Non-common neighbor of v: its wedge y - v - u centered at v.
+      const std::uint32_t dy = index_->degree(y);
+      if (histograms) {
+        journal_add(out.journal.wedge, util::wedge_key(dy, dv, du), sign);
+      }
+      out.s2_delta += static_cast<double>(sign) * static_cast<double>(dy) *
+                      static_cast<double>(du);
+    }
+  }
+}
+
+void DkState::evaluate_swap(NodeId a, NodeId b, NodeId c, NodeId d,
+                            SwapDelta& out) const {
+  util::expects(tracks_three_k(),
+                "DkState::evaluate_swap: requires 3K tracking");
+  constexpr NodeId no_skip = 0xffffffffu;
+  out.clear();
+  out.a = a;
+  out.b = b;
+  out.c = c;
+  out.d = d;
+  // The four mutations of the swap, each scanned against the virtual
+  // intermediate graph: the first two see the original adjacency (their
+  // probed pairs never involve the other removed edge), the additions
+  // hide the endpoints their edges lost earlier in the sequence.
+  scan_edge_delta(a, b, no_skip, no_skip, /*removing=*/true, out);
+  scan_edge_delta(c, d, no_skip, no_skip, /*removing=*/true, out);
+  scan_edge_delta(a, d, /*skip_u=*/b, /*skip_v=*/c, /*removing=*/false, out);
+  scan_edge_delta(c, b, /*skip_u=*/d, /*skip_v=*/a, /*removing=*/false, out);
+  // No-op below the inline-coalesce limit; one O(k log k) sort-merge
+  // when a hub endpoint overflowed it.
+  out.journal.coalesce();
+}
+
+void DkState::commit_swap(const SwapDelta& delta) {
+  // The JDD bin moves of a 2K-preserving swap cancel exactly, and S is a
+  // function of the JDD — both stay untouched.
+  util::expects(
+      index_->degree(delta.b) == index_->degree(delta.d) ||
+          index_->degree(delta.a) == index_->degree(delta.c),
+      "DkState::commit_swap: swap must preserve the JDD");
+  if (tracks_histograms()) {
+    for (const auto& [key, net] : delta.journal.wedge) {
+      three_k_.wedges().add(key, net);
+    }
+    for (const auto& [key, net] : delta.journal.triangle) {
+      three_k_.triangles().add(key, net);
+    }
+  }
+  s2_ += delta.s2_delta;
+  clustering_sum_ += delta.clustering_delta;
+  for (const auto& [node, net] : delta.triangle_nodes) {
+    node_triangles_[node] += net;
+    util::ensures(node_triangles_[node] >= 0,
+                  "DkState: node triangle count went negative");
+  }
+  index_->apply_swap(delta.a, delta.b, delta.c, delta.d);
 }
 
 void DkState::verify_consistency() const {
-  const auto fresh_jdd = JointDegreeDistribution::from_graph(graph_);
+  const Graph graph = to_graph();
+  const auto fresh_jdd = JointDegreeDistribution::from_graph(graph);
   util::ensures(fresh_jdd == jdd_, "DkState: JDD diverged from recount");
   double fresh_s = 0.0;
-  for (const auto& e : graph_.edges()) {
-    fresh_s += static_cast<double>(graph_.degree(e.u)) *
-               static_cast<double>(graph_.degree(e.v));
+  for (const auto& e : graph.edges()) {
+    fresh_s += static_cast<double>(graph.degree(e.u)) *
+               static_cast<double>(graph.degree(e.v));
   }
   util::ensures(std::fabs(fresh_s - s_) < 1e-6 * (1.0 + std::fabs(s_)),
                 "DkState: likelihood S diverged from recount");
   if (tracks_three_k()) {
-    const auto fresh_3k = ThreeKProfile::from_graph(graph_);
+    const auto fresh_3k = ThreeKProfile::from_graph(graph);
     if (tracks_histograms()) {
       util::ensures(fresh_3k == three_k_,
                     "DkState: 3K profile diverged from recount");

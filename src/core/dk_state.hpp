@@ -1,17 +1,25 @@
 // Incremental dK bookkeeping — the engine room of every rewiring process.
 //
-// DkState owns a Graph plus live histograms of its 2K (JDD) and, at
+// DkState maintains live histograms of a graph's 2K (JDD) and, at
 // tracking level 3, its 3K (wedge/triangle) distributions, together with
 // the scalar objectives used by dK-space exploration:
 //   S    — likelihood, Σ_edges k_u * k_v              (defined by P2)
 //   S2   — second-order likelihood, Σ_wedges k1 * k3  (defined by P∧)
 //   C̄    — mean local clustering, (1/n) Σ_v 2 t_v / (k_v (k_v - 1))
 //
-// Single edge insertions/removals update everything in O(deg) with node
-// degrees *frozen* at construction time: the intended use is degree-
-// preserving double-edge swaps, where every intermediate state has the
-// same final degree vector.  This freeze is what makes the bookkeeping
-// exact for rewiring: histogram keys never shift mid-swap.
+// The adjacency lives in a flat EdgeIndex (CSR rows + open-addressing
+// edge hash) rather than a Graph: DkState either owns one (constructed
+// from a Graph) or binds to one owned by a rewiring engine, so a 3K
+// rewirer maintains exactly ONE adjacency structure.  Wedge/triangle
+// deltas of an edge mutation are computed by a timestamped mark-array
+// common-neighbor pass — mark N(v), sweep N(u) — which costs
+// O(deg u + deg v) with zero hash probes.
+//
+// Single edge insertions/removals update everything with node degrees
+// *frozen* at construction time: the intended use is degree-preserving
+// double-edge swaps, where every intermediate state has the same final
+// degree vector.  This freeze is what makes the bookkeeping exact for
+// rewiring: histogram keys never shift mid-swap.
 //
 // A bin listener receives every histogram mutation so callers (targeting
 // rewiring) can maintain squared distances D2/D3 incrementally.
@@ -19,32 +27,63 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/joint_degree_distribution.hpp"
 #include "core/three_k_profile.hpp"
+#include "graph/edge_index.hpp"
 #include "graph/graph.hpp"
 
 namespace orbis::dk {
 
-/// Net wedge/triangle histogram deltas accumulated between
-/// journal_begin/journal_end: bins whose net change is zero are dropped,
-/// so an in-flight double-edge swap is 3K-preserving iff the journal is
-/// empty afterwards.  Rewiring engines also read the non-zero deltas to
-/// evaluate ΔD3 incrementally against a target without a per-mutation
-/// callback.  JDD deltas are deliberately not journaled: a swap's four
-/// JDD bin moves follow in O(1) from the frozen endpoint degrees, so
+/// Net wedge/triangle histogram deltas of a short mutation window (one
+/// double-edge swap): bins whose net change is zero are dropped, so an
+/// in-flight swap is 3K-preserving iff the journal is empty afterwards.
+/// Rewiring engines also read the non-zero deltas to evaluate ΔD3
+/// incrementally against a target without a per-mutation callback.
+/// Stored as a flat vector, not a hash map: a swap touches O(deg) bins,
+/// so linear coalescing beats node-allocating containers on the hot
+/// path.  JDD deltas are deliberately not journaled: a swap's four JDD
+/// bin moves follow in O(1) from the frozen endpoint degrees, so
 /// callers that need them compute them directly.
 struct DeltaJournal {
-  using Map = std::unordered_map<std::uint64_t, std::int64_t>;
+  using Entry = std::pair<std::uint64_t, std::int64_t>;
+  using Map = std::vector<Entry>;  // tiny; zero-net entries are dropped
   Map wedge;
   Map triangle;
 
+  /// Only meaningful after coalesce(): producers append raw per-event
+  /// entries and coalesce once, so filling stays O(1) per event even on
+  /// hub endpoints with many distinct neighbor degrees.
   bool all_zero() const noexcept { return wedge.empty() && triangle.empty(); }
+  /// Sorts by key, merges duplicates and drops zero-net entries.
+  void coalesce();
   void clear() noexcept {
     wedge.clear();
     triangle.clear();
+  }
+};
+
+/// The full effect of a proposed double-edge swap (a,b),(c,d) ->
+/// (a,d),(c,b), computed by DkState::evaluate_swap WITHOUT mutating the
+/// state.  Rejecting a proposal costs nothing further; accepting it is
+/// DkState::commit_swap.  Reuse one instance across attempts — the
+/// buffers keep their capacity.
+struct SwapDelta {
+  NodeId a = 0, b = 0, c = 0, d = 0;
+  DeltaJournal journal;  // net wedge/triangle bin deltas (full_three_k)
+  // Per-node triangle-count events (node, ±1), in causal order.
+  std::vector<std::pair<NodeId, std::int32_t>> triangle_nodes;
+  double s2_delta = 0.0;
+  double clustering_delta = 0.0;  // change of Σ_v 2 t_v / (k_v(k_v-1))
+
+  void clear() noexcept {
+    journal.clear();
+    triangle_nodes.clear();
+    s2_delta = 0.0;
+    clustering_delta = 0.0;
   }
 };
 
@@ -64,21 +103,58 @@ class DkState {
   using BinListener = std::function<void(BinKind, std::uint64_t, std::int64_t,
                                          std::int64_t)>;
 
-  DkState(Graph graph, TrackLevel level);
+  /// Standalone state: builds and owns a flat EdgeIndex for `graph`.
+  DkState(const Graph& graph, TrackLevel level);
 
-  const Graph& graph() const noexcept { return graph_; }
+  /// Shared-adjacency state: binds to an EdgeIndex owned by the caller
+  /// (typically a rewiring engine that also samples swap candidates from
+  /// it).  add_edge/remove_edge mutate that index directly; the caller
+  /// must not mutate it behind DkState's back.  The index must outlive
+  /// this object at a stable address, so DkState is intentionally
+  /// neither copyable nor movable.
+  DkState(EdgeIndex& index, TrackLevel level);
+
+  DkState(const DkState&) = delete;
+  DkState& operator=(const DkState&) = delete;
+
+  /// The adjacency backend (shared or owned).
+  const EdgeIndex& index() const noexcept { return *index_; }
+
+  /// Exports the current edge set as a Graph (O(n + m) copy).
+  Graph to_graph() const { return index_->to_graph(); }
+
   TrackLevel level() const noexcept { return level_; }
 
   /// Frozen degree of v (the degree vector captured at construction).
-  std::uint32_t frozen_degree(NodeId v) const { return degrees_[v]; }
+  std::uint32_t frozen_degree(NodeId v) const { return index_->degree(v); }
 
-  /// Removes edge (u,v), updating all histograms/scalars.
+  /// Removes edge (u,v), updating all histograms/scalars and the index.
   /// Precondition: the edge exists.
   void remove_edge(NodeId u, NodeId v);
 
-  /// Adds edge (u,v), updating all histograms/scalars.
-  /// Precondition: the edge does not exist, u != v.
+  /// Adds edge (u,v), updating all histograms/scalars and the index.
+  /// Precondition: the edge does not exist, u != v, and neither endpoint
+  /// is at its frozen degree.
   void add_edge(NodeId u, NodeId v);
+
+  /// Speculatively evaluates the double-edge swap (a,b),(c,d) ->
+  /// (a,d),(c,b): fills `out` with the net wedge/triangle bin deltas
+  /// (at full_three_k), the per-node triangle events and the S2/C̄
+  /// scalar deltas, WITHOUT touching the histograms or the index.  The
+  /// cost is O(deg a + deg b + deg c + deg d) mark-array passes with
+  /// zero hash probes, so rejecting the proposal afterwards is free.
+  /// Preconditions: 3K tracking is on, both edges exist, the four
+  /// endpoints are distinct, and neither replacement edge is present.
+  void evaluate_swap(NodeId a, NodeId b, NodeId c, NodeId d,
+                     SwapDelta& out) const;
+
+  /// Commits a swap evaluated by evaluate_swap: folds the recorded
+  /// deltas into the histograms/scalars and applies the swap to the
+  /// index as one O(1) operation.  The swap must preserve the JDD
+  /// (deg b = deg d or deg a = deg c, as every 2K-preserving candidate
+  /// does), since the four cancelling JDD bin moves are skipped; bin
+  /// listeners and the mutation journal do not observe committed swaps.
+  void commit_swap(const SwapDelta& delta);
 
   const JointDegreeDistribution& jdd() const noexcept { return jdd_; }
   const ThreeKProfile& three_k() const noexcept { return three_k_; }
@@ -94,22 +170,18 @@ class DkState {
   }
   void clear_bin_listener() { listener_ = nullptr; }
 
-  // Delta journal: cheap alternative to a bin listener for code that
-  // only needs the net histogram change of a short mutation window
-  // (one double-edge swap).  begin clears and arms the journal; end
-  // disarms it.  The journal may be read while armed or after end.
-  void journal_begin() {
-    journal_.clear();
-    journaling_ = true;
-  }
-  void journal_end() { journaling_ = false; }
-  const DeltaJournal& journal() const noexcept { return journal_; }
-
   /// Recomputes everything from scratch and verifies it matches the
   /// incrementally maintained state (test/debug aid). Throws on mismatch.
   void verify_consistency() const;
 
  private:
+  void init(TrackLevel level);
+  /// One virtual-graph mark pass of evaluate_swap: the wedge/triangle
+  /// effect of removing (removing=true) or adding edge (u,v), with
+  /// `skip_u` hidden from u's row and `skip_v` from v's row so the pass
+  /// sees the intermediate graph of a half-applied swap.
+  void scan_edge_delta(NodeId u, NodeId v, NodeId skip_u, NodeId skip_v,
+                       bool removing, SwapDelta& out) const;
   void bump_jdd(std::uint32_t k1, std::uint32_t k2, std::int64_t delta);
   void bump_wedge(std::uint32_t end1, std::uint32_t center,
                   std::uint32_t end2, std::int64_t delta);
@@ -124,9 +196,9 @@ class DkState {
     return level_ == TrackLevel::full_three_k;
   }
 
-  Graph graph_;
+  std::unique_ptr<EdgeIndex> owned_;  // null when bound to a shared index
+  EdgeIndex* index_;
   TrackLevel level_;
-  std::vector<std::uint32_t> degrees_;        // frozen at construction
   JointDegreeDistribution jdd_;
   ThreeKProfile three_k_;
   std::vector<std::int64_t> node_triangles_;  // t_v per node (level 3)
@@ -134,8 +206,12 @@ class DkState {
   double s2_ = 0.0;
   double clustering_sum_ = 0.0;               // Σ_v 2 t_v / (k_v(k_v-1))
   BinListener listener_;
-  DeltaJournal journal_;
-  bool journaling_ = false;
+
+  // Timestamped mark array for the common-neighbor delta pass: a node is
+  // "marked" iff mark_[v] carries the current stamp, so clearing between
+  // passes is a counter increment, not an O(n) sweep.
+  mutable std::vector<std::uint64_t> mark_;
+  mutable std::uint64_t mark_stamp_ = 0;
 };
 
 }  // namespace orbis::dk

@@ -1,165 +1,14 @@
-// Flat mutable edge index — the data-structure core of the rewiring
-// engine.
-//
-// Every rewiring process in this library performs degree-preserving
-// double-edge swaps, so node degrees are frozen for the lifetime of a
-// run.  That invariant buys three things a general-purpose Graph cannot
-// offer:
-//
-//   * CSR adjacency with FIXED row extents: a swap replaces neighbor
-//     entries in place (no vector erase/push), O(1) with the positions
-//     kept in the edge hash;
-//   * an open-addressing hash (pair key -> edge slot + both adjacency
-//     positions) for O(1) duplicate-edge lookup and O(1) swap commits —
-//     no std::unordered_map node allocations on the hot path;
-//   * per-degree-class half-edge buckets: a 2K-preserving swap partner
-//     (deg(d) = deg(b) or deg(c) = deg(a)) is drawn directly from the
-//     bucket of the required degree class instead of rejection-sampled
-//     from the full edge set.
-//
-// Degrees are compressed to dense class ids (sorted by degree) so
-// objective code can use flat matrices instead of hash maps.
+// Compatibility forwarder: EdgeIndex moved down to the graph layer
+// (graph/edge_index.hpp) when dk::DkState became CSR-backed — core may
+// not depend on gen, but both need the flat index.  Existing gen-layer
+// spellings keep working via these aliases.
 #pragma once
 
-#include <cstdint>
-#include <span>
-#include <vector>
-
-#include "graph/graph.hpp"
-#include "util/rng.hpp"
+#include "graph/edge_index.hpp"
 
 namespace orbis::gen {
 
-/// Open-addressing linear-probe hash map from packed edge keys to edge
-/// slots.  Keys are util::pair_key values (never 0 for a simple graph
-/// edge, so 0 is the empty sentinel).  Deletion uses backward-shift, so
-/// there are no tombstones and probe chains stay short at a fixed load
-/// factor.  Capacity is sized once: rewiring preserves the edge count.
-class FlatEdgeHash {
- public:
-  static constexpr std::uint32_t npos = 0xffffffffu;
-
-  explicit FlatEdgeHash(std::size_t expected_edges);
-
-  void insert(std::uint64_t key, std::uint32_t slot);
-  void erase(std::uint64_t key);
-  /// Slot for key, or npos.
-  std::uint32_t find(std::uint64_t key) const;
-  bool contains(std::uint64_t key) const { return find(key) != npos; }
-  /// Repoints an existing key at a new slot.
-  void reassign(std::uint64_t key, std::uint32_t slot);
-
- private:
-  std::size_t index_of(std::uint64_t key) const {
-    // splitmix64-style finalizer: pair keys are highly regular.
-    std::uint64_t x = key;
-    x ^= x >> 30;
-    x *= 0xbf58476d1ce4e5b9ull;
-    x ^= x >> 27;
-    x *= 0x94d049bb133111ebull;
-    x ^= x >> 31;
-    return static_cast<std::size_t>(x) & mask_;
-  }
-
-  std::vector<std::uint64_t> keys_;
-  std::vector<std::uint32_t> slots_;
-  std::size_t mask_ = 0;
-};
-
-class EdgeIndex {
- public:
-  static constexpr std::uint32_t npos = 0xffffffffu;
-
-  /// Half-edge handle: an edge slot plus which endpoint anchors it.
-  struct HalfEdge {
-    std::uint32_t slot = 0;
-    bool anchor_is_u = false;
-  };
-
-  explicit EdgeIndex(const Graph& g);
-
-  NodeId num_nodes() const noexcept {
-    return static_cast<NodeId>(degree_.size());
-  }
-  std::size_t num_edges() const noexcept { return edges_.size(); }
-
-  /// Frozen degree of v (degrees never change under double-edge swaps).
-  std::uint32_t degree(NodeId v) const { return degree_[v]; }
-
-  // Degree-class compression: class ids are dense and sorted by degree.
-  std::uint32_t num_classes() const noexcept {
-    return static_cast<std::uint32_t>(class_degree_.size());
-  }
-  std::uint32_t node_class(NodeId v) const { return node_class_[v]; }
-  std::uint32_t class_degree(std::uint32_t c) const {
-    return class_degree_[c];
-  }
-  /// Class id for a degree, or npos if no node has that degree.
-  std::uint32_t class_of_degree(std::uint32_t degree) const;
-  const std::vector<NodeId>& nodes_in_class(std::uint32_t c) const {
-    return class_nodes_[c];
-  }
-
-  const Edge& edge_at(std::uint32_t slot) const { return edges_[slot]; }
-  const std::vector<Edge>& edges() const noexcept { return edges_; }
-  bool has_edge(NodeId u, NodeId v) const {
-    return hash_.contains(util::pair_key(u, v));
-  }
-  std::span<const NodeId> neighbors(NodeId v) const {
-    return {adj_.data() + row_offset_[v], degree_[v]};
-  }
-
-  /// Uniform random edge slot (requires num_edges() > 0).
-  std::uint32_t sample_edge(util::Rng& rng) const {
-    return static_cast<std::uint32_t>(rng.uniform(edges_.size()));
-  }
-
-  /// Uniform random half-edge anchored at a node of degree class c;
-  /// false if the class has no incident edges.
-  bool sample_half_edge(std::uint32_t cls, util::Rng& rng,
-                        HalfEdge& out) const;
-
-  /// Applies the double-edge swap (a,b),(c,d) -> (a,d),(c,b) in O(1).
-  /// Preconditions: both edges exist, all four endpoints are distinct,
-  /// and neither replacement edge is present.
-  void apply_swap(NodeId a, NodeId b, NodeId c, NodeId d);
-
-  /// Exports the current edge set as a Graph.
-  Graph to_graph() const;
-
- private:
-  struct EdgeRecord {
-    std::uint32_t pos_u = 0;  // adj_ index of v within u's row
-    std::uint32_t pos_v = 0;  // adj_ index of u within v's row
-    std::uint32_t bucket_pos_u = 0;  // position of the u-anchored half-edge
-    std::uint32_t bucket_pos_v = 0;  // ... and the v-anchored one
-  };
-
-  static std::uint64_t half_edge_handle(std::uint32_t slot, bool anchor_is_u) {
-    return (static_cast<std::uint64_t>(slot) << 1) |
-           static_cast<std::uint64_t>(anchor_is_u);
-  }
-
-  void bucket_insert(std::uint32_t slot, bool anchor_is_u);
-  std::uint32_t& bucket_backref(std::uint32_t slot, bool anchor_is_u) {
-    return anchor_is_u ? records_[slot].bucket_pos_u
-                       : records_[slot].bucket_pos_v;
-  }
-
-  std::vector<std::uint32_t> degree_;      // frozen degrees
-  std::vector<std::uint32_t> node_class_;  // node -> degree class
-  std::vector<std::uint32_t> class_degree_;
-  std::vector<std::vector<NodeId>> class_nodes_;
-
-  std::vector<std::size_t> row_offset_;  // CSR offsets (fixed extents)
-  std::vector<NodeId> adj_;              // mutable neighbor entries
-
-  std::vector<Edge> edges_;        // dense, O(1) uniform sampling
-  std::vector<EdgeRecord> records_;
-  FlatEdgeHash hash_;
-
-  // buckets_[c]: half-edge handles anchored at class-c nodes.
-  std::vector<std::vector<std::uint64_t>> buckets_;
-};
+using ::orbis::EdgeIndex;
+using ::orbis::FlatEdgeHash;
 
 }  // namespace orbis::gen

@@ -54,7 +54,8 @@ Graph generate_2k(const dk::DkDistributions& target,
                               ? target.degree
                               : target.joint.project_to_1k();
       const Graph start = matching_1k(one_k, rng);
-      return target_2k(start, target.joint, options.targeting, rng);
+      return target_2k_multichain(start, target.joint, options.targeting,
+                                  options.chains, rng);
     }
   }
   throw std::invalid_argument("generate_2k: unknown method");
@@ -68,14 +69,17 @@ Graph generate_3k(const dk::DkDistributions& target,
         "graphs from distributions (paper §4.1.2: pseudograph/matching do "
         "not generalize beyond d = 2)");
   }
-  // Paper §5.1 pipeline: 1K bootstrap -> 2K-random -> 3K-random.
+  // Paper §5.1 pipeline: 1K bootstrap -> 2K-random -> 3K-random, with
+  // each targeting stage running the multi-chain annealing driver.
   const auto& one_k_dist = target.degree.num_nodes() > 0
                                ? target.degree
                                : target.joint.project_to_1k();
   const Graph one_k = matching_1k(one_k_dist, rng);
-  const Graph two_k =
-      target_2k(one_k, target.joint, options.targeting, rng);
-  return target_3k(two_k, target.three_k, options.targeting, rng);
+  const Graph two_k = target_2k_multichain(one_k, target.joint,
+                                           options.targeting, options.chains,
+                                           rng);
+  return target_3k_multichain(two_k, target.three_k, options.targeting,
+                              options.chains, rng);
 }
 
 }  // namespace

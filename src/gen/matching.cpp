@@ -21,6 +21,7 @@ Graph repair_to_simple(const Multigraph& multigraph, bool preserve_jdd,
                        util::Rng& rng, MatchingStats* stats) {
   const auto target_degrees = multigraph.degree_sequence();
   Graph g(multigraph.num_nodes());
+  g.reserve_edges(multigraph.num_edges());
   std::vector<Edge> bad;
   for (const auto& e : multigraph.edges()) {
     if (e.u == e.v || !g.add_edge(e.u, e.v)) bad.push_back(e);

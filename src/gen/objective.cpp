@@ -131,18 +131,18 @@ ThreeKObjective::ThreeKObjective(const dk::DkState& state,
                                  target.triangles());
 }
 
-std::int64_t ThreeKObjective::delta_from_journal(
+std::int64_t ThreeKObjective::delta_if_applied(
     const dk::DkState& state, const dk::DeltaJournal& journal) const {
   std::int64_t delta = 0;
   for (const auto& [key, net] : journal.wedge) {
-    const std::int64_t after = state.three_k().wedges().count(key);
+    const std::int64_t before = state.three_k().wedges().count(key);
     const std::int64_t t = target_->wedges().count(key);
-    delta += square(after - t) - square(after - net - t);
+    delta += square(before + net - t) - square(before - t);
   }
   for (const auto& [key, net] : journal.triangle) {
-    const std::int64_t after = state.three_k().triangles().count(key);
+    const std::int64_t before = state.three_k().triangles().count(key);
     const std::int64_t t = target_->triangles().count(key);
-    delta += square(after - t) - square(after - net - t);
+    delta += square(before + net - t) - square(before - t);
   }
   return delta;
 }

@@ -6,8 +6,9 @@
 //                   computation, and doubles as the deviating-bin set the
 //                   guided 2K proposer samples from.
 //   ThreeKObjective D3 against a target 3K profile, evaluated from the
-//                   DkState delta journal of an applied swap (exact, no
-//                   per-mutation callback).
+//                   speculative delta journal of a proposed swap
+//                   (DkState::evaluate_swap): exact ΔD3 before anything
+//                   mutates, so rejected proposals cost nothing.
 //
 // Distances are exact integers: histogram counts and targets are counts,
 // so D_d = Σ (count - target)^2 has no floating-point drift, and "reached
@@ -81,12 +82,12 @@ class ThreeKObjective {
 
   std::int64_t distance() const noexcept { return distance_; }
 
-  /// ΔD3 of the swap whose net bin changes are in `journal` (already
-  /// applied to `state`'s histograms), computed from the post-swap
-  /// counts.  Call commit() to fold it in, or nothing if the caller
-  /// reverts the swap.
-  std::int64_t delta_from_journal(const dk::DkState& state,
-                                  const dk::DeltaJournal& journal) const;
+  /// ΔD3 of a swap whose net bin changes are in `journal` but are NOT
+  /// yet applied to `state`'s histograms (the speculative journal of
+  /// DkState::evaluate_swap).  Call commit() when the swap is actually
+  /// committed; a rejected proposal needs nothing.
+  std::int64_t delta_if_applied(const dk::DkState& state,
+                                const dk::DeltaJournal& journal) const;
   void commit(std::int64_t delta) noexcept { distance_ += delta; }
 
  private:

@@ -230,33 +230,22 @@ void RewiringEngine::explore_s(bool maximize, std::size_t budget,
 }
 
 // ---------------------------------------------------------------------------
-// ThreeKRewirer: DkState histograms + EdgeIndex candidate selection.
+// ThreeKRewirer: one EdgeIndex, with DkState bound to it for histograms.
 // ---------------------------------------------------------------------------
 
 ThreeKRewirer::ThreeKRewirer(const Graph& start, dk::TrackLevel level)
-    : state_(start, level), index_(start) {}
+    : index_(start), state_(index_, level) {}
 
 bool ThreeKRewirer::draw_candidate(util::Rng& rng, Swap& swap) const {
   return draw_jdd_preserving_from(index_, rng, swap) &&
          structurally_valid_in(index_, swap);
 }
 
-void ThreeKRewirer::apply(const Swap& s) {
-  state_.remove_edge(s.a, s.b);
-  state_.remove_edge(s.c, s.d);
-  state_.add_edge(s.a, s.d);
-  state_.add_edge(s.c, s.b);
-}
-
-void ThreeKRewirer::revert(const Swap& s) {
-  state_.remove_edge(s.a, s.d);
-  state_.remove_edge(s.c, s.b);
-  state_.add_edge(s.a, s.b);
-  state_.add_edge(s.c, s.d);
-}
-
 void ThreeKRewirer::randomize(std::size_t budget, util::Rng& rng,
                               RewiringStats* stats) {
+  util::expects(state_.level() == dk::TrackLevel::full_three_k,
+                "ThreeKRewirer::randomize: needs full_three_k tracking");
+  dk::SwapDelta delta;
   for (std::size_t attempt = 0; attempt < budget; ++attempt) {
     if (index_.num_edges() < 2) break;
     if (stats != nullptr) ++stats->attempts;
@@ -266,15 +255,13 @@ void ThreeKRewirer::randomize(std::size_t budget, util::Rng& rng,
       continue;
     }
     // Candidates preserve the JDD by construction; 3K preservation is
-    // verified exactly against the wedge/triangle delta journal.
-    state_.journal_begin();
-    apply(swap);
-    state_.journal_end();
-    if (state_.journal().all_zero()) {
-      index_.apply_swap(swap.a, swap.b, swap.c, swap.d);
+    // verified exactly against the speculative delta journal — nothing
+    // is mutated yet, so the frequent rejections cost nothing to undo.
+    state_.evaluate_swap(swap.a, swap.b, swap.c, swap.d, delta);
+    if (delta.journal.all_zero()) {
+      state_.commit_swap(delta);
       if (stats != nullptr) ++stats->accepted;
     } else {
-      revert(swap);
       if (stats != nullptr) ++stats->rejected_constraint;
     }
   }
@@ -284,7 +271,10 @@ std::int64_t ThreeKRewirer::target(const dk::ThreeKProfile& target,
                                    const TargetingOptions& options,
                                    std::size_t budget, util::Rng& rng,
                                    RewiringStats* stats) {
+  util::expects(state_.level() == dk::TrackLevel::full_three_k,
+                "ThreeKRewirer::target: needs full_three_k tracking");
   ThreeKObjective objective(state_, target);
+  dk::SwapDelta swap_delta;
 
   for (std::size_t attempt = 0;
        attempt < budget &&
@@ -297,22 +287,21 @@ std::int64_t ThreeKRewirer::target(const dk::ThreeKProfile& target,
       if (stats != nullptr) ++stats->rejected_structural;
       continue;
     }
-    state_.journal_begin();
-    apply(swap);
-    state_.journal_end();
+    // ΔD3 is evaluated against the speculative journal BEFORE anything
+    // mutates: a rejected proposal ends here, with no state to restore.
+    state_.evaluate_swap(swap.a, swap.b, swap.c, swap.d, swap_delta);
     const std::int64_t delta =
-        objective.delta_from_journal(state_, state_.journal());
+        objective.delta_if_applied(state_, swap_delta.journal);
     const bool accept =
         delta <= 0 ||
         (options.temperature > 0.0 &&
          rng.uniform_real() <
              std::exp(-static_cast<double>(delta) / options.temperature));
     if (accept) {
+      state_.commit_swap(swap_delta);
       objective.commit(delta);
-      index_.apply_swap(swap.a, swap.b, swap.c, swap.d);
       if (stats != nullptr) ++stats->accepted;
     } else {
-      revert(swap);
       if (stats != nullptr) ++stats->rejected_objective;
     }
   }
@@ -322,14 +311,11 @@ std::int64_t ThreeKRewirer::target(const dk::ThreeKProfile& target,
 void ThreeKRewirer::explore(ExploreObjective objective, std::size_t budget,
                             double stop_at, util::Rng& rng,
                             RewiringStats* stats) {
+  const bool s2_objective = objective == ExploreObjective::maximize_s2 ||
+                            objective == ExploreObjective::minimize_s2;
   const auto current = [&]() -> double {
-    switch (objective) {
-      case ExploreObjective::maximize_s2:
-      case ExploreObjective::minimize_s2:
-        return state_.second_order_likelihood();
-      default:
-        return state_.mean_clustering();
-    }
+    return s2_objective ? state_.second_order_likelihood()
+                        : state_.mean_clustering();
   };
   const bool maximize = objective == ExploreObjective::maximize_s2 ||
                         objective == ExploreObjective::maximize_clustering;
@@ -339,6 +325,7 @@ void ThreeKRewirer::explore(ExploreObjective objective, std::size_t budget,
     return maximize ? current() >= stop_at : current() <= stop_at;
   };
 
+  dk::SwapDelta delta;
   for (std::size_t attempt = 0; attempt < budget && !reached_stop();
        ++attempt) {
     if (index_.num_edges() < 2) break;
@@ -348,15 +335,17 @@ void ThreeKRewirer::explore(ExploreObjective objective, std::size_t budget,
       if (stats != nullptr) ++stats->rejected_structural;
       continue;
     }
-    const double before = current();
-    apply(swap);
-    const double delta = current() - before;
-    const bool improved = maximize ? delta > 0.0 : delta < 0.0;
+    // Both exploration objectives fall out of the speculative deltas:
+    // ΔS2 directly, and ΔC̄ as Δ(clustering sum) / n (same sign).
+    state_.evaluate_swap(swap.a, swap.b, swap.c, swap.d, delta);
+    const double objective_delta =
+        s2_objective ? delta.s2_delta : delta.clustering_delta;
+    const bool improved =
+        maximize ? objective_delta > 0.0 : objective_delta < 0.0;
     if (improved) {
-      index_.apply_swap(swap.a, swap.b, swap.c, swap.d);
+      state_.commit_swap(delta);
       if (stats != nullptr) ++stats->accepted;
     } else {
-      revert(swap);
       if (stats != nullptr) ++stats->rejected_objective;
     }
   }

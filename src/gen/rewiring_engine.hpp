@@ -8,10 +8,11 @@
 //                           with integer ΔD2, and S exploration.  All
 //                           graph state lives in the EdgeIndex.
 //   * ThreeKRewirer       — 3K paths that need wedge/triangle
-//                           bookkeeping: DkState carries the histograms
-//                           (with the delta-journal API), while an
-//                           EdgeIndex side-car supplies 2K-preserving
-//                           swap candidates directly from the degree
+//                           bookkeeping: ONE EdgeIndex holds the
+//                           adjacency; DkState binds to it for the
+//                           histogram bookkeeping (delta-journal API)
+//                           while the engine samples 2K-preserving swap
+//                           candidates from the same index's degree
 //                           buckets instead of rejection sampling.
 //   * run_multichain      — K independently seeded chains on
 //                           std::thread; the best-distance result wins,
@@ -74,7 +75,8 @@ class RewiringEngine {
   EdgeIndex index_;
 };
 
-/// 3K machinery: DkState histograms + EdgeIndex candidate selection.
+/// 3K machinery: one EdgeIndex for adjacency + candidate selection,
+/// with a DkState bound to it for the wedge/triangle bookkeeping.
 class ThreeKRewirer {
  public:
   /// `level` must be full_three_k for randomize/target (they read the
@@ -83,6 +85,9 @@ class ThreeKRewirer {
   explicit ThreeKRewirer(
       const Graph& start,
       dk::TrackLevel level = dk::TrackLevel::full_three_k);
+
+  // The bound DkState holds a pointer into index_, so the pair must
+  // stay at a stable address (DkState already suppresses copy/move).
 
   /// 3K-preserving randomization: bucket-drawn 2K-preserving candidates,
   /// verified exactly against the wedge/triangle delta journal.
@@ -98,15 +103,15 @@ class ThreeKRewirer {
   void explore(ExploreObjective objective, std::size_t budget,
                double stop_at, util::Rng& rng, RewiringStats* stats);
 
-  const Graph& graph() const noexcept { return state_.graph(); }
+  Graph graph() const { return state_.to_graph(); }
+  const EdgeIndex& index() const noexcept { return index_; }
+  const dk::DkState& state() const noexcept { return state_; }
 
  private:
   bool draw_candidate(util::Rng& rng, Swap& swap) const;
-  void apply(const Swap& swap);
-  void revert(const Swap& swap);
 
-  dk::DkState state_;
-  EdgeIndex index_;
+  EdgeIndex index_;     // the ONLY adjacency structure for all 3K modes
+  dk::DkState state_;   // bound to index_; declared after it
 };
 
 /// Runs `chains` independently seeded copies of `run_chain` (each given a

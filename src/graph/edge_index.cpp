@@ -1,11 +1,11 @@
-#include "gen/edge_index.hpp"
+#include "graph/edge_index.hpp"
 
 #include <algorithm>
 
 #include "util/check.hpp"
 #include "util/keys.hpp"
 
-namespace orbis::gen {
+namespace orbis {
 
 namespace {
 
@@ -84,6 +84,7 @@ EdgeIndex::EdgeIndex(const Graph& g)
   for (NodeId v = 0; v < n; ++v) {
     degree_[v] = static_cast<std::uint32_t>(g.degree(v));
   }
+  row_size_ = degree_;
 
   // Degree classes, sorted by degree so class order mirrors degree order.
   std::vector<std::uint32_t> distinct(degree_);
@@ -109,6 +110,7 @@ EdgeIndex::EdgeIndex(const Graph& g)
     row_offset_[v + 1] = row_offset_[v] + degree_[v];
   }
   adj_.assign(row_offset_[n], 0);
+  adj_slot_.assign(row_offset_[n], npos);
   std::vector<std::uint32_t> fill(n, 0);
 
   records_.resize(edges_.size());
@@ -121,6 +123,8 @@ EdgeIndex::EdgeIndex(const Graph& g)
         static_cast<std::uint32_t>(row_offset_[v] + fill[v]++);
     adj_[pos_u] = v;
     adj_[pos_v] = u;
+    adj_slot_[pos_u] = slot;
+    adj_slot_[pos_v] = slot;
     records_[slot].pos_u = pos_u;
     records_[slot].pos_v = pos_v;
     hash_.insert(util::pair_key(u, v), slot);
@@ -143,6 +147,21 @@ void EdgeIndex::bucket_insert(std::uint32_t slot, bool anchor_is_u) {
   bucket_backref(slot, anchor_is_u) =
       static_cast<std::uint32_t>(bucket.size());
   bucket.push_back(half_edge_handle(slot, anchor_is_u));
+}
+
+void EdgeIndex::bucket_remove(std::uint32_t slot, bool anchor_is_u) {
+  const Edge& e = edges_[slot];
+  const NodeId anchor = anchor_is_u ? e.u : e.v;
+  auto& bucket = buckets_[node_class_[anchor]];
+  const std::uint32_t pos = bucket_backref(slot, anchor_is_u);
+  const auto last_pos = static_cast<std::uint32_t>(bucket.size()) - 1;
+  if (pos != last_pos) {
+    const std::uint64_t moved = bucket[last_pos];
+    bucket[pos] = moved;
+    bucket_backref(static_cast<std::uint32_t>(moved >> 1),
+                   (moved & 1) != 0) = pos;
+  }
+  bucket.pop_back();
 }
 
 bool EdgeIndex::sample_half_edge(std::uint32_t cls, util::Rng& rng,
@@ -184,6 +203,9 @@ void EdgeIndex::apply_swap(NodeId a, NodeId b, NodeId c, NodeId d) {
   adj_[cell_b] = c;  // b's cell: a -> c
   adj_[cell_c] = b;  // c's cell: d -> b
   adj_[cell_d] = a;  // d's cell: c -> a
+  // cell_a/cell_c keep their slots (s1/s2); the other two cross over.
+  adj_slot_[cell_b] = s2;
+  adj_slot_[cell_d] = s1;
 
   hash_.erase(util::pair_key(a, b));
   hash_.erase(util::pair_key(c, d));
@@ -206,8 +228,83 @@ void EdgeIndex::apply_swap(NodeId a, NodeId b, NodeId c, NodeId d) {
   r2.bucket_pos_v = bpos_b;
 }
 
+void EdgeIndex::remove_row_entry(NodeId anchor, std::uint32_t cell) {
+  // Swap the last occupied cell of anchor's row into the vacated one,
+  // repointing the moved edge's record via the cell -> slot map.
+  const auto last = static_cast<std::uint32_t>(row_offset_[anchor] +
+                                               row_size_[anchor] - 1);
+  if (cell != last) {
+    const NodeId moved_neighbor = adj_[last];
+    const std::uint32_t moved_slot = adj_slot_[last];
+    adj_[cell] = moved_neighbor;
+    adj_slot_[cell] = moved_slot;
+    if (edges_[moved_slot].u == anchor) {
+      records_[moved_slot].pos_u = cell;
+    } else {
+      records_[moved_slot].pos_v = cell;
+    }
+  }
+  --row_size_[anchor];
+}
+
+void EdgeIndex::remove_edge(NodeId u, NodeId v) {
+  const std::uint64_t key = util::pair_key(u, v);
+  const std::uint32_t slot = hash_.find(key);
+  util::expects(slot != npos, "EdgeIndex::remove_edge: no such edge");
+
+  const bool u_is_u = edges_[slot].u == u;
+  const EdgeRecord rec = records_[slot];
+  remove_row_entry(u, u_is_u ? rec.pos_u : rec.pos_v);
+  remove_row_entry(v, u_is_u ? rec.pos_v : rec.pos_u);
+  bucket_remove(slot, true);
+  bucket_remove(slot, false);
+  hash_.erase(key);
+
+  // Swap-pop the dense edge array, repointing the moved edge everywhere
+  // (hash slot, cell -> slot map, bucket handles).
+  const auto last = static_cast<std::uint32_t>(edges_.size()) - 1;
+  if (slot != last) {
+    edges_[slot] = edges_[last];
+    records_[slot] = records_[last];
+    hash_.reassign(util::pair_key(edges_[slot].u, edges_[slot].v), slot);
+    adj_slot_[records_[slot].pos_u] = slot;
+    adj_slot_[records_[slot].pos_v] = slot;
+    buckets_[node_class_[edges_[slot].u]][records_[slot].bucket_pos_u] =
+        half_edge_handle(slot, true);
+    buckets_[node_class_[edges_[slot].v]][records_[slot].bucket_pos_v] =
+        half_edge_handle(slot, false);
+  }
+  edges_.pop_back();
+  records_.pop_back();
+}
+
+void EdgeIndex::add_edge(NodeId u, NodeId v) {
+  util::expects(u != v, "EdgeIndex::add_edge: self-loop");
+  util::expects(!hash_.contains(util::pair_key(u, v)),
+                "EdgeIndex::add_edge: edge exists");
+  util::expects(row_size_[u] < degree_[u] && row_size_[v] < degree_[v],
+                "EdgeIndex::add_edge: row over frozen capacity");
+
+  const auto slot = static_cast<std::uint32_t>(edges_.size());
+  edges_.push_back(Edge{u, v});
+  records_.emplace_back();
+  const auto pos_u =
+      static_cast<std::uint32_t>(row_offset_[u] + row_size_[u]++);
+  const auto pos_v =
+      static_cast<std::uint32_t>(row_offset_[v] + row_size_[v]++);
+  adj_[pos_u] = v;
+  adj_[pos_v] = u;
+  adj_slot_[pos_u] = slot;
+  adj_slot_[pos_v] = slot;
+  records_[slot].pos_u = pos_u;
+  records_[slot].pos_v = pos_v;
+  hash_.insert(util::pair_key(u, v), slot);
+  bucket_insert(slot, true);
+  bucket_insert(slot, false);
+}
+
 Graph EdgeIndex::to_graph() const {
   return Graph::from_edges_unchecked(num_nodes(), edges_);
 }
 
-}  // namespace orbis::gen
+}  // namespace orbis

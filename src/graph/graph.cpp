@@ -6,8 +6,7 @@ namespace orbis {
 
 Graph Graph::from_edges(NodeId n, std::span<const Edge> edges) {
   Graph g(n);
-  g.edges_.reserve(edges.size());
-  g.edge_index_.reserve(edges.size() * 2);
+  g.reserve_edges(edges.size());
   for (const auto& e : edges) {
     util::expects(e.u < n && e.v < n, "Graph::from_edges: node out of range");
     util::expects(e.u != e.v, "Graph::from_edges: self-loop");
@@ -19,6 +18,7 @@ Graph Graph::from_edges(NodeId n, std::span<const Edge> edges) {
 
 Graph Graph::from_edges_dedup(NodeId n, std::span<const Edge> edges) {
   Graph g(n);
+  g.reserve_edges(edges.size());  // upper bound: duplicates only shrink it
   for (const auto& e : edges) {
     util::expects(e.u < n && e.v < n,
                   "Graph::from_edges_dedup: node out of range");
@@ -30,8 +30,7 @@ Graph Graph::from_edges_dedup(NodeId n, std::span<const Edge> edges) {
 
 Graph Graph::from_edges_unchecked(NodeId n, std::span<const Edge> edges) {
   Graph g(n);
-  g.edges_.reserve(edges.size());
-  g.edge_index_.reserve(edges.size() * 2);
+  g.reserve_edges(edges.size());
   for (const auto& e : edges) g.push_edge(e.u, e.v);
   return g;
 }

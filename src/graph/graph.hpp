@@ -68,6 +68,14 @@ class Graph {
     return edge_index_.count(util::pair_key(u, v)) > 0;
   }
 
+  /// Pre-sizes the dense edge array and the edge hash for an expected
+  /// edge count, so incremental construction (add_edge loops) avoids
+  /// rehash storms.  Purely an optimization; safe at any time.
+  void reserve_edges(std::size_t expected) {
+    edges_.reserve(expected);
+    edge_index_.reserve(expected * 2);
+  }
+
   /// Adds edge (u,v). Returns false (graph unchanged) for loops/duplicates.
   bool add_edge(NodeId u, NodeId v);
 

@@ -31,6 +31,7 @@ std::vector<std::size_t> Multigraph::degree_sequence() const {
 
 Graph Multigraph::to_simple(SimplificationReport* report) const {
   Graph g(num_nodes_);
+  g.reserve_edges(edges_.size());  // upper bound before loop/parallel drops
   std::size_t loops = 0;
   std::size_t parallels = 0;
   for (const auto& e : edges_) {

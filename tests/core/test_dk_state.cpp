@@ -17,17 +17,17 @@ void churn(DkState& state, std::size_t count, util::Rng& rng,
   std::size_t done = 0;
   std::size_t guard = 0;
   while (done < count && guard++ < count * 200) {
-    const auto& g = state.graph();
-    if (g.num_edges() < 2) break;
-    const auto i = rng.uniform(g.num_edges());
-    auto j = rng.uniform(g.num_edges() - 1);
+    const auto& index = state.index();
+    if (index.num_edges() < 2) break;
+    const auto i = rng.uniform(index.num_edges());
+    auto j = rng.uniform(index.num_edges() - 1);
     if (j >= i) ++j;
-    Edge e1 = g.edge_at(i);
-    Edge e2 = g.edge_at(j);
+    Edge e1 = index.edge_at(static_cast<std::uint32_t>(i));
+    Edge e2 = index.edge_at(static_cast<std::uint32_t>(j));
     if (rng.bernoulli(0.5)) std::swap(e2.u, e2.v);
     const NodeId a = e1.u, b = e1.v, c = e2.u, d = e2.v;
     if (a == c || a == d || b == c || b == d) continue;
-    if (g.has_edge(a, d) || g.has_edge(c, b)) continue;
+    if (index.has_edge(a, d) || index.has_edge(c, b)) continue;
     if (require_jdd_preserving &&
         state.frozen_degree(b) != state.frozen_degree(d) &&
         state.frozen_degree(a) != state.frozen_degree(c)) {
@@ -49,6 +49,7 @@ TEST(DkState, InitialStateMatchesExtraction) {
   EXPECT_EQ(state.three_k(), ThreeKProfile::from_graph(g));
   EXPECT_NEAR(state.likelihood_s(), metrics::likelihood_s(g), 1e-9);
   EXPECT_NEAR(state.mean_clustering(), metrics::mean_clustering(g), 1e-12);
+  EXPECT_TRUE(state.to_graph() == g);
 }
 
 TEST(DkState, SwapChurnStaysConsistentLevel3) {
@@ -60,10 +61,83 @@ TEST(DkState, SwapChurnStaysConsistentLevel3) {
     ASSERT_NO_THROW(state.verify_consistency()) << "seed " << seed;
     // Cross-check scalars against fresh metric computations.
     EXPECT_NEAR(state.mean_clustering(),
-                metrics::mean_clustering(state.graph()), 1e-9);
-    EXPECT_NEAR(state.likelihood_s(), metrics::likelihood_s(state.graph()),
-                1e-6);
+                metrics::mean_clustering(state.to_graph()), 1e-9);
+    EXPECT_NEAR(state.likelihood_s(),
+                metrics::likelihood_s(state.to_graph()), 1e-6);
   }
+}
+
+// Property sweep for the CSR-backed state: a LONG random swap sequence
+// must keep the incrementally maintained histograms exactly equal to a
+// from-scratch recount, across seeds and tracking levels.
+TEST(DkState, LongChurnMatchesRecountAcrossSeedsAndLevels) {
+  for (const TrackLevel level :
+       {TrackLevel::jdd_only, TrackLevel::three_k_scalars,
+        TrackLevel::full_three_k}) {
+    for (const std::uint64_t seed : {11ull, 23ull, 47ull}) {
+      util::Rng rng(seed);
+      const auto g = builders::gnm(60, 180, rng);
+      DkState state(g, level);
+      churn(state, 1500, rng, /*require_jdd_preserving=*/false);
+      ASSERT_NO_THROW(state.verify_consistency())
+          << "seed " << seed << " level " << static_cast<int>(level);
+      const Graph now = state.to_graph();
+      EXPECT_EQ(state.jdd(), JointDegreeDistribution::from_graph(now));
+      if (level == TrackLevel::full_three_k) {
+        // The histograms must match an independent full extraction.
+        EXPECT_EQ(state.three_k(), ThreeKProfile::from_graph(now));
+      }
+      if (level != TrackLevel::jdd_only) {
+        const auto fresh = ThreeKProfile::from_graph(now);
+        EXPECT_NEAR(state.second_order_likelihood(),
+                    fresh.second_order_likelihood(),
+                    1e-9 * (1.0 + fresh.second_order_likelihood()));
+        EXPECT_NEAR(state.mean_clustering(), metrics::mean_clustering(now),
+                    1e-9);
+      }
+    }
+  }
+}
+
+// The shared-index constructor must mutate the caller's EdgeIndex in
+// lockstep with the histograms: after churn, the index IS the graph.
+TEST(DkState, SharedIndexStaysEquivalentToReplayedGraph) {
+  util::Rng rng(31);
+  const auto g = builders::gnm(40, 100, rng);
+  EdgeIndex index(g);
+  DkState state(index, TrackLevel::full_three_k);
+  EXPECT_EQ(&state.index(), &index);
+
+  // Replay the same swaps against a plain Graph and compare.
+  Graph replay = g;
+  std::size_t done = 0;
+  std::size_t guard = 0;
+  while (done < 400 && guard++ < 400 * 200) {
+    const auto i = index.sample_edge(rng);
+    const auto j = index.sample_edge(rng);
+    Edge e1 = index.edge_at(i);
+    Edge e2 = index.edge_at(j);
+    if (rng.bernoulli(0.5)) std::swap(e2.u, e2.v);
+    const NodeId a = e1.u, b = e1.v, c = e2.u, d = e2.v;
+    if (a == c || a == d || b == c || b == d) continue;
+    if (index.has_edge(a, d) || index.has_edge(c, b)) continue;
+    state.remove_edge(a, b);
+    state.remove_edge(c, d);
+    state.add_edge(a, d);
+    state.add_edge(c, b);
+    ASSERT_TRUE(replay.remove_edge(a, b));
+    ASSERT_TRUE(replay.remove_edge(c, d));
+    ASSERT_TRUE(replay.add_edge(a, d));
+    ASSERT_TRUE(replay.add_edge(c, b));
+    ++done;
+  }
+  ASSERT_GT(done, 0u);
+  EXPECT_TRUE(state.to_graph() == replay);
+  for (NodeId v = 0; v < replay.num_nodes(); ++v) {
+    EXPECT_EQ(index.current_degree(v), replay.degree(v));
+  }
+  ASSERT_NO_THROW(state.verify_consistency());
+  EXPECT_EQ(state.three_k(), ThreeKProfile::from_graph(replay));
 }
 
 TEST(DkState, ScalarsLevelTracksWithoutHistograms) {
@@ -74,9 +148,9 @@ TEST(DkState, ScalarsLevelTracksWithoutHistograms) {
   churn(state, 200, rng, /*require_jdd_preserving=*/false);
   ASSERT_NO_THROW(state.verify_consistency());
   EXPECT_NEAR(state.mean_clustering(),
-              metrics::mean_clustering(state.graph()), 1e-9);
+              metrics::mean_clustering(state.to_graph()), 1e-9);
   const double fresh_s2 =
-      ThreeKProfile::from_graph(state.graph()).second_order_likelihood();
+      ThreeKProfile::from_graph(state.to_graph()).second_order_likelihood();
   EXPECT_NEAR(state.second_order_likelihood(), fresh_s2,
               1e-9 * (1.0 + fresh_s2));
   // Histograms intentionally not maintained at this level.
@@ -99,7 +173,7 @@ TEST(DkState, JddPreservingChurnKeepsJddFixed) {
   churn(state, 150, rng, /*require_jdd_preserving=*/true);
   EXPECT_EQ(state.jdd(), original_jdd);
   EXPECT_EQ(state.jdd(),
-            JointDegreeDistribution::from_graph(state.graph()));
+            JointDegreeDistribution::from_graph(state.to_graph()));
   // S is fully determined by the JDD, so it must be unchanged too.
   EXPECT_NEAR(state.likelihood_s(), metrics::likelihood_s(g), 1e-6);
 }
@@ -122,7 +196,7 @@ TEST(DkState, RemoveAddRoundTripRestoresEverything) {
   const double s2_before = state.second_order_likelihood();
   const double c_before = state.mean_clustering();
 
-  const Edge e = state.graph().edge_at(0);
+  const Edge e = state.index().edge_at(0);
   state.remove_edge(e.u, e.v);
   state.add_edge(e.u, e.v);
 
@@ -140,6 +214,13 @@ TEST(DkState, PreconditionViolationsThrow) {
   EXPECT_THROW(state.add_edge(2, 2), std::invalid_argument);     // loop
 }
 
+TEST(DkState, AddBeyondFrozenDegreeThrows) {
+  // Degrees are frozen at construction: pushing a node past its frozen
+  // degree would silently corrupt the histograms, so the CSR rejects it.
+  DkState state(builders::path(4), TrackLevel::jdd_only);  // 0-1-2-3
+  EXPECT_THROW(state.add_edge(0, 2), std::invalid_argument);  // deg(0) = 1
+}
+
 TEST(DkState, BinListenerSeesNetDeltas) {
   DkState state(builders::cycle(6), TrackLevel::full_three_k);
   std::int64_t net = 0;
@@ -149,7 +230,7 @@ TEST(DkState, BinListenerSeesNetDeltas) {
     net += after - before;
     ++calls;
   });
-  const Edge e = state.graph().edge_at(0);
+  const Edge e = state.index().edge_at(0);
   state.remove_edge(e.u, e.v);
   EXPECT_GT(calls, 0u);
   state.add_edge(e.u, e.v);
@@ -158,11 +239,8 @@ TEST(DkState, BinListenerSeesNetDeltas) {
   state.clear_bin_listener();
 }
 
-TEST(DkState, VerifyConsistencyDetectsTampering) {
+TEST(DkState, VerifyConsistencyPassesOnFreshState) {
   DkState state(builders::complete(4), TrackLevel::jdd_only);
-  // Mutating the graph behind DkState's back must be caught.
-  // (We cannot reach the internal graph non-const, so instead check that
-  // verify passes on the untouched state.)
   EXPECT_NO_THROW(state.verify_consistency());
 }
 

@@ -32,7 +32,7 @@ void expect_consistent(const EdgeIndex& index, const Graph& reference) {
   EXPECT_EQ(edge_keys(index.edges()), edge_keys(reference.edges()));
 
   for (NodeId v = 0; v < reference.num_nodes(); ++v) {
-    EXPECT_EQ(index.degree(v), reference.degree(v));
+    EXPECT_EQ(index.current_degree(v), reference.degree(v));
     EXPECT_EQ(index.class_degree(index.node_class(v)), index.degree(v));
     const auto nbrs = index.neighbors(v);
     std::multiset<NodeId> mine(nbrs.begin(), nbrs.end());
@@ -45,6 +45,18 @@ void expect_consistent(const EdgeIndex& index, const Graph& reference) {
     EXPECT_TRUE(index.has_edge(e.v, e.u));
   }
   EXPECT_FALSE(index.has_edge(0, 0));
+  // Bucket sizes must add up to one handle per live half-edge of each
+  // class (mutations swap-pop bucket entries, so drift would show here).
+  std::size_t handles = 0;
+  for (std::uint32_t c = 0; c < index.num_classes(); ++c) {
+    std::size_t expected_handles = 0;
+    for (const NodeId v : index.nodes_in_class(c)) {
+      expected_handles += index.current_degree(v);
+    }
+    EXPECT_EQ(index.bucket_size(c), expected_handles) << "class " << c;
+    handles += index.bucket_size(c);
+  }
+  EXPECT_EQ(handles, 2 * index.num_edges());
 }
 
 TEST(FlatEdgeHash, InsertFindEraseUnderCollisions) {
@@ -130,6 +142,89 @@ TEST(EdgeIndex, ApplySwapKeepsEveryStructureConsistent) {
   }
   expect_consistent(index, reference);
   EXPECT_TRUE(index.to_graph() == reference);
+}
+
+// Single-edge mutations (the DkState path): swaps decomposed into
+// remove/remove/add/add must leave every structure — rows, hash, dense
+// edge array, buckets — identical to a Graph replaying the same ops.
+TEST(EdgeIndex, RemoveAddMutationsKeepEveryStructureConsistent) {
+  for (const std::uint64_t seed : {3ull, 21ull}) {
+    const auto g = test_graph(seed);
+    EdgeIndex index(g);
+    Graph reference = g;
+    util::Rng rng(seed + 100);
+
+    std::size_t performed = 0;
+    std::size_t guard = 0;
+    while (performed < 300 && guard++ < 300 * 100) {
+      const Edge e1 = index.edge_at(index.sample_edge(rng));
+      Edge e2 = index.edge_at(index.sample_edge(rng));
+      if (rng.bernoulli(0.5)) std::swap(e2.u, e2.v);
+      const NodeId a = e1.u, b = e1.v, c = e2.u, d = e2.v;
+      if (a == c || a == d || b == c || b == d) continue;
+      if (index.has_edge(a, d) || index.has_edge(c, b)) continue;
+      index.remove_edge(a, b);
+      index.remove_edge(c, d);
+      EXPECT_FALSE(index.has_edge(a, b));
+      EXPECT_EQ(index.current_degree(a), index.degree(a) - 1);
+      index.add_edge(a, d);
+      index.add_edge(c, b);
+      reference.remove_edge(a, b);
+      reference.remove_edge(c, d);
+      reference.add_edge(a, d);
+      reference.add_edge(c, b);
+      ++performed;
+      if (performed % 50 == 0) expect_consistent(index, reference);
+    }
+    ASSERT_GT(performed, 0u);
+    expect_consistent(index, reference);
+    EXPECT_TRUE(index.to_graph() == reference);
+  }
+}
+
+// Interleaving the O(1) whole-swap commit with decomposed remove/add
+// sequences must not disturb either path's bookkeeping.
+TEST(EdgeIndex, ApplySwapAndMutationsInterleave) {
+  const auto g = test_graph(13);
+  EdgeIndex index(g);
+  Graph reference = g;
+  util::Rng rng(14);
+
+  std::size_t performed = 0;
+  while (performed < 200) {
+    const Edge e1 = index.edge_at(index.sample_edge(rng));
+    Edge e2 = index.edge_at(index.sample_edge(rng));
+    if (rng.bernoulli(0.5)) std::swap(e2.u, e2.v);
+    const NodeId a = e1.u, b = e1.v, c = e2.u, d = e2.v;
+    if (a == c || a == d || b == c || b == d) continue;
+    if (index.has_edge(a, d) || index.has_edge(c, b)) continue;
+    if (performed % 2 == 0) {
+      index.apply_swap(a, b, c, d);
+    } else {
+      index.remove_edge(a, b);
+      index.remove_edge(c, d);
+      index.add_edge(a, d);
+      index.add_edge(c, b);
+    }
+    reference.remove_edge(a, b);
+    reference.remove_edge(c, d);
+    reference.add_edge(a, d);
+    reference.add_edge(c, b);
+    ++performed;
+  }
+  expect_consistent(index, reference);
+}
+
+TEST(EdgeIndex, MutationPreconditionsThrow) {
+  const auto g = test_graph(17);
+  EdgeIndex index(g);
+  const Edge e = index.edge_at(0);
+  EXPECT_THROW(index.add_edge(e.u, e.v), std::invalid_argument);  // exists
+  EXPECT_THROW(index.add_edge(e.u, e.u), std::invalid_argument);  // loop
+  index.remove_edge(e.u, e.v);
+  EXPECT_THROW(index.remove_edge(e.u, e.v), std::invalid_argument);
+  index.add_edge(e.u, e.v);  // restore: rows back at frozen capacity
+  EXPECT_TRUE(index.has_edge(e.u, e.v));
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include "core/series.hpp"
 #include "gen/matching.hpp"
+#include "gen/rewiring_engine.hpp"
 #include "graph/builders.hpp"
 #include "metrics/clustering.hpp"
 #include "metrics/scalar.hpp"
@@ -435,6 +436,49 @@ TEST(MultiChain, ThreeKDriverConvergesAndPreservesJdd) {
               dk::distance_3k(dk::ThreeKProfile::from_graph(best),
                               dists.three_k),
               1e-6);
+}
+
+// Hub stress for the speculative delta journal: node 0 has ~60 neighbors
+// whose degrees are almost all distinct, so one swap incident to the hub
+// overflows the journal's inline-coalesce limit and takes the sort-merge
+// path.  3K preservation and the internal bookkeeping must survive it.
+TEST(ThreeKRewirerHub, SpeculativeJournalHandlesHighDegreeHubs) {
+  const NodeId spokes = 60;
+  std::vector<Edge> edges;
+  NodeId next = spokes + 1;
+  for (NodeId i = 1; i <= spokes; ++i) {
+    edges.push_back({0, i});
+    // Give spoke i (i - 1) private leaves: deg(spoke i) = i.
+    for (NodeId leaf = 0; leaf + 1 < i; ++leaf) {
+      edges.push_back({i, next++});
+    }
+  }
+  // A few chords so swaps near the hub have partners of equal class.
+  for (NodeId i = 1; i + 2 <= spokes; i += 2) edges.push_back({i, i + 2});
+  const auto g = Graph::from_edges_dedup(next, edges);
+  ASSERT_GT(g.degree(0), 48u);  // overflows kInlineCoalesceLimit
+
+  const auto original = dk::ThreeKProfile::from_graph(g);
+  ThreeKRewirer rewirer(g);
+  util::Rng rng(5);
+  RewiringStats stats;
+  rewirer.randomize(20000, rng, &stats);
+  EXPECT_GT(stats.attempts, 0u);
+  ASSERT_NO_THROW(rewirer.state().verify_consistency());
+  EXPECT_EQ(dk::ThreeKProfile::from_graph(rewirer.graph()), original);
+
+  // Targeting across the hub must also stay exact: walk a d=2
+  // randomization back toward the original 3K profile.
+  RandomizeOptions shake;
+  shake.d = 2;
+  shake.attempts = 4000;
+  util::Rng shake_rng(7);
+  const auto start = randomize(g, shake, shake_rng);
+  ThreeKRewirer targeter(start);
+  TargetingOptions options;
+  util::Rng target_rng(9);
+  targeter.target(original, options, 40000, target_rng, nullptr);
+  ASSERT_NO_THROW(targeter.state().verify_consistency());
 }
 
 }  // namespace
