@@ -8,6 +8,11 @@
 //       or from a graph:           --like graph.edges (randomizing rewiring)
 //       method:                    --method {stochastic,pseudograph,
 //                                            matching,targeting}
+//       parallelism:               --chains N (annealing chains; default 0 =
+//                                  one per core), --workers N (speculative
+//                                  evaluation workers for single-chain d=3
+//                                  targeting and --like d=3 randomizing;
+//                                  default 1 = serial, 0 = all cores)
 //       output:                    --out out.edges  [--dot out.dot]
 //   orbis_tool rescale  --from-2k F --nodes N --out F2   rescale a JDD
 //   orbis_tool compare  <a.edges> <b.edges>          metric bundle + D_d
@@ -73,6 +78,17 @@ int cmd_extract(const util::ArgParser& args) {
   return 0;
 }
 
+/// Non-negative count flag; a negative value would otherwise wrap to a
+/// huge size_t (e.g. --chains -1 allocating 2^64 chain slots).
+std::size_t parse_count(const util::ArgParser& args, const std::string& flag,
+                        long long fallback) {
+  const long long value = args.get_int(flag, fallback);
+  if (value < 0) {
+    throw std::invalid_argument(flag + " must be >= 0");
+  }
+  return static_cast<std::size_t>(value);
+}
+
 gen::Method parse_method(const std::string& name) {
   if (name == "stochastic") return gen::Method::stochastic;
   if (name == "pseudograph") return gen::Method::pseudograph;
@@ -96,6 +112,7 @@ int cmd_generate(const util::ArgParser& args, util::Rng& rng) {
     const Graph original = load(like, /*gcc=*/false);
     gen::RandomizeOptions options;
     options.d = d;
+    options.workers = parse_count(args, "--workers", 1);
     gen::RewiringStats stats;
     result = gen::randomize(original, options, rng, &stats);
     std::fprintf(stderr, "randomized: %llu/%llu swaps accepted\n",
@@ -132,6 +149,10 @@ int cmd_generate(const util::ArgParser& args, util::Rng& rng) {
     options.method =
         parse_method(args.get_string("--method", "matching"));
     if (d == 3) options.method = gen::Method::targeting;
+    // 0 = one chain per core (the default); an explicit count pins the
+    // chain fan-out regardless of the machine.
+    options.chains.chains = parse_count(args, "--chains", 0);
+    options.targeting.workers = parse_count(args, "--workers", 1);
     result = gen::generate_dk_random(target, d, options, rng);
   }
 

@@ -261,25 +261,26 @@ void DkState::add_edge(NodeId u, NodeId v) {
 }
 
 void DkState::scan_edge_delta(NodeId u, NodeId v, NodeId skip_u,
-                              NodeId skip_v, bool removing,
-                              SwapDelta& out) const {
+                              NodeId skip_v, bool removing, SwapDelta& out,
+                              EvalScratch& scratch) const {
   const std::uint32_t du = index_->degree(u);
   const std::uint32_t dv = index_->degree(v);
   const std::int64_t sign = removing ? -1 : +1;
   const bool histograms = tracks_histograms();
 
-  const std::uint64_t in_v = ++mark_stamp_;
-  const std::uint64_t common = ++mark_stamp_;
+  auto& mark = scratch.mark;
+  const std::uint64_t in_v = ++scratch.stamp;
+  const std::uint64_t common = ++scratch.stamp;
   const auto u_nbrs = index_->neighbors(u);
   const auto v_nbrs = index_->neighbors(v);
   for (const NodeId y : v_nbrs) {
-    if (y != u && y != skip_v) mark_[y] = in_v;
+    if (y != u && y != skip_v) mark[y] = in_v;
   }
   for (const NodeId x : u_nbrs) {
     if (x == v || x == skip_u) continue;
     const std::uint32_t dx = index_->degree(x);
-    if (mark_[x] == in_v) {
-      mark_[x] = common;
+    if (mark[x] == in_v) {
+      mark[x] = common;
       // Removing: triangle (u,v,x) dies, the pair (u,v) at center x
       // opens into a wedge.  Adding: wedge u - x - v closes.
       if (histograms) {
@@ -307,7 +308,7 @@ void DkState::scan_edge_delta(NodeId u, NodeId v, NodeId skip_u,
   }
   for (const NodeId y : v_nbrs) {
     if (y == u || y == skip_v) continue;
-    if (mark_[y] == in_v) {
+    if (mark[y] == in_v) {
       // Non-common neighbor of v: its wedge y - v - u centered at v.
       const std::uint32_t dy = index_->degree(y);
       if (histograms) {
@@ -321,9 +322,18 @@ void DkState::scan_edge_delta(NodeId u, NodeId v, NodeId skip_u,
 
 void DkState::evaluate_swap(NodeId a, NodeId b, NodeId c, NodeId d,
                             SwapDelta& out) const {
+  evaluate_swap(a, b, c, d, out, scratch_);
+}
+
+void DkState::evaluate_swap(NodeId a, NodeId b, NodeId c, NodeId d,
+                            SwapDelta& out, EvalScratch& scratch) const {
   util::expects(tracks_three_k(),
                 "DkState::evaluate_swap: requires 3K tracking");
   constexpr NodeId no_skip = 0xffffffffu;
+  if (scratch.mark.size() < index_->num_nodes()) {
+    scratch.mark.assign(index_->num_nodes(), 0);
+    // Stale stamps never alias fresh zeros: the stamp only grows.
+  }
   out.clear();
   out.a = a;
   out.b = b;
@@ -333,10 +343,12 @@ void DkState::evaluate_swap(NodeId a, NodeId b, NodeId c, NodeId d,
   // intermediate graph: the first two see the original adjacency (their
   // probed pairs never involve the other removed edge), the additions
   // hide the endpoints their edges lost earlier in the sequence.
-  scan_edge_delta(a, b, no_skip, no_skip, /*removing=*/true, out);
-  scan_edge_delta(c, d, no_skip, no_skip, /*removing=*/true, out);
-  scan_edge_delta(a, d, /*skip_u=*/b, /*skip_v=*/c, /*removing=*/false, out);
-  scan_edge_delta(c, b, /*skip_u=*/d, /*skip_v=*/a, /*removing=*/false, out);
+  scan_edge_delta(a, b, no_skip, no_skip, /*removing=*/true, out, scratch);
+  scan_edge_delta(c, d, no_skip, no_skip, /*removing=*/true, out, scratch);
+  scan_edge_delta(a, d, /*skip_u=*/b, /*skip_v=*/c, /*removing=*/false, out,
+                  scratch);
+  scan_edge_delta(c, b, /*skip_u=*/d, /*skip_v=*/a, /*removing=*/false, out,
+                  scratch);
   // No-op below the inline-coalesce limit; one O(k log k) sort-merge
   // when a hub endpoint overflowed it.
   out.journal.coalesce();

@@ -137,6 +137,18 @@ class DkState {
   /// is at its frozen degree.
   void add_edge(NodeId u, NodeId v);
 
+  /// Per-caller scratch for evaluate_swap: the timestamped mark array of
+  /// the common-neighbor passes.  evaluate_swap reads only const state
+  /// plus one scratch, so any number of threads may evaluate proposals
+  /// concurrently against the SAME DkState as long as each brings its
+  /// own scratch (the optimistic batching protocol of docs/parallel.md).
+  /// A scratch is bound to one state's node count; reuse it across
+  /// evaluations to keep the array warm.
+  struct EvalScratch {
+    std::vector<std::uint64_t> mark;
+    std::uint64_t stamp = 0;
+  };
+
   /// Speculatively evaluates the double-edge swap (a,b),(c,d) ->
   /// (a,d),(c,b): fills `out` with the net wedge/triangle bin deltas
   /// (at full_three_k), the per-node triangle events and the S2/C̄
@@ -145,8 +157,15 @@ class DkState {
   /// zero hash probes, so rejecting the proposal afterwards is free.
   /// Preconditions: 3K tracking is on, both edges exist, the four
   /// endpoints are distinct, and neither replacement edge is present.
+  ///
+  /// The scratch overload is safe to call from multiple threads
+  /// concurrently (distinct scratches, no interleaved mutation); the
+  /// two-argument form uses an internal scratch and is single-threaded
+  /// like every other member.
   void evaluate_swap(NodeId a, NodeId b, NodeId c, NodeId d,
                      SwapDelta& out) const;
+  void evaluate_swap(NodeId a, NodeId b, NodeId c, NodeId d, SwapDelta& out,
+                     EvalScratch& scratch) const;
 
   /// Commits a swap evaluated by evaluate_swap: folds the recorded
   /// deltas into the histograms/scalars and applies the swap to the
@@ -181,7 +200,8 @@ class DkState {
   /// `skip_u` hidden from u's row and `skip_v` from v's row so the pass
   /// sees the intermediate graph of a half-applied swap.
   void scan_edge_delta(NodeId u, NodeId v, NodeId skip_u, NodeId skip_v,
-                       bool removing, SwapDelta& out) const;
+                       bool removing, SwapDelta& out,
+                       EvalScratch& scratch) const;
   void bump_jdd(std::uint32_t k1, std::uint32_t k2, std::int64_t delta);
   void bump_wedge(std::uint32_t end1, std::uint32_t center,
                   std::uint32_t end2, std::int64_t delta);
@@ -207,11 +227,15 @@ class DkState {
   double clustering_sum_ = 0.0;               // Σ_v 2 t_v / (k_v(k_v-1))
   BinListener listener_;
 
-  // Timestamped mark array for the common-neighbor delta pass: a node is
-  // "marked" iff mark_[v] carries the current stamp, so clearing between
-  // passes is a counter increment, not an O(n) sweep.
+  // Timestamped mark array for the common-neighbor delta passes of the
+  // MUTATING paths (add_edge/remove_edge/init): a node is "marked" iff
+  // mark_[v] carries the current stamp, so clearing between passes is a
+  // counter increment, not an O(n) sweep.  Also serves, via scratch_, the
+  // internal-scratch evaluate_swap overload; parallel evaluation brings
+  // external EvalScratch instances instead and never touches these.
   mutable std::vector<std::uint64_t> mark_;
   mutable std::uint64_t mark_stamp_ = 0;
+  mutable EvalScratch scratch_;  // backs the two-argument evaluate_swap
 };
 
 }  // namespace orbis::dk

@@ -2,14 +2,26 @@
 //
 // Backbone of the 2K/3K distributions: degree-pair and degree-triple
 // counts are sparse (the paper, §6 footnote: sparsity grows faster than
-// the nominal k^d size), so a hash map of non-zero bins is both the
-// compact and the fast representation.  Counts are signed internally so
+// the nominal k^d size), so a table of non-zero bins is both the compact
+// and the fast representation.  Counts are signed internally so
 // incremental bookkeeping can assert it never drives a bin negative.
+//
+// Storage is a flat open-addressing linear-probe table (the FlatEdgeHash
+// design: splitmix-finalized hash, power-of-two capacity, backward-shift
+// deletion — no tombstones, no per-node allocations), because the bins
+// sit on the 3K rewiring hot path: every ACCEPTED swap folds its
+// wedge/triangle journal into these tables (DkState::commit_swap) and
+// every targeting proposal prices ΔD3 with count() probes
+// (ThreeKObjective::delta_if_applied).  A bin is live iff its count is
+// non-zero — add() erases bins that return to zero — so occupancy needs
+// no separate marker and key 0 needs no sentinel exception.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
+#include <iterator>
+#include <utility>
+#include <vector>
 
 #include "util/check.hpp"
 
@@ -17,42 +29,97 @@ namespace orbis::dk {
 
 class SparseHistogram {
  public:
-  using Map = std::unordered_map<std::uint64_t, std::int64_t>;
+  /// Forward iteration over (key, count) pairs in unspecified order.
+  /// Dereference yields pairs BY VALUE (bins are stored as parallel
+  /// key/count arrays); mutating the histogram invalidates iterators.
+  class const_iterator {
+   public:
+    using value_type = std::pair<std::uint64_t, std::int64_t>;
+    using reference = value_type;
+    using pointer = void;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    const_iterator() = default;
+    const_iterator(const SparseHistogram* owner, std::size_t slot)
+        : owner_(owner), slot_(slot) {
+      skip_empty();
+    }
+
+    value_type operator*() const {
+      return {owner_->keys_[slot_], owner_->counts_[slot_]};
+    }
+    const_iterator& operator++() {
+      ++slot_;
+      skip_empty();
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.slot_ == b.slot_;
+    }
+
+   private:
+    void skip_empty() {
+      while (owner_ != nullptr && slot_ < owner_->counts_.size() &&
+             owner_->counts_[slot_] == 0) {
+        ++slot_;
+      }
+    }
+    const SparseHistogram* owner_ = nullptr;
+    std::size_t slot_ = 0;
+  };
+
+  /// Lightweight iterable view of the live bins (the historical
+  /// `bins()` interface; iteration order is unspecified).
+  class BinView {
+   public:
+    explicit BinView(const SparseHistogram* owner) : owner_(owner) {}
+    const_iterator begin() const { return {owner_, 0}; }
+    const_iterator end() const { return {owner_, owner_->counts_.size()}; }
+
+   private:
+    const SparseHistogram* owner_;
+  };
 
   std::int64_t count(std::uint64_t key) const {
-    const auto it = bins_.find(key);
-    return it == bins_.end() ? 0 : it->second;
+    if (num_bins_ == 0) return 0;
+    std::size_t i = index_of(key);
+    while (counts_[i] != 0) {
+      if (keys_[i] == key) return counts_[i];
+      i = (i + 1) & mask_;
+    }
+    return 0;
   }
 
   /// Adds delta to a bin; removes the bin when it reaches zero.
-  /// Throws std::logic_error if a bin would become negative.
-  void add(std::uint64_t key, std::int64_t delta) {
-    if (delta == 0) return;
-    auto [it, inserted] = bins_.try_emplace(key, 0);
-    it->second += delta;
-    util::ensures(it->second >= 0, "SparseHistogram: bin went negative");
-    if (it->second == 0) bins_.erase(it);
-  }
+  /// Throws std::logic_error if a bin would become negative (the
+  /// histogram is left unchanged).
+  void add(std::uint64_t key, std::int64_t delta);
 
   void increment(std::uint64_t key) { add(key, 1); }
   void decrement(std::uint64_t key) { add(key, -1); }
 
-  std::size_t num_bins() const noexcept { return bins_.size(); }
+  std::size_t num_bins() const noexcept { return num_bins_; }
 
   std::int64_t total() const noexcept {
     std::int64_t sum = 0;
-    for (const auto& [key, value] : bins_) sum += value;
+    for (const std::int64_t count : counts_) sum += count;
     return sum;
   }
 
-  bool empty() const noexcept { return bins_.empty(); }
-  void clear() noexcept { bins_.clear(); }
+  bool empty() const noexcept { return num_bins_ == 0; }
+  void clear() noexcept;
 
-  const Map& bins() const noexcept { return bins_; }
+  BinView bins() const noexcept { return BinView(this); }
+  const_iterator begin() const { return bins().begin(); }
+  const_iterator end() const { return bins().end(); }
 
-  friend bool operator==(const SparseHistogram& a, const SparseHistogram& b) {
-    return a.bins_ == b.bins_;
-  }
+  friend bool operator==(const SparseHistogram& a, const SparseHistogram& b);
 
   /// Sum over the union of bins of (a[key] - b[key])^2 — the paper's
   /// squared-difference distance D_d between current and target counts.
@@ -60,7 +127,23 @@ class SparseHistogram {
                                    const SparseHistogram& b);
 
  private:
-  Map bins_;
+  std::size_t index_of(std::uint64_t key) const {
+    // splitmix64-style finalizer: pair/triple keys are highly regular.
+    std::uint64_t x = key;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x) & mask_;
+  }
+  void grow();
+
+  // Parallel key/count arrays; counts_[i] == 0 marks an empty slot.
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::int64_t> counts_;
+  std::size_t mask_ = 0;       // capacity - 1 (capacity is a power of two)
+  std::size_t num_bins_ = 0;
 };
 
 }  // namespace orbis::dk

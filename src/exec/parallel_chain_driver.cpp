@@ -1,0 +1,29 @@
+#include "exec/parallel_chain_driver.hpp"
+
+#include "util/check.hpp"
+
+namespace orbis::exec {
+
+void ParallelChainDriver::run(
+    std::size_t chains, util::Rng& rng,
+    const std::function<void(std::size_t, util::Rng&)>& body) {
+  util::expects(chains > 0, "ParallelChainDriver: need at least one chain");
+
+  // One draw fixes the master state; every chain stream is a pure
+  // function of it.  (Drawing K seeds serially would also be
+  // deterministic — the stream split additionally lets chain i be
+  // reconstructed without drawing the i-1 seeds before it.)
+  const util::Rng master(rng.next());
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chains);
+  for (std::size_t chain = 0; chain < chains; ++chain) {
+    tasks.emplace_back([&body, &master, chain]() {
+      util::Rng chain_rng = master.stream(chain);
+      body(chain, chain_rng);
+    });
+  }
+  pool_->run_tasks(tasks);
+}
+
+}  // namespace orbis::exec

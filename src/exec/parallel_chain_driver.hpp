@@ -1,0 +1,44 @@
+// ParallelChainDriver — runs K independently seeded chains of work on a
+// ThreadPool with deterministic per-chain RNG streams.
+//
+// The driver owns exactly the scheduling concerns and nothing else:
+//   * seeding: one draw from the caller's Rng forms a master state, and
+//     chain i receives master.stream(i) (util::Rng stream splitting) —
+//     a pure function of (caller Rng state, i), independent of thread
+//     scheduling and of how many chains run concurrently;
+//   * placement: chains become pool tasks, so K chains genuinely occupy
+//     up to min(K, pool.size()) cores; extra chains queue;
+//   * failure: the lowest-index chain exception is rethrown after every
+//     chain has finished.
+//
+// Result selection (e.g. best-distance-wins) stays with the caller: the
+// driver writes nothing, each chain body fills its own slot.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "exec/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace orbis::exec {
+
+class ParallelChainDriver {
+ public:
+  /// Borrows `pool`; it must outlive the driver.
+  explicit ParallelChainDriver(ThreadPool& pool) noexcept : pool_(&pool) {}
+
+  ThreadPool& pool() const noexcept { return *pool_; }
+
+  /// Runs `chains` invocations of `body(chain, chain_rng)` on the pool
+  /// and blocks until all complete.  `rng` is advanced exactly once
+  /// regardless of chain count; chain_rng for chain i is
+  /// Rng(rng.next()).stream(i).
+  void run(std::size_t chains, util::Rng& rng,
+           const std::function<void(std::size_t, util::Rng&)>& body);
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace orbis::exec

@@ -1,0 +1,95 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <latch>
+#include <utility>
+
+namespace orbis::exec {
+
+std::size_t resolve_workers(std::size_t requested) noexcept {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = resolve_workers(threads);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::run_tasks(std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+
+  // One latch for the whole batch; exceptions are captured per slot and
+  // the lowest-index one rethrown, so failure reporting is deterministic
+  // no matter which task crashed first in wall-clock terms.
+  const std::size_t pooled = tasks.size() - 1;
+  std::vector<std::exception_ptr> errors(tasks.size());
+  std::latch done(static_cast<std::ptrdiff_t>(pooled == 0 ? 1 : pooled));
+
+  for (std::size_t i = 0; i < pooled; ++i) {
+    enqueue([&tasks, &errors, &done, i]() {
+      try {
+        tasks[i]();
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      done.count_down();
+    });
+  }
+  try {
+    tasks.back()();
+  } catch (...) {
+    errors.back() = std::current_exception();
+  }
+  if (pooled == 0) done.count_down();
+  done.wait();
+
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+ThreadPool& shared_pool() {
+  // Function-local static: constructed on first use, joined at exit.
+  static ThreadPool pool(0);
+  return pool;
+}
+
+}  // namespace orbis::exec

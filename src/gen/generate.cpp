@@ -13,6 +13,33 @@ namespace orbis::gen {
 
 namespace {
 
+/// Targeting stages honor the chain autotune: 0 resolves to one chain
+/// per core (default_chain_count).  A resolved count of 1 bypasses the
+/// multichain driver entirely — bit-compatible with the pre-driver
+/// single-chain path, and the only configuration where the intra-chain
+/// speculation workers of TargetingOptions may engage (multichain
+/// chains already occupy the shared pool).
+Graph run_target_2k(const Graph& start,
+                    const dk::JointDegreeDistribution& target,
+                    const GenerateOptions& options, util::Rng& rng) {
+  const std::size_t chains = default_chain_count(options.chains.chains);
+  if (chains == 1) {
+    return target_2k(start, target, options.targeting, rng);
+  }
+  return target_2k_multichain(start, target, options.targeting,
+                              MultiChainOptions{.chains = chains}, rng);
+}
+
+Graph run_target_3k(const Graph& start, const dk::ThreeKProfile& target,
+                    const GenerateOptions& options, util::Rng& rng) {
+  const std::size_t chains = default_chain_count(options.chains.chains);
+  if (chains == 1) {
+    return target_3k(start, target, options.targeting, rng);
+  }
+  return target_3k_multichain(start, target, options.targeting,
+                              MultiChainOptions{.chains = chains}, rng);
+}
+
 Graph generate_0k(const dk::DkDistributions& target, Method method,
                   util::Rng& rng) {
   const auto n = static_cast<NodeId>(target.num_nodes);
@@ -54,8 +81,7 @@ Graph generate_2k(const dk::DkDistributions& target,
                               ? target.degree
                               : target.joint.project_to_1k();
       const Graph start = matching_1k(one_k, rng);
-      return target_2k_multichain(start, target.joint, options.targeting,
-                                  options.chains, rng);
+      return run_target_2k(start, target.joint, options, rng);
     }
   }
   throw std::invalid_argument("generate_2k: unknown method");
@@ -75,11 +101,8 @@ Graph generate_3k(const dk::DkDistributions& target,
                                ? target.degree
                                : target.joint.project_to_1k();
   const Graph one_k = matching_1k(one_k_dist, rng);
-  const Graph two_k = target_2k_multichain(one_k, target.joint,
-                                           options.targeting, options.chains,
-                                           rng);
-  return target_3k_multichain(two_k, target.three_k, options.targeting,
-                              options.chains, rng);
+  const Graph two_k = run_target_2k(one_k, target.joint, options, rng);
+  return run_target_3k(two_k, target.three_k, options, rng);
 }
 
 }  // namespace

@@ -30,12 +30,15 @@ struct GenerateOptions {
   Method method = Method::matching;
   TargetingOptions targeting;  // used by Method::targeting and d == 3
   /// Targeting stages run through the multi-chain annealing driver:
-  /// `chains.chains` independently seeded chains, best distance wins.
-  /// Default 2: on the reproduction hardware the best-of-2 chain
-  /// captures most of the attainable D improvement, and each extra
-  /// chain costs a full extra budget on a single core.  Set to 1 to
-  /// recover the single-chain behavior exactly.
-  MultiChainOptions chains{.chains = 2};
+  /// `chains.chains` independently seeded chains scheduled on the shared
+  /// thread pool, best distance wins.  Default 0 = autotune: one chain
+  /// per available core (default_chain_count(), clamped to [1, 8]) —
+  /// since PR 3 the chains genuinely occupy separate cores, so extra
+  /// chains up to the core count improve the best-of-K distance at
+  /// roughly constant wall-clock.  Set to 1 to recover the single-chain
+  /// behavior exactly, or any explicit count to pin it (the CLI's
+  /// --chains flag does exactly that).
+  MultiChainOptions chains{.chains = 0};
 };
 
 /// Generate a dK-random graph from distributions (no original needed).

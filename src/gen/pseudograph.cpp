@@ -1,5 +1,6 @@
 #include "gen/pseudograph.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 #include "gen/errors.hpp"

@@ -1,5 +1,8 @@
 #include "gen/rewiring.hpp"
 
+#include <algorithm>
+
+#include "exec/thread_pool.hpp"
 #include "gen/rewiring_engine.hpp"
 #include "util/check.hpp"
 
@@ -41,6 +44,11 @@ Graph randomize_0k(const Graph& g, std::size_t budget, util::Rng& rng,
 
 }  // namespace
 
+std::size_t default_chain_count(std::size_t requested) noexcept {
+  if (requested > 0) return requested;
+  return std::clamp<std::size_t>(exec::resolve_workers(0), 1, 8);
+}
+
 Graph randomize(const Graph& g, const RandomizeOptions& options,
                 util::Rng& rng, RewiringStats* stats) {
   util::expects(options.d >= 0 && options.d <= 3,
@@ -58,7 +66,15 @@ Graph randomize(const Graph& g, const RandomizeOptions& options,
     }
     default: {
       ThreeKRewirer rewirer(g);
-      rewirer.randomize(budget, rng, stats);
+      if (options.workers != 1) {
+        const SpeculationOptions speculation{
+            .workers = exec::resolve_workers(options.workers),
+            .batch = options.batch};
+        rewirer.randomize_parallel(budget, rng, exec::shared_pool(),
+                                   speculation, stats);
+      } else {
+        rewirer.randomize(budget, rng, stats);
+      }
       return rewirer.graph();
     }
   }
@@ -84,8 +100,17 @@ Graph target_3k(const Graph& start, const dk::ThreeKProfile& target,
   const std::size_t budget = budget_of(
       options.attempts, options.attempts_per_edge, start.num_edges());
   ThreeKRewirer rewirer(start);
-  const std::int64_t distance =
-      rewirer.target(target, options, budget, rng, stats);
+  std::int64_t distance = 0;
+  if (options.workers != 1) {
+    const SpeculationOptions speculation{
+        .workers = exec::resolve_workers(options.workers),
+        .batch = options.batch};
+    distance = rewirer.target_parallel(target, options, budget, rng,
+                                       exec::shared_pool(), speculation,
+                                       stats);
+  } else {
+    distance = rewirer.target(target, options, budget, rng, stats);
+  }
   if (final_distance != nullptr) {
     *final_distance = static_cast<double>(distance);
   }
@@ -100,6 +125,7 @@ void accumulate(RewiringStats& total, const RewiringStats& chain) {
   total.rejected_structural += chain.rejected_structural;
   total.rejected_constraint += chain.rejected_constraint;
   total.rejected_objective += chain.rejected_objective;
+  total.conflict_reevaluations += chain.conflict_reevaluations;
 }
 
 Graph finish_multichain(std::vector<ChainOutcome>& outcomes,

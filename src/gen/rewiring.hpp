@@ -36,6 +36,11 @@ struct RewiringStats {
   std::uint64_t rejected_structural = 0;  // loops/duplicates/no-ops
   std::uint64_t rejected_constraint = 0;  // would break P_{d'}
   std::uint64_t rejected_objective = 0;   // distance/objective worsened
+  /// Parallel batching only: proposals whose speculative verdict was
+  /// invalidated by an earlier commit in the same round and had to be
+  /// re-evaluated serially.  Not part of the attempts partition (each
+  /// such proposal still resolves into exactly one bucket above).
+  std::uint64_t conflict_reevaluations = 0;
 
   double acceptance_rate() const {
     return attempts > 0
@@ -52,6 +57,13 @@ struct RandomizeOptions {
   int d = 2;                           // series level to preserve, 0..3
   std::size_t attempts_per_edge = 10;  // attempt budget = this * m
   std::size_t attempts = 0;            // explicit budget (overrides if > 0)
+  /// Optimistic parallel evaluation workers for the d = 3 path (other
+  /// levels ignore it): 1 = classic serial chain; 0 = all cores; > 1 =
+  /// that many evaluation tasks on the shared thread pool.  Results are
+  /// a pure function of (seed, batch), NOT of the worker count — see
+  /// docs/parallel.md.
+  std::size_t workers = 1;
+  std::size_t batch = 256;  // proposals per speculation round (workers != 1)
 };
 
 /// dK-randomizing rewiring: returns a random graph with exactly the same
@@ -76,6 +88,13 @@ struct TargetingOptions {
   /// large graphs; guided proposals fix the endgame.  Ignored by
   /// target_3k.
   double guided_fraction = 0.5;
+  /// Optimistic parallel evaluation workers for target_3k (the 2K path
+  /// ignores it — its O(1) integer ΔD2 leaves nothing worth farming
+  /// out): 1 = serial chain; 0 = all cores.  Ignored inside multichain
+  /// drivers, whose chains already occupy the pool.  Results are a pure
+  /// function of (seed, batch), independent of the worker count.
+  std::size_t workers = 1;
+  std::size_t batch = 256;  // proposals per speculation round (workers != 1)
 };
 
 /// 2K-targeting 1K-preserving rewiring.  `start` must already have the
@@ -97,8 +116,15 @@ Graph target_3k(const Graph& start, const dk::ThreeKProfile& target,
 // Multi-chain targeting.
 // ---------------------------------------------------------------------------
 
+/// Annealing chains to run for `requested` (0 = autotune): one chain per
+/// available core, clamped to [1, 8] — past ~8 chains the best-of-K
+/// improvement flattens while every chain still burns a full budget.
+std::size_t default_chain_count(std::size_t requested = 0) noexcept;
+
 struct MultiChainOptions {
-  std::size_t chains = 4;  // independently seeded annealing chains
+  /// Independently seeded annealing chains; 0 = autotune from
+  /// std::thread::hardware_concurrency() via default_chain_count().
+  std::size_t chains = 4;
 };
 
 struct MultiChainResult {

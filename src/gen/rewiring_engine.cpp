@@ -1,11 +1,11 @@
 #include "gen/rewiring_engine.hpp"
 
 #include <cmath>
-#include <exception>
-#include <thread>
 #include <utility>
 #include <vector>
 
+#include "exec/parallel_chain_driver.hpp"
+#include "exec/thread_pool.hpp"
 #include "util/check.hpp"
 
 namespace orbis::gen {
@@ -359,31 +359,16 @@ std::size_t run_multichain(
     std::size_t chains, util::Rng& rng,
     const std::function<ChainOutcome(std::size_t, util::Rng&)>& run_chain,
     std::vector<ChainOutcome>& outcomes) {
-  util::expects(chains > 0, "run_multichain: need at least one chain");
+  if (chains == 0) chains = default_chain_count();
 
-  // Seeds are drawn up front so the chain set is a deterministic
-  // function of `rng` no matter how threads are scheduled.
-  std::vector<std::uint64_t> seeds(chains);
-  for (auto& seed : seeds) seed = rng.next();
-
+  // The driver derives chain i's Rng as a pure function of (rng, i), so
+  // the chain set is deterministic no matter how the pool schedules the
+  // bodies; each outcome lands in its own slot.
   outcomes.assign(chains, ChainOutcome{});
-  std::vector<std::exception_ptr> errors(chains);
-  std::vector<std::thread> workers;
-  workers.reserve(chains);
-  for (std::size_t chain = 0; chain < chains; ++chain) {
-    workers.emplace_back([&, chain]() {
-      try {
-        util::Rng chain_rng(seeds[chain]);
-        outcomes[chain] = run_chain(chain, chain_rng);
-      } catch (...) {
-        errors[chain] = std::current_exception();
-      }
-    });
-  }
-  for (auto& worker : workers) worker.join();
-  for (const auto& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
+  exec::ParallelChainDriver driver(exec::shared_pool());
+  driver.run(chains, rng, [&](std::size_t chain, util::Rng& chain_rng) {
+    outcomes[chain] = run_chain(chain, chain_rng);
+  });
 
   std::size_t best = 0;
   for (std::size_t chain = 1; chain < chains; ++chain) {

@@ -14,10 +14,12 @@
 //                           while the engine samples 2K-preserving swap
 //                           candidates from the same index's degree
 //                           buckets instead of rejection sampling.
-//   * run_multichain      — K independently seeded chains on
-//                           std::thread; the best-distance result wins,
-//                           ties broken by lowest chain id so the
-//                           outcome is independent of thread scheduling.
+//   * run_multichain      — K independently seeded chains scheduled on
+//                           the shared exec::ThreadPool through
+//                           exec::ParallelChainDriver; the best-distance
+//                           result wins, ties broken by lowest chain id
+//                           so the outcome is independent of thread
+//                           scheduling (see docs/parallel.md).
 //
 // The public entry points in rewiring.hpp are thin wrappers over these.
 #pragma once
@@ -30,6 +32,10 @@
 #include "gen/objective.hpp"
 #include "gen/rewiring.hpp"
 #include "util/rng.hpp"
+
+namespace orbis::exec {
+class ThreadPool;
+}
 
 namespace orbis::gen {
 
@@ -75,6 +81,18 @@ class RewiringEngine {
   EdgeIndex index_;
 };
 
+/// Tuning of the optimistic intra-chain batching (docs/parallel.md):
+/// proposals are drawn serially in rounds of `batch`, evaluated
+/// speculatively in parallel by up to `workers` pool tasks, and committed
+/// serially in draw order with endpoint/bin conflict re-evaluation.  The
+/// outcome is a pure function of (rng, batch) — `workers`, the pool size
+/// and thread scheduling are all unobservable — so a fixed seed and batch
+/// reproduce bit-identical chains at ANY thread count.
+struct SpeculationOptions {
+  std::size_t workers = 0;  // evaluation tasks per round; 0 = pool size
+  std::size_t batch = 256;  // proposals drawn per round (determinism knob)
+};
+
 /// 3K machinery: one EdgeIndex for adjacency + candidate selection,
 /// with a DkState bound to it for the wedge/triangle bookkeeping.
 class ThreeKRewirer {
@@ -103,22 +121,51 @@ class ThreeKRewirer {
   void explore(ExploreObjective objective, std::size_t budget,
                double stop_at, util::Rng& rng, RewiringStats* stats);
 
+  /// Optimistic parallel variants of randomize()/target(): worker tasks
+  /// on `pool` evaluate batches of proposals speculatively (per-task
+  /// DkState::EvalScratch, const state), a serial committer applies
+  /// non-conflicting accepted swaps in draw order and re-evaluates
+  /// conflicted ones, so acceptance semantics match a serial pass over
+  /// the same proposal stream.  Must not be called from inside a task of
+  /// `pool` (e.g. a multichain chain body running on the shared pool).
+  void randomize_parallel(std::size_t budget, util::Rng& rng,
+                          exec::ThreadPool& pool,
+                          const SpeculationOptions& speculation,
+                          RewiringStats* stats);
+  std::int64_t target_parallel(const dk::ThreeKProfile& target,
+                               const TargetingOptions& options,
+                               std::size_t budget, util::Rng& rng,
+                               exec::ThreadPool& pool,
+                               const SpeculationOptions& speculation,
+                               RewiringStats* stats);
+
   Graph graph() const { return state_.to_graph(); }
   const EdgeIndex& index() const noexcept { return index_; }
   const dk::DkState& state() const noexcept { return state_; }
 
  private:
   bool draw_candidate(util::Rng& rng, Swap& swap) const;
+  /// Shared engine of the two *_parallel entry points (target == nullptr
+  /// selects randomizing mode); defined in rewiring_parallel.cpp.
+  std::int64_t run_speculative(const dk::ThreeKProfile* target,
+                               const TargetingOptions& options,
+                               std::size_t budget, util::Rng& rng,
+                               exec::ThreadPool& pool,
+                               const SpeculationOptions& speculation,
+                               RewiringStats* stats);
 
   EdgeIndex index_;     // the ONLY adjacency structure for all 3K modes
   dk::DkState state_;   // bound to index_; declared after it
 };
 
 /// Runs `chains` independently seeded copies of `run_chain` (each given a
-/// deterministic per-chain Rng derived from `rng`) on std::thread and
-/// returns the index of the best chain: lowest distance, ties broken by
-/// lowest chain id, so the winner does not depend on thread scheduling.
-/// `run_chain(chain, rng)` must fill results[chain] itself.
+/// deterministic per-chain Rng stream derived from `rng`, see
+/// util::Rng::stream) on the shared exec::ThreadPool and returns the
+/// index of the best chain: lowest distance, ties broken by lowest chain
+/// id, so the winner does not depend on thread scheduling.  `chains == 0`
+/// resolves to default_chain_count().  `run_chain(chain, rng)` must fill
+/// results[chain] itself; chain bodies run as pool tasks and must not
+/// schedule further work on the shared pool.
 struct ChainOutcome {
   Graph graph;
   double distance = 0.0;

@@ -96,4 +96,17 @@ Rng Rng::split() noexcept {
   return child;
 }
 
+Rng Rng::stream(std::uint64_t stream_id) const noexcept {
+  // Fold the four state words and the stream id through the SplitMix64
+  // sequence.  The id enters first so that consecutive ids land in
+  // unrelated regions of the seed space even for identical parents.
+  std::uint64_t acc = 0xa0761d6478bd642full ^ stream_id;
+  acc = splitmix64(acc);
+  for (const std::uint64_t word : state_) {
+    acc ^= word;
+    acc = splitmix64(acc);
+  }
+  return Rng(acc);
+}
+
 }  // namespace orbis::util

@@ -55,7 +55,19 @@ class Rng {
   }
 
   /// A fresh generator with an independent stream (for sub-experiments).
+  /// Advances this generator by one draw.
   Rng split() noexcept;
+
+  /// Deterministic indexed sub-stream: a fresh generator derived from the
+  /// CURRENT state and `stream_id` without advancing this generator, so
+  ///   - stream(i) is a pure function of (state, i): any worker can
+  ///     reconstruct chain i's generator without coordinating draws, and
+  ///   - distinct ids give statistically independent streams (the state
+  ///     words and the id are folded through SplitMix64 finalizers).
+  /// This is the seeding primitive of the parallel execution subsystem:
+  /// chain/worker RNGs are a function of (master seed, index), never of
+  /// thread scheduling.
+  Rng stream(std::uint64_t stream_id) const noexcept;
 
   // UniformRandomBitGenerator interface (usable with <random> and
   // std::sample / std::shuffle).

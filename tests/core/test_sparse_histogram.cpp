@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
 namespace orbis::dk {
 namespace {
 
@@ -78,6 +83,102 @@ TEST(SparseHistogram, ClearResets) {
   h.add(5, 5);
   h.clear();
   EXPECT_TRUE(h.empty());
+  // A cleared table must be fully reusable.
+  h.add(9, 2);
+  EXPECT_EQ(h.count(9), 2);
+  EXPECT_EQ(h.num_bins(), 1u);
+}
+
+TEST(SparseHistogram, ZeroKeyIsAnOrdinaryBin) {
+  // Unlike FlatEdgeHash, the histogram has no reserved key: occupancy is
+  // carried by the count, so key 0 must round-trip like any other.
+  SparseHistogram h;
+  h.add(0, 7);
+  EXPECT_EQ(h.count(0), 7);
+  EXPECT_EQ(h.num_bins(), 1u);
+  h.add(0, -7);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(0), 0);
+}
+
+TEST(SparseHistogram, GrowsThroughManyBins) {
+  SparseHistogram h;
+  constexpr std::uint64_t n = 20000;
+  for (std::uint64_t key = 0; key < n; ++key) {
+    h.add(key * 0x9e3779b97f4a7c15ull, static_cast<std::int64_t>(key % 7 + 1));
+  }
+  EXPECT_EQ(h.num_bins(), n);
+  for (std::uint64_t key = 0; key < n; ++key) {
+    EXPECT_EQ(h.count(key * 0x9e3779b97f4a7c15ull),
+              static_cast<std::int64_t>(key % 7 + 1));
+  }
+}
+
+TEST(SparseHistogram, IterationVisitsEveryLiveBinOnce) {
+  SparseHistogram h;
+  std::map<std::uint64_t, std::int64_t> model;
+  for (std::uint64_t key = 1; key <= 500; ++key) {
+    h.add(key, static_cast<std::int64_t>(key));
+    model[key] = static_cast<std::int64_t>(key);
+  }
+  // Kill every third bin; iteration must reflect exactly the survivors.
+  for (std::uint64_t key = 3; key <= 500; key += 3) {
+    h.add(key, -static_cast<std::int64_t>(key));
+    model.erase(key);
+  }
+  std::map<std::uint64_t, std::int64_t> seen;
+  for (const auto& [key, count] : h.bins()) {
+    EXPECT_TRUE(seen.emplace(key, count).second) << "duplicate key " << key;
+  }
+  EXPECT_EQ(seen, model);
+}
+
+TEST(SparseHistogram, ChurnMatchesReferenceMap) {
+  // Randomized insert/erase churn against std::unordered_map semantics:
+  // backward-shift deletion must never lose or duplicate a probe chain.
+  SparseHistogram h;
+  std::unordered_map<std::uint64_t, std::int64_t> model;
+  util::Rng rng(1234);
+  for (int step = 0; step < 50000; ++step) {
+    const std::uint64_t key = rng.uniform(400);  // dense: heavy collisions
+    if (rng.bernoulli(0.5)) {
+      h.add(key, 1);
+      if (++model[key] == 0) model.erase(key);
+    } else {
+      const auto it = model.find(key);
+      if (it == model.end()) continue;  // would go negative
+      h.add(key, -1);
+      if (--it->second == 0) model.erase(it);
+    }
+  }
+  EXPECT_EQ(h.num_bins(), model.size());
+  for (const auto& [key, count] : model) {
+    EXPECT_EQ(h.count(key), count) << "key " << key;
+  }
+}
+
+TEST(SparseHistogram, EqualityIgnoresInsertionOrderAndCapacity) {
+  SparseHistogram a;
+  SparseHistogram b;
+  for (std::uint64_t key = 0; key < 100; ++key) a.add(key, 1);
+  // b takes a different route: overshoot (forcing extra growth), then
+  // trim back to the same logical contents in reverse order.
+  for (std::uint64_t key = 2000; key > 0; --key) b.add(key - 1, 2);
+  for (std::uint64_t key = 100; key < 2000; ++key) b.add(key, -2);
+  for (std::uint64_t key = 0; key < 100; ++key) b.add(key, -1);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, a);
+}
+
+TEST(SparseHistogram, FailedNegativeAddLeavesStateUntouched) {
+  SparseHistogram h;
+  h.add(7, 3);
+  EXPECT_THROW(h.add(7, -4), std::logic_error);
+  EXPECT_EQ(h.count(7), 3);
+  EXPECT_EQ(h.num_bins(), 1u);
+  EXPECT_THROW(h.add(8, -1), std::logic_error);
+  EXPECT_EQ(h.count(8), 0);
+  EXPECT_EQ(h.num_bins(), 1u);
 }
 
 }  // namespace

@@ -153,6 +153,52 @@ TEST(Rng, SplitProducesIndependentStream) {
   EXPECT_NE(parent.next(), child.next());
 }
 
+TEST(Rng, StreamIsPureFunctionOfStateAndId) {
+  const Rng parent(43);  // const: stream() must not advance the parent
+  Rng a = parent.stream(5);
+  Rng b = parent.stream(5);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.next(), b.next());
+
+  // Deriving one stream does not perturb another.
+  Rng c = parent.stream(6);
+  Rng d = parent.stream(6);
+  (void)parent.stream(7);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(c.next(), d.next());
+}
+
+TEST(Rng, StreamsWithDistinctIdsDiverge) {
+  const Rng parent(47);
+  Rng a = parent.stream(0);
+  Rng b = parent.stream(1);
+  int differences = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.next() != b.next()) ++differences;
+  }
+  EXPECT_GT(differences, 28);
+}
+
+TEST(Rng, StreamsOfDistinctParentsDiverge) {
+  const Rng p1(49);
+  const Rng p2(50);
+  Rng a = p1.stream(3);
+  Rng b = p2.stream(3);
+  int differences = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.next() != b.next()) ++differences;
+  }
+  EXPECT_GT(differences, 28);
+}
+
+TEST(Rng, StreamDoesNotAdvanceParent) {
+  Rng with_streams(53);
+  Rng without(53);
+  (void)with_streams.stream(0);
+  (void)with_streams.stream(99);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(with_streams.next(), without.next());
+  }
+}
+
 TEST(Rng, SatisfiesUniformRandomBitGenerator) {
   static_assert(std::uniform_random_bit_generator<Rng>);
   SUCCEED();

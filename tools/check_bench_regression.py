@@ -34,7 +34,8 @@ import re
 import statistics
 import sys
 
-DEFAULT_FILTER = r"RewiringStep|Target2KAttempts|Randomize2KAttempts|DkStateSwap"
+DEFAULT_FILTER = (r"RewiringStep|Target2KAttempts|Randomize2KAttempts"
+                  r"|DkStateSwap|Parallel3K")
 
 
 def load_benchmarks(path, name_filter):
