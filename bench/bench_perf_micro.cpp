@@ -3,6 +3,9 @@
 // Lanczos.  These guard the complexity classes the library promises.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+
 #include "core/dk_state.hpp"
 #include "core/series.hpp"
 #include "exec/thread_pool.hpp"
@@ -11,6 +14,8 @@
 #include "gen/rewiring_engine.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/builders.hpp"
+#include "io/chunked_edge_reader.hpp"
+#include "io/edge_list.hpp"
 #include "metrics/betweenness.hpp"
 #include "metrics/distance.hpp"
 #include "metrics/spectrum.hpp"
@@ -109,6 +114,52 @@ void BM_Target2KAttempts(benchmark::State& state) {
       static_cast<double>(accepted), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Target2KAttempts)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+// The same sustained 2K-targeting attempt throughput through the SPARSE
+// objective backend (docs/scaling.md): the hash-probe ΔD2 price relative
+// to BM_Target2KAttempts' dense array is exactly the gap this guards.
+void BM_Sparse2KTarget(benchmark::State& state) {
+  const auto original = make_graph(state.range(0));
+  const auto target = dk::JointDegreeDistribution::from_graph(original);
+  util::Rng start_rng(13);
+  const auto start =
+      gen::matching_1k(dk::DegreeDistribution::from_graph(original),
+                       start_rng);
+  gen::TargetingOptions options;
+  options.objective = gen::ObjectiveBackend::sparse;
+  options.attempts = 100000;
+  options.stop_distance = -1.0;  // never satisfied: sustained throughput
+  util::Rng rng(7);
+  std::uint64_t attempts = 0;
+  for (auto _ : state) {
+    gen::RewiringStats stats;
+    benchmark::DoNotOptimize(
+        gen::target_2k(start, target, options, rng, &stats));
+    attempts += stats.attempts;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(attempts));
+}
+BENCHMARK(BM_Sparse2KTarget)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+// Streaming extraction throughput (chunked reader + StreamingDkExtractor,
+// docs/scaling.md): edges processed per second over a written file, the
+// pipeline `orbis_tool extract` runs.  Level 2 = the two-pass degree+JDD
+// scan that bounded-memory extract->target workflows depend on.
+void BM_StreamingExtract2K(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  const std::string path = "/tmp/orbis_bench_streaming.edges";
+  io::write_edge_list_file(path, g);
+  std::uint64_t edges = 0;
+  for (auto _ : state) {
+    const auto streamed = io::extract_dk_streaming(path, 2);
+    benchmark::DoNotOptimize(streamed.distributions.num_edges);
+    edges += streamed.distributions.num_edges;
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(static_cast<std::int64_t>(edges));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StreamingExtract2K)->Range(1 << 12, 1 << 15)->Complexity();
 
 // Swap-attempt throughput of 2K-preserving randomization.
 void BM_Randomize2KAttempts(benchmark::State& state) {

@@ -3,6 +3,10 @@
 //
 //   orbis_tool analyze  <graph.edges>                 extract + print dK stats
 //   orbis_tool extract  <graph.edges> <out-prefix>    write .1k/.2k/.3k files
+//       streams the file by default (bounded memory; --trust-simple skips
+//       duplicate detection, --buffer-kb N sets the read granularity);
+//       --in-memory restores the Graph-based path (implied by --gcc,
+//       which needs the whole graph for component extraction)
 //   orbis_tool generate --d {0,1,2,3} [options]       build a dK-random graph
 //       from distribution files:   --from-1k F | --from-2k F [--from-3k F]
 //       or from a graph:           --like graph.edges (randomizing rewiring)
@@ -13,6 +17,11 @@
 //                                  evaluation workers for single-chain d=3
 //                                  targeting and --like d=3 randomizing;
 //                                  default 1 = serial, 0 = all cores)
+//       2K objective:              --objective {auto,dense,sparse} (default
+//                                  auto: dense ΔD2 matrix while it fits the
+//                                  budget, sparse bin table past it) and
+//                                  --memory-budget-mb N (default 512); see
+//                                  docs/scaling.md
 //       output:                    --out out.edges  [--dot out.dot]
 //   orbis_tool rescale  --from-2k F --nodes N --out F2   rescale a JDD
 //   orbis_tool compare  <a.edges> <b.edges>          metric bundle + D_d
@@ -27,11 +36,13 @@
 #include "gen/generate.hpp"
 #include "gen/rewiring.hpp"
 #include "graph/algorithms.hpp"
+#include "io/chunked_edge_reader.hpp"
 #include "io/dk_serialization.hpp"
 #include "io/dot.hpp"
 #include "io/edge_list.hpp"
 #include "metrics/summary.hpp"
 #include "util/cli.hpp"
+#include "util/memory.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -68,9 +79,39 @@ int cmd_analyze(const util::ArgParser& args) {
 
 int cmd_extract(const util::ArgParser& args) {
   if (args.positional().size() < 3) return usage();
-  const Graph g = load(args.positional()[1], args.has_flag("--gcc"));
-  const auto dists = dk::extract(g, 3);
+  const std::string& path = args.positional()[1];
   const std::string prefix = args.positional()[2];
+
+  // Streaming is the default: the chunked reader + one-pass accumulators
+  // keep memory bounded by the accumulators, not the file (see
+  // docs/scaling.md).  GCC reduction needs the whole graph, so --gcc
+  // implies the in-memory path.
+  dk::DkDistributions dists;
+  if (args.has_flag("--gcc") || args.has_flag("--in-memory")) {
+    dists = dk::extract(load(path, args.has_flag("--gcc")), 3);
+  } else {
+    io::StreamingExtractOptions options;
+    options.extractor.assume_simple = args.has_flag("--trust-simple");
+    const long long buffer_kb = args.get_int("--buffer-kb", 1024);
+    if (buffer_kb <= 0) {
+      throw std::invalid_argument("--buffer-kb must be positive");
+    }
+    options.reader.buffer_bytes =
+        static_cast<std::size_t>(buffer_kb) * 1024;
+    auto streamed = io::extract_dk_streaming(path, 3, options);
+    if (streamed.skipped_self_loops > 0 || streamed.skipped_duplicates > 0) {
+      std::fprintf(stderr, "skipped %zu self-loops, %zu duplicate edges\n",
+                   streamed.skipped_self_loops,
+                   streamed.skipped_duplicates);
+    }
+    std::fprintf(stderr,
+                 "streaming extract: %zu KiB accumulators, %zu KiB peak "
+                 "RSS\n",
+                 streamed.peak_accumulator_bytes / 1024,
+                 util::peak_rss_bytes() / 1024);
+    dists = std::move(streamed.distributions);
+  }
+
   io::write_1k_file(prefix + ".1k", dists.degree);
   io::write_2k_file(prefix + ".2k", dists.joint);
   io::write_3k_file(prefix + ".3k", dists.three_k);
@@ -87,6 +128,20 @@ std::size_t parse_count(const util::ArgParser& args, const std::string& flag,
     throw std::invalid_argument(flag + " must be >= 0");
   }
   return static_cast<std::size_t>(value);
+}
+
+/// 2K objective backend flags, applied to every targeting stage.  An
+/// unknown --objective value must fail loudly (parse_objective_backend
+/// throws naming the valid spellings), never silently fall back.
+void apply_objective_flags(const util::ArgParser& args,
+                           gen::TargetingOptions& targeting) {
+  const std::string objective = args.get_string("--objective", "auto");
+  targeting.objective = gen::parse_objective_backend(objective);
+  const long long budget = args.get_int("--memory-budget-mb", 512);
+  if (budget <= 0) {
+    throw std::invalid_argument("--memory-budget-mb must be positive");
+  }
+  targeting.memory_budget_mb = static_cast<std::size_t>(budget);
 }
 
 gen::Method parse_method(const std::string& name) {
@@ -153,6 +208,7 @@ int cmd_generate(const util::ArgParser& args, util::Rng& rng) {
     // chain fan-out regardless of the machine.
     options.chains.chains = parse_count(args, "--chains", 0);
     options.targeting.workers = parse_count(args, "--workers", 1);
+    apply_objective_flags(args, options.targeting);
     result = gen::generate_dk_random(target, d, options, rng);
   }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/keys.hpp"
 
 namespace orbis::dk {
 
@@ -115,6 +116,12 @@ class SparseHistogram {
   bool empty() const noexcept { return num_bins_ == 0; }
   void clear() noexcept;
 
+  /// Bytes held by the key/count arrays (streaming memory accounting).
+  std::size_t capacity_bytes() const noexcept {
+    return keys_.capacity() * sizeof(std::uint64_t) +
+           counts_.capacity() * sizeof(std::int64_t);
+  }
+
   BinView bins() const noexcept { return BinView(this); }
   const_iterator begin() const { return bins().begin(); }
   const_iterator end() const { return bins().end(); }
@@ -128,14 +135,7 @@ class SparseHistogram {
 
  private:
   std::size_t index_of(std::uint64_t key) const {
-    // splitmix64-style finalizer: pair/triple keys are highly regular.
-    std::uint64_t x = key;
-    x ^= x >> 30;
-    x *= 0xbf58476d1ce4e5b9ull;
-    x ^= x >> 27;
-    x *= 0x94d049bb133111ebull;
-    x ^= x >> 31;
-    return static_cast<std::size_t>(x) & mask_;
+    return static_cast<std::size_t>(util::splitmix64_mix(key)) & mask_;
   }
   void grow();
 

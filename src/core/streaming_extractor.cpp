@@ -1,0 +1,253 @@
+#include "core/streaming_extractor.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/keys.hpp"
+
+namespace orbis::dk {
+
+StreamingDkExtractor::StreamingDkExtractor(int max_d,
+                                           StreamingOptions options)
+    : max_d_(max_d), options_(options) {
+  util::expects(max_d >= 0 && max_d <= 3,
+                "StreamingDkExtractor: max_d must be in [0,3]");
+}
+
+std::uint32_t StreamingDkExtractor::intern(std::uint64_t file_id) {
+  if (file_id > max_file_id_) max_file_id_ = file_id;
+  const auto [it, inserted] = dense_id_.try_emplace(
+      file_id, static_cast<std::uint32_t>(dense_id_.size()));
+  if (inserted) {
+    util::expects(dense_id_.size() <= 0xffffffffull,
+                  "StreamingDkExtractor: more than 2^32 distinct node ids");
+    degree_.push_back(0);
+  }
+  return it->second;
+}
+
+bool StreamingDkExtractor::keep_edge(std::uint32_t u, std::uint32_t v) {
+  if (u == v) {
+    if (pass_ == 0) ++self_loops_;
+    return false;
+  }
+  if (!options_.assume_simple &&
+      !seen_edges_.insert(util::pair_key(u, v))) {
+    if (pass_ == 0) ++duplicates_;
+    return false;
+  }
+  return true;
+}
+
+void StreamingDkExtractor::consume(std::uint64_t u, std::uint64_t v) {
+  util::expects(pass_open_, "StreamingDkExtractor: pass already ended");
+  if (pass_ == 0) {
+    const std::uint32_t du = intern(u);
+    const std::uint32_t dv = intern(v);
+    if (!keep_edge(du, dv)) return;
+    ++degree_[du];
+    ++degree_[dv];
+    ++kept_edges_;
+    return;
+  }
+
+  // Replay pass: degrees are final, fold the stream into the
+  // accumulators.  The skip decisions repeat exactly (same stream, same
+  // cleared duplicate set), so the kept edge set is pass-invariant.
+  const auto u_it = dense_id_.find(u);
+  const auto v_it = dense_id_.find(v);
+  util::expects(u_it != dense_id_.end() && v_it != dense_id_.end(),
+                "StreamingDkExtractor: replay pass saw a new node id "
+                "(the stream must be identical across passes)");
+  const std::uint32_t du = u_it->second;
+  const std::uint32_t dv = v_it->second;
+  if (!keep_edge(du, dv)) return;
+
+  result_.joint.histogram().increment(
+      util::pair_key(degree_[du], degree_[dv]));
+  if (max_d_ >= 3) {
+    csr_adj_[csr_offset_[du] + csr_fill_[du]++] = dv;
+    csr_adj_[csr_offset_[dv] + csr_fill_[dv]++] = du;
+  }
+}
+
+void StreamingDkExtractor::build_csr_offsets() {
+  const std::size_t n = degree_.size();
+  csr_offset_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    csr_offset_[v + 1] = csr_offset_[v] + degree_[v];
+  }
+  csr_fill_.assign(n, 0);
+  csr_adj_.assign(csr_offset_[n], 0);
+}
+
+void StreamingDkExtractor::note_footprint() noexcept {
+  const std::size_t bytes = accumulator_bytes();
+  if (bytes > peak_accumulator_bytes_) peak_accumulator_bytes_ = bytes;
+}
+
+void StreamingDkExtractor::end_pass() {
+  util::expects(pass_open_, "StreamingDkExtractor: pass already ended");
+  note_footprint();  // accumulators only grow within a pass
+  if (needs_another_pass()) {
+    seen_edges_.clear();
+    if (max_d_ >= 3) build_csr_offsets();
+    ++pass_;
+    return;
+  }
+  pass_open_ = false;
+}
+
+void StreamingDkExtractor::finish_three_k() {
+  const std::size_t n = degree_.size();
+  // Sorted rows give O(log deg) edge-existence probes for the triangle
+  // closure test below.
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(csr_adj_.begin() + static_cast<std::ptrdiff_t>(csr_offset_[v]),
+              csr_adj_.begin() +
+                  static_cast<std::ptrdiff_t>(csr_offset_[v + 1]));
+  }
+  const auto row_begin = [&](std::uint32_t v) {
+    return csr_adj_.begin() + static_cast<std::ptrdiff_t>(csr_offset_[v]);
+  };
+  const auto row_end = [&](std::uint32_t v) {
+    return csr_adj_.begin() + static_cast<std::ptrdiff_t>(csr_offset_[v + 1]);
+  };
+  const auto has_edge = [&](std::uint32_t a, std::uint32_t b) {
+    return std::binary_search(row_begin(a), row_end(a), b);
+  };
+
+  // Wedges: all neighbor pairs at every center (run-length encoded by
+  // neighbor degree), then triangle-closed pairs subtracted — the same
+  // two-phase counting as ThreeKProfile::from_graph, so the histograms
+  // agree bin for bin.
+  SparseHistogram& wedges = result_.three_k.wedges();
+  std::vector<std::uint32_t> neighbor_degrees;
+  std::vector<std::pair<std::uint32_t, std::int64_t>> runs;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t deg = degree_[v];
+    if (deg < 2) continue;
+    neighbor_degrees.clear();
+    for (auto it = row_begin(static_cast<std::uint32_t>(v));
+         it != row_end(static_cast<std::uint32_t>(v)); ++it) {
+      neighbor_degrees.push_back(degree_[*it]);
+    }
+    std::sort(neighbor_degrees.begin(), neighbor_degrees.end());
+    runs.clear();
+    for (std::size_t i = 0; i < neighbor_degrees.size();) {
+      std::size_t j = i;
+      while (j < neighbor_degrees.size() &&
+             neighbor_degrees[j] == neighbor_degrees[i]) {
+        ++j;
+      }
+      runs.emplace_back(neighbor_degrees[i], static_cast<std::int64_t>(j - i));
+      i = j;
+    }
+    for (std::size_t a = 0; a < runs.size(); ++a) {
+      const auto [da, ca] = runs[a];
+      if (ca >= 2) {
+        wedges.add(util::wedge_key(da, degree_[v], da), ca * (ca - 1) / 2);
+      }
+      for (std::size_t b = a + 1; b < runs.size(); ++b) {
+        const auto [db, cb] = runs[b];
+        wedges.add(util::wedge_key(da, degree_[v], db), ca * cb);
+      }
+    }
+  }
+
+  // Triangles: degree-ordered forward orientation enumerates each exactly
+  // once in O(m^{3/2}) closure probes.  The orientation is a second flat
+  // CSR (two allocations, m entries) rather than per-node vectors: at a
+  // million nodes the vector headers alone would rival the payload.
+  const auto precedes = [&](std::uint32_t a, std::uint32_t b) {
+    return std::pair(degree_[a], a) < std::pair(degree_[b], b);
+  };
+  fwd_offset_.assign(n + 1, 0);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (auto it = row_begin(u); it != row_end(u); ++it) {
+      if (u < *it) ++fwd_offset_[(precedes(u, *it) ? u : *it) + 1];
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) fwd_offset_[v + 1] += fwd_offset_[v];
+  fwd_adj_.assign(kept_edges_, 0);
+  csr_fill_.assign(n, 0);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (auto it = row_begin(u); it != row_end(u); ++it) {
+      const std::uint32_t w = *it;
+      if (u >= w) continue;
+      const std::uint32_t anchor = precedes(u, w) ? u : w;
+      const std::uint32_t other = anchor == u ? w : u;
+      fwd_adj_[fwd_offset_[anchor] + csr_fill_[anchor]++] = other;
+    }
+  }
+  note_footprint();  // CSR + forward orientation: the 3K memory peak
+
+  SparseHistogram& triangles = result_.three_k.triangles();
+  for (std::uint32_t u = 0; u < n; ++u) {
+    const std::uint32_t* fwd = fwd_adj_.data() + fwd_offset_[u];
+    const std::size_t count = fwd_offset_[u + 1] - fwd_offset_[u];
+    for (std::size_t i = 0; i < count; ++i) {
+      for (std::size_t j = i + 1; j < count; ++j) {
+        if (!has_edge(fwd[i], fwd[j])) continue;
+        const std::uint32_t da = degree_[u];
+        const std::uint32_t db = degree_[fwd[i]];
+        const std::uint32_t dc = degree_[fwd[j]];
+        triangles.increment(util::triangle_key(da, db, dc));
+        wedges.decrement(util::wedge_key(db, da, dc));
+        wedges.decrement(util::wedge_key(da, db, dc));
+        wedges.decrement(util::wedge_key(da, dc, db));
+      }
+    }
+  }
+}
+
+DkDistributions StreamingDkExtractor::finish() {
+  util::expects(!pass_open_ || !needs_another_pass(),
+                "StreamingDkExtractor: finish() before the final pass");
+  util::expects(!pass_open_,
+                "StreamingDkExtractor: end_pass() the final pass first");
+
+  // The in-memory reader's rule: the declared node count (isolated nodes
+  // included) is honored iff every streamed id is in range.
+  std::uint64_t n = dense_id_.size();
+  if (declared_nodes_ > 0 && declared_nodes_ >= n &&
+      (dense_id_.empty() || max_file_id_ < declared_nodes_)) {
+    n = declared_nodes_;
+  }
+  result_.num_nodes = n;
+  result_.num_edges = kept_edges_;
+  result_.average_degree =
+      n > 0 ? 2.0 * static_cast<double>(kept_edges_) /
+                  static_cast<double>(n)
+            : 0.0;
+
+  if (max_d_ >= 1) {
+    std::vector<std::size_t> degrees(degree_.begin(), degree_.end());
+    degrees.resize(static_cast<std::size_t>(n), 0);  // isolated nodes
+    result_.degree = DegreeDistribution::from_sequence(degrees);
+  }
+  if (max_d_ >= 3) finish_three_k();
+  // The wedge/triangle histograms exist only from here to the move, so
+  // the peak must be checkpointed now, not by the caller afterwards.
+  note_footprint();
+  return std::move(result_);
+}
+
+std::size_t StreamingDkExtractor::accumulator_bytes() const noexcept {
+  // unordered_map nodes: key + value + bucket pointer + chain pointer,
+  // approximated at 48 bytes/entry on a 64-bit libstdc++.
+  std::size_t bytes = dense_id_.size() * 48;
+  bytes += degree_.capacity() * sizeof(std::uint32_t);
+  bytes += seen_edges_.capacity_bytes();
+  bytes += csr_offset_.capacity() * sizeof(std::uint64_t);
+  bytes += csr_fill_.capacity() * sizeof(std::uint32_t);
+  bytes += csr_adj_.capacity() * sizeof(std::uint32_t);
+  bytes += fwd_offset_.capacity() * sizeof(std::uint64_t);
+  bytes += fwd_adj_.capacity() * sizeof(std::uint32_t);
+  bytes += result_.joint.histogram().capacity_bytes();
+  bytes += result_.three_k.wedges().capacity_bytes();
+  bytes += result_.three_k.triangles().capacity_bytes();
+  return bytes;
+}
+
+}  // namespace orbis::dk

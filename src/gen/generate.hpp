@@ -28,7 +28,12 @@ enum class Method {
 
 struct GenerateOptions {
   Method method = Method::matching;
-  TargetingOptions targeting;  // used by Method::targeting and d == 3
+  /// Used by Method::targeting and d == 3.  The 2K stages resolve their
+  /// ΔD2 storage from `targeting.objective` / `targeting.memory_budget_mb`
+  /// (objective_backend.hpp): graphs whose degree diversity would not
+  /// fit the dense difference matrix route to the sparse backend, so
+  /// `extract → generate` works at scales the matrix cannot reach.
+  TargetingOptions targeting = {};
   /// Targeting stages run through the multi-chain annealing driver:
   /// `chains.chains` independently seeded chains scheduled on the shared
   /// thread pool, best distance wins.  Default 0 = autotune: one chain

@@ -1,5 +1,8 @@
 #include "gen/objective.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/check.hpp"
 #include "util/keys.hpp"
 
@@ -22,6 +25,62 @@ std::int64_t integer_squared_difference(const dk::SparseHistogram& a,
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Backend selection (objective_backend.hpp).
+// ---------------------------------------------------------------------------
+
+ObjectiveBackend parse_objective_backend(std::string_view name) {
+  if (name == "auto" || name == "automatic") {
+    return ObjectiveBackend::automatic;
+  }
+  if (name == "dense") return ObjectiveBackend::dense;
+  if (name == "sparse") return ObjectiveBackend::sparse;
+  throw std::invalid_argument("unknown objective backend '" +
+                              std::string(name) +
+                              "' (valid: auto, dense, sparse)");
+}
+
+std::string_view to_string(ObjectiveBackend backend) noexcept {
+  switch (backend) {
+    case ObjectiveBackend::dense:
+      return "dense";
+    case ObjectiveBackend::sparse:
+      return "sparse";
+    default:
+      return "auto";
+  }
+}
+
+std::size_t dense_jdd_objective_bytes(std::uint32_t num_classes) noexcept {
+  // diff_ (int32) + deviating_pos_ (uint32) over the full C x C array.
+  // Past 2^26 classes the product would overflow size arithmetic; no
+  // budget admits that anyway, so saturate.
+  if (num_classes > (1u << 26)) return static_cast<std::size_t>(-1);
+  const std::uint64_t cells =
+      static_cast<std::uint64_t>(num_classes) * num_classes;
+  return static_cast<std::size_t>(
+      cells * (sizeof(std::int32_t) + sizeof(std::uint32_t)));
+}
+
+ObjectiveBackend resolve_objective_backend(ObjectiveBackend requested,
+                                           std::uint32_t num_classes,
+                                           std::size_t memory_budget_mb) {
+  if (requested != ObjectiveBackend::automatic) return requested;
+  // Saturate instead of wrapping: an absurdly large budget must read as
+  // "unlimited", not overflow into a tiny one and silently pick sparse.
+  const std::size_t budget_bytes =
+      memory_budget_mb > (static_cast<std::size_t>(-1) >> 20)
+          ? static_cast<std::size_t>(-1)
+          : memory_budget_mb << 20;
+  return dense_jdd_objective_bytes(num_classes) <= budget_bytes
+             ? ObjectiveBackend::dense
+             : ObjectiveBackend::sparse;
+}
+
+// ---------------------------------------------------------------------------
+// JddObjective: dense difference matrix.
+// ---------------------------------------------------------------------------
 
 JddObjective::JddObjective(const EdgeIndex& index,
                            const dk::JointDegreeDistribution& target)
@@ -111,8 +170,7 @@ void JddObjective::refresh_deviation(std::uint32_t c1, std::uint32_t c2) {
   }
 }
 
-JddObjective::DeviatingBin JddObjective::sample_deviating_bin(
-    util::Rng& rng) const {
+DeviatingBin JddObjective::sample_deviating_bin(util::Rng& rng) const {
   const std::size_t index =
       static_cast<std::size_t>(deviating_[rng.uniform(deviating_.size())]);
   DeviatingBin bin;
@@ -121,6 +179,217 @@ JddObjective::DeviatingBin JddObjective::sample_deviating_bin(
   bin.deficit = diff_[index] < 0;
   return bin;
 }
+
+// ---------------------------------------------------------------------------
+// SparseJddObjective: open-addressing table of occupied bins.
+// ---------------------------------------------------------------------------
+
+std::size_t SparseJddObjective::find_slot(
+    std::uint64_t stored_key) const noexcept {
+  std::size_t i = index_of(stored_key);
+  while (keys_[i] != 0 && keys_[i] != stored_key) i = (i + 1) & mask_;
+  return i;
+}
+
+void SparseJddObjective::grow() {
+  const std::size_t capacity = keys_.empty() ? 16 : keys_.size() * 2;
+  std::vector<std::uint64_t> old_keys = std::move(keys_);
+  std::vector<std::int32_t> old_diffs = std::move(diffs_);
+  std::vector<std::uint32_t> old_pos = std::move(dev_pos_);
+  keys_.assign(capacity, 0);
+  diffs_.assign(capacity, 0);
+  dev_pos_.assign(capacity, no_position);
+  mask_ = capacity - 1;
+  for (std::size_t slot = 0; slot < old_keys.size(); ++slot) {
+    if (old_keys[slot] == 0) continue;
+    std::size_t i = index_of(old_keys[slot]);
+    while (keys_[i] != 0) i = (i + 1) & mask_;
+    keys_[i] = old_keys[slot];
+    diffs_[i] = old_diffs[slot];
+    dev_pos_[i] = old_pos[slot];
+  }
+}
+
+void SparseJddObjective::erase_slot(std::size_t slot) {
+  // Backward-shift deletion (no tombstones): pull later chain members
+  // into the hole so probe sequences stay gap-free.  Deviating entries
+  // are never erased, and moved entries carry their dev_pos with them —
+  // the deviating list stores keys, not slots, so moves are invisible.
+  std::size_t hole = slot;
+  std::size_t probe = slot;
+  while (true) {
+    probe = (probe + 1) & mask_;
+    if (keys_[probe] == 0) break;
+    const std::size_t ideal = index_of(keys_[probe]);
+    if (((probe - ideal) & mask_) >= ((probe - hole) & mask_)) {
+      keys_[hole] = keys_[probe];
+      diffs_[hole] = diffs_[probe];
+      dev_pos_[hole] = dev_pos_[probe];
+      hole = probe;
+    }
+  }
+  keys_[hole] = 0;
+  dev_pos_[hole] = no_position;
+  --occupied_;
+}
+
+std::int64_t SparseJddObjective::bump(std::uint32_t c1, std::uint32_t c2,
+                                      std::int64_t delta, bool erase_zero) {
+  const std::uint64_t stored = util::pair_key(c1, c2) + 1;
+  if (keys_.empty()) grow();
+  std::size_t slot = find_slot(stored);
+  std::int64_t before = 0;
+  if (keys_[slot] == 0) {
+    if (2 * (occupied_ + 1) > keys_.size()) {
+      grow();
+      slot = find_slot(stored);
+    }
+    keys_[slot] = stored;
+    ++occupied_;
+  } else {
+    before = diffs_[slot];
+  }
+  const std::int64_t after = before + delta;
+  diffs_[slot] = static_cast<std::int32_t>(after);
+  if (erase_zero && after == 0 && dev_pos_[slot] == no_position) {
+    erase_slot(slot);
+  }
+  return delta * (2 * before + delta);
+}
+
+SparseJddObjective::SparseJddObjective(
+    const EdgeIndex& index, const dk::JointDegreeDistribution& target) {
+  // Accumulate current - target into the table (the unreachable-target
+  // constant is identical to the dense backend's).
+  for (const auto& e : index.edges()) {
+    bump(index.node_class(e.u), index.node_class(e.v), +1, false);
+  }
+  for (const auto& [key, count] : target.histogram().bins()) {
+    const auto [k1, k2] = util::unpack_pair(key);
+    const std::uint32_t c1 = index.class_of_degree(k1);
+    const std::uint32_t c2 = index.class_of_degree(k2);
+    if (c1 == EdgeIndex::npos || c2 == EdgeIndex::npos) {
+      distance_ += square(count);
+      continue;
+    }
+    bump(c1, c2, -count, false);
+  }
+
+  // Rebuild with satisfied bins (diff 0) dropped, and seed the deviating
+  // list in ascending class-pair order — the exact order the dense
+  // constructor's row scan produces, which the bit-identical-chain
+  // guarantee rests on.
+  std::vector<std::pair<std::uint64_t, std::int32_t>> bins;
+  bins.reserve(occupied_);
+  for (std::size_t slot = 0; slot < keys_.size(); ++slot) {
+    if (keys_[slot] != 0 && diffs_[slot] != 0) {
+      bins.emplace_back(keys_[slot] - 1, diffs_[slot]);
+    }
+  }
+  std::sort(bins.begin(), bins.end());
+
+  std::size_t capacity = 16;
+  while (2 * (bins.size() + 1) > capacity) capacity *= 2;
+  // Fresh vectors, not assign(): the build-phase table also held the
+  // satisfied bins, and assign() would retain that larger capacity for
+  // the objective's lifetime while memory_bytes() reports the smaller
+  // size.
+  keys_ = std::vector<std::uint64_t>(capacity, 0);
+  diffs_ = std::vector<std::int32_t>(capacity, 0);
+  dev_pos_ = std::vector<std::uint32_t>(capacity, no_position);
+  mask_ = capacity - 1;
+  occupied_ = 0;
+  deviating_.reserve(bins.size());
+  for (const auto& [key, diff] : bins) {
+    const std::size_t slot = find_slot(key + 1);
+    keys_[slot] = key + 1;
+    diffs_[slot] = diff;
+    dev_pos_[slot] = static_cast<std::uint32_t>(deviating_.size());
+    deviating_.push_back(key);
+    ++occupied_;
+    distance_ += square(diff);
+  }
+}
+
+std::int64_t SparseJddObjective::apply(std::uint32_t ca, std::uint32_t cb,
+                                       std::uint32_t cc, std::uint32_t cd) {
+  // Same sequential bump order as the dense backend; nothing is erased
+  // mid-trial so revert() can restore the exact pre-apply table.
+  std::int64_t delta = 0;
+  delta += bump(ca, cb, -1, false);
+  delta += bump(cc, cd, -1, false);
+  delta += bump(ca, cd, +1, false);
+  delta += bump(cc, cb, +1, false);
+  distance_ += delta;
+  return delta;
+}
+
+void SparseJddObjective::revert(std::uint32_t ca, std::uint32_t cb,
+                                std::uint32_t cc, std::uint32_t cd) {
+  // Inverse bumps; entries restored to diff 0 that are not in the
+  // deviating set were created by apply() and are dropped again, so
+  // millions of rejected trials cannot inflate the table.
+  std::int64_t delta = 0;
+  delta += bump(ca, cd, -1, true);
+  delta += bump(cc, cb, -1, true);
+  delta += bump(ca, cb, +1, true);
+  delta += bump(cc, cd, +1, true);
+  distance_ += delta;
+}
+
+void SparseJddObjective::commit(std::uint32_t ca, std::uint32_t cb,
+                                std::uint32_t cc, std::uint32_t cd) {
+  refresh_deviation(ca, cb);
+  refresh_deviation(cc, cd);
+  refresh_deviation(ca, cd);
+  refresh_deviation(cc, cb);
+}
+
+void SparseJddObjective::refresh_deviation(std::uint32_t c1,
+                                           std::uint32_t c2) {
+  const std::uint64_t key = util::pair_key(c1, c2);
+  const std::size_t slot = find_slot(key + 1);
+  if (keys_[slot] == 0) return;  // diff 0 and not deviating: nothing to do
+  const bool deviating = diffs_[slot] != 0;
+  const std::uint32_t pos = dev_pos_[slot];
+  if (deviating && pos == no_position) {
+    dev_pos_[slot] = static_cast<std::uint32_t>(deviating_.size());
+    deviating_.push_back(key);
+  } else if (!deviating) {
+    if (pos != no_position) {
+      const std::uint64_t moved = deviating_.back();
+      deviating_[pos] = moved;
+      deviating_.pop_back();
+      if (pos < deviating_.size()) {
+        dev_pos_[find_slot(moved + 1)] = pos;
+      }
+      dev_pos_[slot] = no_position;
+    }
+    erase_slot(slot);  // satisfied bin: drop the entry entirely
+  }
+}
+
+DeviatingBin SparseJddObjective::sample_deviating_bin(util::Rng& rng) const {
+  const std::uint64_t key = deviating_[rng.uniform(deviating_.size())];
+  const auto [c1, c2] = util::unpack_pair(key);  // (min, max), as dense
+  DeviatingBin bin;
+  bin.c1 = c1;
+  bin.c2 = c2;
+  bin.deficit = diffs_[find_slot(key + 1)] < 0;
+  return bin;
+}
+
+std::size_t SparseJddObjective::memory_bytes() const noexcept {
+  // Capacities, not sizes: what the process actually holds.
+  return keys_.capacity() * sizeof(std::uint64_t) +
+         diffs_.capacity() * sizeof(std::int32_t) +
+         dev_pos_.capacity() * sizeof(std::uint32_t) +
+         deviating_.capacity() * sizeof(std::uint64_t);
+}
+
+// ---------------------------------------------------------------------------
+// ThreeKObjective.
+// ---------------------------------------------------------------------------
 
 ThreeKObjective::ThreeKObjective(const dk::DkState& state,
                                  const dk::ThreeKProfile& target)

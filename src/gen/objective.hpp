@@ -1,30 +1,59 @@
 // Incremental ΔD objective evaluation shared by the rewiring modes.
 //
-//   JddObjective    D2 against a target JDD over frozen degree classes:
-//                   a dense (current - target) difference matrix makes a
-//                   proposed swap's ΔD2 an O(1), allocation-free integer
-//                   computation, and doubles as the deviating-bin set the
-//                   guided 2K proposer samples from.
-//   ThreeKObjective D3 against a target 3K profile, evaluated from the
-//                   speculative delta journal of a proposed swap
-//                   (DkState::evaluate_swap): exact ΔD3 before anything
-//                   mutates, so rejected proposals cost nothing.
+//   JddObjective        D2 against a target JDD over frozen degree
+//                       classes: a dense (current - target) difference
+//                       matrix makes a proposed swap's ΔD2 an O(1),
+//                       allocation-free integer computation, and doubles
+//                       as the deviating-bin set the guided 2K proposer
+//                       samples from.  O(C^2) memory in the class count.
+//   SparseJddObjective  The same contract over an open-addressing table
+//                       of occupied bins only (FlatEdgeHash design):
+//                       memory follows the occupied-bin count, so 2K
+//                       targeting scales to graphs whose dense matrix
+//                       would not fit.  Chains are bit-identical to the
+//                       dense backend's (same seed -> same accepted
+//                       swaps); see objective_backend.hpp for selection.
+//   ThreeKObjective     D3 against a target 3K profile, evaluated from
+//                       the speculative delta journal of a proposed swap
+//                       (DkState::evaluate_swap): exact ΔD3 before
+//                       anything mutates, so rejected proposals cost
+//                       nothing.
 //
 // Distances are exact integers: histogram counts and targets are counts,
 // so D_d = Σ (count - target)^2 has no floating-point drift, and "reached
 // the target" is distance() == 0, not a tolerance.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "core/dk_state.hpp"
 #include "core/joint_degree_distribution.hpp"
 #include "core/three_k_profile.hpp"
-#include "gen/edge_index.hpp"
+#include "gen/objective_backend.hpp"
+#include "graph/edge_index.hpp"
 #include "util/rng.hpp"
 
 namespace orbis::gen {
+
+/// A class-pair bin where the current histogram deviates from the
+/// target, as sampled by the guided 2K proposer.
+struct DeviatingBin {
+  std::uint32_t c1 = 0;  // canonical: c1 <= c2
+  std::uint32_t c2 = 0;
+  bool deficit = false;  // current < target: the bin wants a new edge
+};
+
+/// The Metropolis acceptance rule shared by every targeting path (serial
+/// engines and the optimistic parallel committer): downhill and neutral
+/// moves always pass, uphill moves pass with probability e^{-ΔD/T}.
+inline bool metropolis_accepts(std::int64_t delta, double temperature,
+                               double uniform) noexcept {
+  return delta <= 0 ||
+         (temperature > 0.0 &&
+          uniform < std::exp(-static_cast<double>(delta) / temperature));
+}
 
 class JddObjective {
  public:
@@ -50,11 +79,6 @@ class JddObjective {
 
   bool has_deviating_bin() const noexcept { return !deviating_.empty(); }
 
-  struct DeviatingBin {
-    std::uint32_t c1 = 0;  // canonical: c1 <= c2
-    std::uint32_t c2 = 0;
-    bool deficit = false;  // current < target: the bin wants a new edge
-  };
   /// Uniform random deviating bin (requires has_deviating_bin()).
   DeviatingBin sample_deviating_bin(util::Rng& rng) const;
 
@@ -74,6 +98,68 @@ class JddObjective {
   static constexpr std::uint32_t no_position = 0xffffffffu;
   std::vector<std::uint64_t> deviating_;
   std::vector<std::uint32_t> deviating_pos_;  // per cell, or no_position
+};
+
+/// Sparse drop-in for JddObjective: the (current - target) differences
+/// live in a flat open-addressing linear-probe table (splitmix-finalized
+/// hash, power-of-two capacity, backward-shift deletion — the
+/// FlatEdgeHash design) keyed by the canonical class pair, so memory is
+/// O(occupied bins) instead of O(C^2).  The deviating set stores packed
+/// class-pair keys and is maintained by exactly the same push / swap-pop
+/// sequence as the dense backend (including ascending construction
+/// order), which is what makes guided sampling — and therefore whole
+/// chains — bit-identical across backends.
+class SparseJddObjective {
+ public:
+  SparseJddObjective(const EdgeIndex& index,
+                     const dk::JointDegreeDistribution& target);
+
+  std::int64_t distance() const noexcept { return distance_; }
+
+  std::int64_t apply(std::uint32_t ca, std::uint32_t cb, std::uint32_t cc,
+                     std::uint32_t cd);
+  void revert(std::uint32_t ca, std::uint32_t cb, std::uint32_t cc,
+              std::uint32_t cd);
+  void commit(std::uint32_t ca, std::uint32_t cb, std::uint32_t cc,
+              std::uint32_t cd);
+
+  bool has_deviating_bin() const noexcept { return !deviating_.empty(); }
+  DeviatingBin sample_deviating_bin(util::Rng& rng) const;
+
+  std::size_t num_occupied_bins() const noexcept { return occupied_; }
+  /// Current table + deviating-set allocation (docs/scaling.md memory
+  /// model; compare dense_jdd_objective_bytes).
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  static constexpr std::uint32_t no_position = 0xffffffffu;
+
+  std::size_t index_of(std::uint64_t stored_key) const noexcept {
+    return static_cast<std::size_t>(util::splitmix64_mix(stored_key)) &
+           mask_;
+  }
+  /// Slot of the key, or the empty slot where it belongs.
+  std::size_t find_slot(std::uint64_t stored_key) const noexcept;
+  void erase_slot(std::size_t slot);
+  void grow();
+
+  std::int64_t bump(std::uint32_t c1, std::uint32_t c2, std::int64_t delta,
+                    bool erase_zero);
+  void refresh_deviation(std::uint32_t c1, std::uint32_t c2);
+
+  std::int64_t distance_ = 0;
+  std::size_t occupied_ = 0;
+
+  // Open-addressing table: parallel arrays over power-of-two capacity.
+  // Keys are util::pair_key(c1,c2) + 1 so 0 can mark an empty slot
+  // (class pair (0,0) packs to 0); diffs may sit at 0 transiently
+  // between apply() and revert()/commit().
+  std::vector<std::uint64_t> keys_;    // stored key, or 0 = empty
+  std::vector<std::int32_t> diffs_;    // current - target
+  std::vector<std::uint32_t> dev_pos_;  // deviating_ index, or no_position
+  std::size_t mask_ = 0;
+
+  std::vector<std::uint64_t> deviating_;  // packed pair keys (not +1)
 };
 
 class ThreeKObjective {

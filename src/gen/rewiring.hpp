@@ -25,6 +25,7 @@
 #include "core/dk_state.hpp"
 #include "core/joint_degree_distribution.hpp"
 #include "core/three_k_profile.hpp"
+#include "gen/objective_backend.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 
@@ -47,6 +48,8 @@ struct RewiringStats {
                ? static_cast<double>(accepted) / static_cast<double>(attempts)
                : 0.0;
   }
+
+  friend bool operator==(const RewiringStats&, const RewiringStats&) = default;
 };
 
 // ---------------------------------------------------------------------------
@@ -95,6 +98,13 @@ struct TargetingOptions {
   /// function of (seed, batch), independent of the worker count.
   std::size_t workers = 1;
   std::size_t batch = 256;  // proposals per speculation round (workers != 1)
+  /// 2K objective storage (objective_backend.hpp, docs/scaling.md):
+  /// `automatic` uses the dense C^2 difference matrix while it fits
+  /// `memory_budget_mb` and the sparse occupied-bin table past it; both
+  /// backends drive bit-identical chains, so forcing one is only ever a
+  /// memory/speed trade.  CLI: orbis_tool --objective / --memory-budget-mb.
+  ObjectiveBackend objective = ObjectiveBackend::automatic;
+  std::size_t memory_budget_mb = 512;
 };
 
 /// 2K-targeting 1K-preserving rewiring.  `start` must already have the

@@ -101,7 +101,8 @@ void RewiringEngine::randomize(int d, std::size_t budget, util::Rng& rng,
   }
 }
 
-bool RewiringEngine::propose_guided(const JddObjective& objective,
+template <typename Objective>
+bool RewiringEngine::propose_guided(const Objective& objective,
                                     util::Rng& rng, Swap& swap) const {
   if (!objective.has_deviating_bin()) return false;
   const auto bin = objective.sample_deviating_bin(rng);
@@ -142,8 +143,26 @@ std::int64_t RewiringEngine::target_2k(
     const dk::JointDegreeDistribution& target,
     const TargetingOptions& options, std::size_t budget, util::Rng& rng,
     RewiringStats* stats) {
+  // Resolve the ΔD2 backend once, outside the hot loop: the chain body
+  // is instantiated per backend, so the dense path pays no dispatch and
+  // the sparse path trades hash probes for O(occupied-bin) memory.
+  // Both walk bit-identical chains (tests/gen/test_objective_backends).
+  const ObjectiveBackend backend = resolve_objective_backend(
+      options.objective, index_.num_classes(), options.memory_budget_mb);
+  if (backend == ObjectiveBackend::sparse) {
+    SparseJddObjective objective(index_, target);
+    return target_2k_with(objective, options, budget, rng, stats);
+  }
   JddObjective objective(index_, target);
+  return target_2k_with(objective, options, budget, rng, stats);
+}
 
+template <typename Objective>
+std::int64_t RewiringEngine::target_2k_with(Objective& objective,
+                                            const TargetingOptions& options,
+                                            std::size_t budget,
+                                            util::Rng& rng,
+                                            RewiringStats* stats) {
   for (std::size_t attempt = 0;
        attempt < budget &&
        static_cast<double>(objective.distance()) > options.stop_distance;
@@ -166,12 +185,12 @@ std::int64_t RewiringEngine::target_2k(
     const std::int64_t delta = objective.apply(ca, cb, cc, cd);
     // Standard Metropolis: always accept downhill AND neutral moves
     // (plateau diffusion is what lets greedy descent reach D = 0);
-    // uphill moves pass with probability e^{-ΔD/T}.
+    // uphill moves pass with probability e^{-ΔD/T}.  The uniform is
+    // drawn lazily so the Rng stream is identical across backends.
     const bool accept =
-        delta <= 0 ||
-        (options.temperature > 0.0 &&
-         rng.uniform_real() <
-             std::exp(-static_cast<double>(delta) / options.temperature));
+        delta <= 0 || (options.temperature > 0.0 &&
+                       metropolis_accepts(delta, options.temperature,
+                                          rng.uniform_real()));
     if (accept) {
       index_.apply_swap(swap.a, swap.b, swap.c, swap.d);
       objective.commit(ca, cb, cc, cd);
@@ -293,10 +312,9 @@ std::int64_t ThreeKRewirer::target(const dk::ThreeKProfile& target,
     const std::int64_t delta =
         objective.delta_if_applied(state_, swap_delta.journal);
     const bool accept =
-        delta <= 0 ||
-        (options.temperature > 0.0 &&
-         rng.uniform_real() <
-             std::exp(-static_cast<double>(delta) / options.temperature));
+        delta <= 0 || (options.temperature > 0.0 &&
+                       metropolis_accepts(delta, options.temperature,
+                                          rng.uniform_real()));
     if (accept) {
       state_.commit_swap(swap_delta);
       objective.commit(delta);

@@ -28,9 +28,9 @@
 #include <functional>
 
 #include "core/dk_state.hpp"
-#include "gen/edge_index.hpp"
 #include "gen/objective.hpp"
 #include "gen/rewiring.hpp"
+#include "graph/edge_index.hpp"
 #include "util/rng.hpp"
 
 namespace orbis::exec {
@@ -58,7 +58,10 @@ class RewiringEngine {
                  RewiringStats* stats);
 
   /// 2K-targeting 1K-preserving Metropolis rewiring.  Returns the exact
-  /// integer D2 after the run.
+  /// integer D2 after the run.  The ΔD2 objective backend is resolved
+  /// from `options.objective` / `options.memory_budget_mb`
+  /// (objective_backend.hpp): dense matrix while it fits the budget,
+  /// sparse bin table past it — chains are bit-identical either way.
   std::int64_t target_2k(const dk::JointDegreeDistribution& target,
                          const TargetingOptions& options, std::size_t budget,
                          util::Rng& rng, RewiringStats* stats);
@@ -74,8 +77,17 @@ class RewiringEngine {
  private:
   bool draw_uniform(util::Rng& rng, Swap& swap) const;
   bool draw_jdd_preserving(util::Rng& rng, Swap& swap) const;
-  bool propose_guided(const JddObjective& objective, util::Rng& rng,
+  /// Objective is JddObjective or SparseJddObjective (identical
+  /// contract); the chain body is instantiated once per backend so the
+  /// dense hot path keeps its direct array access with zero dispatch.
+  template <typename Objective>
+  bool propose_guided(const Objective& objective, util::Rng& rng,
                       Swap& swap) const;
+  template <typename Objective>
+  std::int64_t target_2k_with(Objective& objective,
+                              const TargetingOptions& options,
+                              std::size_t budget, util::Rng& rng,
+                              RewiringStats* stats);
   bool structurally_valid(const Swap& swap) const;
 
   EdgeIndex index_;

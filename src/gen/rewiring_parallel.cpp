@@ -55,12 +55,9 @@ struct PendingSwap {
   dk::SwapDelta delta;
 };
 
-bool metropolis_accepts(std::int64_t delta, double temperature,
-                        double uniform) {
-  return delta <= 0 ||
-         (temperature > 0.0 &&
-          uniform < std::exp(-static_cast<double>(delta) / temperature));
-}
+// Acceptance uses the shared gen::metropolis_accepts (objective.hpp):
+// the committer's conflict re-pricing must apply exactly the rule the
+// serial chains do, whichever objective backend priced the proposal.
 
 // Wedge and triangle keys share the uint64 space, so dirty bins are
 // tagged by kind in the low bit (keys occupy 63 bits, util/keys.hpp).

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/keys.hpp"
 #include "util/rng.hpp"
 
 namespace orbis {
@@ -57,14 +58,7 @@ class FlatEdgeHash {
 
  private:
   std::size_t index_of(std::uint64_t key) const {
-    // splitmix64-style finalizer: pair keys are highly regular.
-    std::uint64_t x = key;
-    x ^= x >> 30;
-    x *= 0xbf58476d1ce4e5b9ull;
-    x ^= x >> 27;
-    x *= 0x94d049bb133111ebull;
-    x ^= x >> 31;
-    return static_cast<std::size_t>(x) & mask_;
+    return static_cast<std::size_t>(util::splitmix64_mix(key)) & mask_;
   }
 
   std::vector<std::uint64_t> keys_;

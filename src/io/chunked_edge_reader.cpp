@@ -1,0 +1,105 @@
+#include "io/chunked_edge_reader.hpp"
+
+#include <fstream>
+#include <string_view>
+#include <vector>
+
+#include "io/edge_line.hpp"
+#include "util/check.hpp"
+
+namespace orbis::io {
+
+ChunkedEdgeListReader::ChunkedEdgeListReader(std::string path)
+    : ChunkedEdgeListReader(std::move(path), Options()) {}
+
+ChunkedEdgeListReader::ChunkedEdgeListReader(std::string path,
+                                             Options options)
+    : path_(std::move(path)), options_(options) {
+  util::expects(options_.buffer_bytes > 0,
+                "ChunkedEdgeListReader: buffer_bytes must be positive");
+  util::expects(options_.chunk_edges > 0,
+                "ChunkedEdgeListReader: chunk_edges must be positive");
+}
+
+std::size_t ChunkedEdgeListReader::run_pass(
+    const std::function<void(std::span<const RawEdge>)>& sink) {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open edge list file: " + path_);
+  }
+
+  std::vector<char> buffer(options_.buffer_bytes);
+  std::string carry;  // unterminated tail of the previous read
+  std::vector<RawEdge> chunk;
+  chunk.reserve(options_.chunk_edges);
+  std::size_t line_number = 0;
+  std::size_t total_edges = 0;
+
+  const auto flush = [&]() {
+    if (chunk.empty()) return;
+    sink(std::span<const RawEdge>(chunk.data(), chunk.size()));
+    total_edges += chunk.size();
+    chunk.clear();
+  };
+  const auto handle_line = [&](std::string_view line) {
+    ++line_number;
+    RawEdge edge;
+    if (detail::parse_edge_line(line, line_number, edge.u, edge.v,
+                                &declared_nodes_)) {
+      chunk.push_back(edge);
+      if (chunk.size() == options_.chunk_edges) flush();
+    }
+  };
+
+  while (in) {
+    in.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    if (got == 0) break;
+    std::string_view window(buffer.data(), got);
+    while (true) {
+      const auto newline = window.find('\n');
+      if (newline == std::string_view::npos) break;
+      if (carry.empty()) {
+        handle_line(window.substr(0, newline));
+      } else {
+        carry.append(window.substr(0, newline));
+        handle_line(carry);
+        carry.clear();
+      }
+      window.remove_prefix(newline + 1);
+    }
+    carry.append(window);
+  }
+  if (!carry.empty()) handle_line(carry);  // final line without newline
+  flush();
+  return total_edges;
+}
+
+StreamingExtractResult extract_dk_streaming(
+    const std::string& path, int max_d,
+    const StreamingExtractOptions& options) {
+  ChunkedEdgeListReader reader(path, options.reader);
+  dk::StreamingDkExtractor extractor(max_d, options.extractor);
+  StreamingExtractResult result;
+
+  const auto consume_chunk = [&](std::span<const RawEdge> edges) {
+    for (const RawEdge& edge : edges) extractor.consume(edge.u, edge.v);
+  };
+
+  while (true) {
+    reader.run_pass(consume_chunk);
+    const bool more = extractor.needs_another_pass();
+    extractor.end_pass();
+    if (!more) break;
+  }
+  extractor.declare_nodes(reader.declared_nodes());
+  result.distributions = extractor.finish();
+  // The extractor checkpoints its own high-water mark (the 3K
+  // histograms exist only inside finish(), invisible to callers).
+  result.peak_accumulator_bytes = extractor.peak_accumulator_bytes();
+  result.skipped_self_loops = extractor.skipped_self_loops();
+  result.skipped_duplicates = extractor.skipped_duplicates();
+  return result;
+}
+
+}  // namespace orbis::io

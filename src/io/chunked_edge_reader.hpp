@@ -1,0 +1,86 @@
+// Chunked edge-list reading: sequential file scans with bounded memory.
+//
+// io::read_edge_list slurps the whole raw edge vector before building
+// anything — O(m) peak memory in the file, before the Graph doubles it.
+// ChunkedEdgeListReader instead parses a fixed-size read buffer at a
+// time and hands out bounded spans of parsed edges, so a pass over a
+// million-edge file holds kilobytes, not gigabytes.  The line grammar is
+// io/edge_line.hpp — identical (including malformed-line errors and the
+// writer header) to the in-memory reader's.
+//
+// extract_dk_streaming() is the assembled pipeline: it drives a
+// dk::StreamingDkExtractor (core/streaming_extractor.hpp) through the
+// extractor's passes, re-scanning the file per pass.  This is what
+// `orbis_tool extract` runs, and what makes `extract -> target` work on
+// graphs that never fit the in-memory path.  See docs/scaling.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "core/streaming_extractor.hpp"
+
+namespace orbis::io {
+
+struct RawEdge {
+  std::uint64_t u = 0;
+  std::uint64_t v = 0;
+};
+
+class ChunkedEdgeListReader {
+ public:
+  struct Options {
+    std::size_t buffer_bytes = 1 << 20;  // file-read granularity
+    std::size_t chunk_edges = 1 << 15;   // parsed edges per sink call
+  };
+
+  explicit ChunkedEdgeListReader(std::string path);
+  ChunkedEdgeListReader(std::string path, Options options);
+
+  /// One sequential scan: parses the file and invokes `sink` with
+  /// successive spans of at most chunk_edges edges (comment/blank lines
+  /// skipped; self-loop/duplicate policy is the consumer's).  Returns
+  /// the number of edges handed out.  Throws std::runtime_error if the
+  /// file cannot be opened and std::invalid_argument (with a line
+  /// number) on malformed content.
+  std::size_t run_pass(
+      const std::function<void(std::span<const RawEdge>)>& sink);
+
+  /// Node count declared by a writer header ("# orbis edge list: N
+  /// nodes..."), 0 if none; valid once run_pass has seen the header
+  /// (i.e. after any complete pass).
+  std::uint64_t declared_nodes() const noexcept { return declared_nodes_; }
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  Options options_;
+  std::uint64_t declared_nodes_ = 0;
+};
+
+struct StreamingExtractOptions {
+  dk::StreamingOptions extractor;
+  ChunkedEdgeListReader::Options reader;
+};
+
+struct StreamingExtractResult {
+  dk::DkDistributions distributions;
+  std::size_t skipped_self_loops = 0;
+  std::size_t skipped_duplicates = 0;
+  /// Largest accumulator footprint observed across passes
+  /// (StreamingDkExtractor::accumulator_bytes).
+  std::size_t peak_accumulator_bytes = 0;
+};
+
+/// Extracts the dK-distributions of the edge-list file up to `max_d`
+/// by streaming it pass by pass — bin-for-bin equal to
+/// dk::extract(read_edge_list_file(path).graph, max_d) without ever
+/// holding the graph.
+StreamingExtractResult extract_dk_streaming(
+    const std::string& path, int max_d,
+    const StreamingExtractOptions& options = {});
+
+}  // namespace orbis::io

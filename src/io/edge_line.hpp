@@ -1,0 +1,79 @@
+// Shared edge-list line grammar.
+//
+// read_edge_list (in-memory) and ChunkedEdgeListReader (streaming) must
+// accept and reject exactly the same inputs — the streaming extractor's
+// round-trip guarantee includes malformed-line behavior — so both parse
+// through this one function instead of keeping two grammars in sync.
+//
+// Grammar per line: optional "u v" pair (whitespace separated), optional
+// '#' comment to end of line; blank/comment-only lines are skipped.  The
+// library's own writer header "# orbis edge list: N nodes..." is
+// recognized and reported through `declared_nodes` so round trips can
+// preserve node ids and isolated nodes.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace orbis::io::detail {
+
+inline std::string_view trim_edge_line_ws(std::string_view text) noexcept {
+  const auto first = text.find_first_not_of(" \t\r");
+  if (first == std::string_view::npos) return {};
+  const auto last = text.find_last_not_of(" \t\r");
+  return text.substr(first, last - first + 1);
+}
+
+/// Parses one line.  Returns true with (u, v) filled for an edge line;
+/// false for a blank or comment-only line.  A recognized writer header
+/// updates *declared_nodes.  Malformed content throws
+/// std::invalid_argument naming `line_number`.
+inline bool parse_edge_line(std::string_view line, std::size_t line_number,
+                            std::uint64_t& u, std::uint64_t& v,
+                            std::uint64_t* declared_nodes) {
+  const auto hash = line.find('#');
+  if (hash != std::string_view::npos) {
+    if (declared_nodes != nullptr) {
+      // Recognize this library's own header so round trips preserve
+      // node ids and isolated nodes exactly.
+      unsigned long long n = 0;
+      if (std::sscanf(std::string(line.substr(hash)).c_str(),
+                      "# orbis edge list: %llu nodes", &n) == 1) {
+        *declared_nodes = n;
+      }
+    }
+    line = line.substr(0, hash);
+  }
+  line = trim_edge_line_ws(line);
+  if (line.empty()) return false;
+
+  const auto malformed = [line_number](const char* what) {
+    throw std::invalid_argument("edge list line " +
+                                std::to_string(line_number) + ": " + what);
+  };
+
+  const char* cursor = line.data();
+  const char* end = line.data() + line.size();
+  const auto parse_id = [&](std::uint64_t& out) {
+    while (cursor != end && (*cursor == ' ' || *cursor == '\t')) ++cursor;
+    const auto [next, ec] = std::from_chars(cursor, end, out);
+    if (ec != std::errc() || next == cursor) {
+      malformed("expected two node ids");
+    }
+    cursor = next;
+  };
+  parse_id(u);
+  if (cursor == end || (*cursor != ' ' && *cursor != '\t')) {
+    malformed("expected two node ids");
+  }
+  parse_id(v);
+  while (cursor != end && (*cursor == ' ' || *cursor == '\t')) ++cursor;
+  if (cursor != end) malformed("trailing tokens after edge");
+  return true;
+}
+
+}  // namespace orbis::io::detail

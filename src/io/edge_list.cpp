@@ -1,10 +1,9 @@
 #include "io/edge_list.hpp"
 
 #include <fstream>
-#include <cstdio>
-#include <sstream>
 #include <unordered_map>
 
+#include "io/edge_line.hpp"
 #include "util/check.hpp"
 
 namespace orbis::io {
@@ -26,33 +25,13 @@ EdgeListReadResult read_edge_list(std::istream& in) {
   std::size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) {
-      // Recognize this library's own header so round trips preserve node
-      // ids and isolated nodes exactly.
-      std::uint64_t n = 0;
-      if (std::sscanf(line.c_str() + hash, "# orbis edge list: %llu nodes",
-                      reinterpret_cast<unsigned long long*>(&n)) == 1) {
-        declared_nodes = n;
-      }
-      line.resize(hash);
-    }
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    std::istringstream fields(line);
     std::uint64_t u = 0;
     std::uint64_t v = 0;
-    if (!(fields >> u >> v)) {
-      throw std::invalid_argument("edge list line " +
-                                  std::to_string(line_number) +
-                                  ": expected two node ids");
+    // One grammar for this reader and the chunked streaming reader
+    // (io/edge_line.hpp), so the two accept/reject identical inputs.
+    if (detail::parse_edge_line(line, line_number, u, v, &declared_nodes)) {
+      raw_edges.emplace_back(u, v);
     }
-    std::string trailing;
-    if (fields >> trailing) {
-      throw std::invalid_argument("edge list line " +
-                                  std::to_string(line_number) +
-                                  ": trailing tokens after edge");
-    }
-    raw_edges.emplace_back(u, v);
   }
 
   // With a declared node count and in-range ids, keep ids verbatim.

@@ -17,6 +17,19 @@ namespace orbis::util {
 
 inline constexpr std::uint32_t max_packable_degree = (1u << 21) - 1;
 
+/// SplitMix64 finalizer: the shared bit mixer behind every flat hash
+/// table keyed by packed tuples (FlatEdgeHash, SparseHistogram,
+/// SparseJddObjective, FlatKeySet).  Packed keys are highly regular, so
+/// tables index with `splitmix64_mix(key) & mask`.
+constexpr std::uint64_t splitmix64_mix(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
 /// Unordered pair key: canonical (min,max) packed into high/low 32 bits.
 constexpr std::uint64_t pair_key(std::uint32_t a, std::uint32_t b) noexcept {
   const std::uint32_t lo = a < b ? a : b;

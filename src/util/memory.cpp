@@ -1,0 +1,37 @@
+#include "util/memory.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace orbis::util {
+
+namespace {
+
+/// Reads a "Vm...:  <kB> kB" line from /proc/self/status; 0 if absent.
+std::size_t status_field_bytes(const char* field) noexcept {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  const std::size_t field_length = std::strlen(field);
+  char line[256];
+  std::size_t bytes = 0;
+  while (std::fgets(line, sizeof line, status) != nullptr) {
+    if (std::strncmp(line, field, field_length) != 0) continue;
+    unsigned long long kb = 0;
+    if (std::sscanf(line + field_length, ": %llu kB", &kb) == 1) {
+      bytes = static_cast<std::size_t>(kb) * 1024;
+    }
+    break;
+  }
+  std::fclose(status);
+  return bytes;
+}
+
+}  // namespace
+
+std::size_t peak_rss_bytes() noexcept { return status_field_bytes("VmHWM"); }
+
+std::size_t current_rss_bytes() noexcept {
+  return status_field_bytes("VmRSS");
+}
+
+}  // namespace orbis::util

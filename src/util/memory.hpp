@@ -1,0 +1,20 @@
+// Process memory introspection for the scaling tooling.
+//
+// The streaming extraction pipeline's whole point is a bounded resident
+// set (docs/scaling.md), so the CLI and the large-graph smoke tooling
+// report it.  Linux-only in effect: other platforms report 0 and callers
+// must treat the value as best-effort diagnostics, never as logic input.
+#pragma once
+
+#include <cstddef>
+
+namespace orbis::util {
+
+/// Peak resident set size of this process in bytes (VmHWM), or 0 when
+/// the platform does not expose it.
+std::size_t peak_rss_bytes() noexcept;
+
+/// Current resident set size in bytes (VmRSS), or 0.
+std::size_t current_rss_bytes() noexcept;
+
+}  // namespace orbis::util

@@ -1,0 +1,166 @@
+// StreamingDkExtractor must reproduce the in-memory pipeline exactly:
+// same skip decisions as io::read_edge_list (self-loops, duplicates,
+// declared-node header) and bin-for-bin equal 1K/2K/3K distributions.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/series.hpp"
+#include "core/streaming_extractor.hpp"
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace orbis::dk {
+namespace {
+
+using RawStream = std::vector<std::pair<std::uint64_t, std::uint64_t>>;
+
+/// Replays `stream` through every pass the extractor asks for.
+DkDistributions stream_extract(const RawStream& stream, int max_d,
+                               StreamingOptions options = {},
+                               std::uint64_t declared_nodes = 0,
+                               StreamingDkExtractor* probe = nullptr) {
+  StreamingDkExtractor local(max_d, options);
+  StreamingDkExtractor& extractor = probe != nullptr ? *probe : local;
+  while (true) {
+    for (const auto& [u, v] : stream) extractor.consume(u, v);
+    const bool more = extractor.needs_another_pass();
+    extractor.end_pass();
+    if (!more) break;
+  }
+  if (declared_nodes > 0) extractor.declare_nodes(declared_nodes);
+  return extractor.finish();
+}
+
+RawStream stream_of(const Graph& g) {
+  RawStream stream;
+  stream.reserve(g.num_edges());
+  for (const auto& e : g.edges()) stream.emplace_back(e.u, e.v);
+  return stream;
+}
+
+void expect_equal_distributions(const DkDistributions& a,
+                                const DkDistributions& b, int max_d) {
+  EXPECT_EQ(a.num_nodes, b.num_nodes);
+  EXPECT_EQ(a.num_edges, b.num_edges);
+  EXPECT_DOUBLE_EQ(a.average_degree, b.average_degree);
+  if (max_d >= 1) {
+    EXPECT_TRUE(a.degree == b.degree);
+  }
+  if (max_d >= 2) {
+    EXPECT_TRUE(a.joint == b.joint);
+  }
+  if (max_d >= 3) {
+    EXPECT_TRUE(a.three_k == b.three_k);
+  }
+}
+
+TEST(StreamingExtractor, MatchesInMemoryExtractionOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    util::Rng rng(seed);
+    const Graph g = builders::gnm(200, 600, rng);
+    const auto expected = extract(g, 3);
+    for (int d = 0; d <= 3; ++d) {
+      // Declaring the node count (as the writer header does) is what
+      // keeps isolated nodes visible to a stream of edges.
+      expect_equal_distributions(
+          stream_extract(stream_of(g), d, {}, g.num_nodes()), expected, d);
+    }
+  }
+}
+
+TEST(StreamingExtractor, AssumeSimpleMatchesOnTrustedInput) {
+  util::Rng rng(9);
+  const Graph g = builders::gnm(150, 450, rng);
+  const auto expected = extract(g, 3);
+  expect_equal_distributions(
+      stream_extract(stream_of(g), 3, StreamingOptions{.assume_simple = true},
+                     g.num_nodes()),
+      expected, 3);
+}
+
+TEST(StreamingExtractor, SkipsSelfLoopsAndDuplicatesLikeTheReader) {
+  // Stream: loop, edge, its reverse duplicate, a repeated loop, edge.
+  const RawStream stream = {{0, 0}, {0, 1}, {1, 0}, {0, 0}, {1, 2}};
+  StreamingDkExtractor extractor(3, StreamingOptions{});
+  const auto dists = stream_extract(stream, 3, {}, 0, &extractor);
+  EXPECT_EQ(extractor.skipped_self_loops(), 2u);
+  EXPECT_EQ(extractor.skipped_duplicates(), 1u);
+  EXPECT_EQ(dists.num_nodes, 3u);
+  EXPECT_EQ(dists.num_edges, 2u);
+  // Path 0-1-2: one wedge, no triangles.
+  EXPECT_EQ(dists.three_k.total_wedges(), 1);
+  EXPECT_EQ(dists.three_k.total_triangles(), 0);
+}
+
+TEST(StreamingExtractor, SparseIdsAreDensified) {
+  const RawStream stream = {{1000, 2000}, {2000, 50}};
+  const auto dists = stream_extract(stream, 2);
+  EXPECT_EQ(dists.num_nodes, 3u);
+  EXPECT_EQ(dists.num_edges, 2u);
+  EXPECT_EQ(dists.degree.n_of_k(1), 2u);
+  EXPECT_EQ(dists.degree.n_of_k(2), 1u);
+}
+
+TEST(StreamingExtractor, DeclaredNodesAddIsolatedNodes) {
+  const RawStream stream = {{0, 1}, {1, 2}};
+  const auto dists = stream_extract(stream, 2, {}, /*declared_nodes=*/5);
+  EXPECT_EQ(dists.num_nodes, 5u);
+  EXPECT_EQ(dists.degree.n_of_k(0), 2u);
+  EXPECT_DOUBLE_EQ(dists.average_degree, 4.0 / 5.0);
+}
+
+TEST(StreamingExtractor, DeclaredNodesIgnoredWhenIdsOutOfRange) {
+  // Same rule as the in-memory reader: an id >= declared voids the
+  // declaration and ids densify by first appearance.
+  const RawStream stream = {{0, 7}};
+  const auto dists = stream_extract(stream, 1, {}, /*declared_nodes=*/3);
+  EXPECT_EQ(dists.num_nodes, 2u);
+}
+
+TEST(StreamingExtractor, ReplayPassRejectsNewIds) {
+  StreamingDkExtractor extractor(2, StreamingOptions{});
+  extractor.consume(0, 1);
+  ASSERT_TRUE(extractor.needs_another_pass());
+  extractor.end_pass();
+  extractor.consume(0, 1);
+  EXPECT_THROW(extractor.consume(0, 2), std::invalid_argument);
+}
+
+TEST(StreamingExtractor, TrustedFootprintIndependentOfEdgeCount) {
+  // Same node set, 4x the edges: with duplicate detection off the
+  // max_d <= 2 accumulators are O(n + occupied bins), so the footprint
+  // must stay flat; with detection on, the edge key set grows with m.
+  const NodeId n = 4000;
+  util::Rng rng_small(3);
+  util::Rng rng_large(4);
+  const Graph small = builders::gnm(n, 8'000, rng_small);
+  const Graph large = builders::gnm(n, 32'000, rng_large);
+
+  const auto footprint = [](const Graph& g, bool assume_simple) {
+    StreamingDkExtractor extractor(
+        2, StreamingOptions{.assume_simple = assume_simple});
+    const RawStream stream = stream_of(g);
+    std::size_t peak = 0;
+    while (true) {
+      for (const auto& [u, v] : stream) extractor.consume(u, v);
+      peak = std::max(peak, extractor.accumulator_bytes());
+      const bool more = extractor.needs_another_pass();
+      extractor.end_pass();
+      if (!more) break;
+    }
+    return peak;
+  };
+
+  const std::size_t trusted_small = footprint(small, true);
+  const std::size_t trusted_large = footprint(large, true);
+  EXPECT_LT(trusted_large, trusted_small + trusted_small / 2);
+
+  const std::size_t checked_large = footprint(large, false);
+  EXPECT_GT(checked_large, trusted_large);  // the duplicate set is O(m)
+}
+
+}  // namespace
+}  // namespace orbis::dk

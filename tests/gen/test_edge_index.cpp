@@ -1,4 +1,4 @@
-#include "gen/edge_index.hpp"
+#include "graph/edge_index.hpp"
 
 #include <gtest/gtest.h>
 

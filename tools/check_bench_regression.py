@@ -35,7 +35,8 @@ import statistics
 import sys
 
 DEFAULT_FILTER = (r"RewiringStep|Target2KAttempts|Randomize2KAttempts"
-                  r"|DkStateSwap|Parallel3K")
+                  r"|DkStateSwap|Parallel3K|Sparse2KTarget"
+                  r"|StreamingExtract")
 
 
 def load_benchmarks(path, name_filter):
