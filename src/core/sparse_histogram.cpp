@@ -2,78 +2,35 @@
 
 namespace orbis::dk {
 
-void SparseHistogram::grow() {
-  // Load factor <= 0.5 after every growth step keeps linear-probe chains
-  // short on the commit/price hot paths.
-  const std::size_t capacity = counts_.empty() ? 16 : counts_.size() * 2;
-  std::vector<std::uint64_t> old_keys = std::move(keys_);
-  std::vector<std::int64_t> old_counts = std::move(counts_);
-  keys_.assign(capacity, 0);
-  counts_.assign(capacity, 0);
-  mask_ = capacity - 1;
-  for (std::size_t slot = 0; slot < old_counts.size(); ++slot) {
-    if (old_counts[slot] == 0) continue;
-    std::size_t i = index_of(old_keys[slot]);
-    while (counts_[i] != 0) i = (i + 1) & mask_;
-    keys_[i] = old_keys[slot];
-    counts_[i] = old_counts[slot];
-  }
-}
-
 void SparseHistogram::add(std::uint64_t key, std::int64_t delta) {
   if (delta == 0) return;
-  if (counts_.empty()) grow();
+  if (!table_.has_storage()) table_.grow();
 
-  std::size_t i = index_of(key);
-  while (counts_[i] != 0) {
-    if (keys_[i] == key) {
-      const std::int64_t next = counts_[i] + delta;
-      util::ensures(next >= 0, "SparseHistogram: bin went negative");
-      if (next != 0) {
-        counts_[i] = next;
-        return;
-      }
-      // Backward-shift deletion: pull later chain members into the hole
-      // so probe sequences stay gap-free without tombstones.
-      std::size_t hole = i;
-      std::size_t probe = i;
-      while (true) {
-        probe = (probe + 1) & mask_;
-        if (counts_[probe] == 0) break;
-        const std::size_t ideal = index_of(keys_[probe]);
-        // The element at `probe` may fill the hole iff its ideal
-        // position is cyclically outside (hole, probe].
-        if (((probe - ideal) & mask_) >= ((probe - hole) & mask_)) {
-          keys_[hole] = keys_[probe];
-          counts_[hole] = counts_[probe];
-          hole = probe;
-        }
-      }
-      counts_[hole] = 0;
-      --num_bins_;
+  const std::size_t i = table_.locate(key);
+  if (table_.occupied(i)) {
+    const std::int64_t next = table_.payload_at(i) + delta;
+    util::ensures(next >= 0, "SparseHistogram: bin went negative");
+    if (next != 0) {
+      table_.payload_at(i) = next;
       return;
     }
-    i = (i + 1) & mask_;
+    table_.erase_at(i);
+    return;
   }
 
   // New bin; creating it with a negative count is the caller error the
-  // signed representation exists to catch.
+  // signed representation exists to catch.  Nothing is mutated before
+  // the check, so a failed add leaves the histogram untouched.
   util::ensures(delta >= 0, "SparseHistogram: bin went negative");
-  keys_[i] = key;
-  counts_[i] = delta;
-  ++num_bins_;
-  if (2 * (num_bins_ + 1) > counts_.size()) grow();
-}
-
-void SparseHistogram::clear() noexcept {
-  keys_.clear();
-  counts_.clear();
-  mask_ = 0;
-  num_bins_ = 0;
+  table_.occupy(i, key, delta);
+  // Growth AFTER the insertion (load factor <= 0.5 keeps linear-probe
+  // chains short on the commit/price hot paths) — this table's
+  // historical timing, which pins its slot layout and bins() order.
+  if (table_.over_load_factor()) table_.grow();
 }
 
 bool operator==(const SparseHistogram& a, const SparseHistogram& b) {
-  if (a.num_bins_ != b.num_bins_) return false;
+  if (a.num_bins() != b.num_bins()) return false;
   for (const auto& [key, count] : a.bins()) {
     if (b.count(key) != count) return false;
   }

@@ -6,15 +6,15 @@
 // and the fast representation.  Counts are signed internally so
 // incremental bookkeeping can assert it never drives a bin negative.
 //
-// Storage is a flat open-addressing linear-probe table (the FlatEdgeHash
-// design: splitmix-finalized hash, power-of-two capacity, backward-shift
-// deletion — no tombstones, no per-node allocations), because the bins
-// sit on the 3K rewiring hot path: every ACCEPTED swap folds its
-// wedge/triangle journal into these tables (DkState::commit_swap) and
-// every targeting proposal prices ΔD3 with count() probes
-// (ThreeKObjective::delta_if_applied).  A bin is live iff its count is
-// non-zero — add() erases bins that return to zero — so occupancy needs
-// no separate marker and key 0 needs no sentinel exception.
+// Storage is a util::FlatTable (the shared flat open-addressing
+// implementation — see flat_table.hpp for the probe protocol), because
+// the bins sit on the 3K rewiring hot path: every ACCEPTED swap folds
+// its wedge/triangle journal into these tables (DkState::commit_swap)
+// and every targeting proposal prices ΔD3 with count() probes
+// (ThreeKObjective::delta_if_applied).  Occupancy is carried by the
+// count — a bin is live iff its count is non-zero, add() erases bins
+// that return to zero — so key 0 needs no sentinel exception and is an
+// ordinary bin.
 #pragma once
 
 #include <cstddef>
@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/flat_table.hpp"
 #include "util/keys.hpp"
 
 namespace orbis::dk {
@@ -31,8 +32,8 @@ namespace orbis::dk {
 class SparseHistogram {
  public:
   /// Forward iteration over (key, count) pairs in unspecified order.
-  /// Dereference yields pairs BY VALUE (bins are stored as parallel
-  /// key/count arrays); mutating the histogram invalidates iterators.
+  /// Dereference yields pairs BY VALUE (bins live in the flat table's
+  /// slot arrays); mutating the histogram invalidates iterators.
   class const_iterator {
    public:
     using value_type = std::pair<std::uint64_t, std::int64_t>;
@@ -48,7 +49,7 @@ class SparseHistogram {
     }
 
     value_type operator*() const {
-      return {owner_->keys_[slot_], owner_->counts_[slot_]};
+      return {owner_->table_.key_at(slot_), owner_->table_.payload_at(slot_)};
     }
     const_iterator& operator++() {
       ++slot_;
@@ -66,8 +67,8 @@ class SparseHistogram {
 
    private:
     void skip_empty() {
-      while (owner_ != nullptr && slot_ < owner_->counts_.size() &&
-             owner_->counts_[slot_] == 0) {
+      while (owner_ != nullptr && slot_ < owner_->table_.capacity() &&
+             !owner_->table_.occupied(slot_)) {
         ++slot_;
       }
     }
@@ -81,20 +82,15 @@ class SparseHistogram {
    public:
     explicit BinView(const SparseHistogram* owner) : owner_(owner) {}
     const_iterator begin() const { return {owner_, 0}; }
-    const_iterator end() const { return {owner_, owner_->counts_.size()}; }
+    const_iterator end() const { return {owner_, owner_->table_.capacity()}; }
 
    private:
     const SparseHistogram* owner_;
   };
 
   std::int64_t count(std::uint64_t key) const {
-    if (num_bins_ == 0) return 0;
-    std::size_t i = index_of(key);
-    while (counts_[i] != 0) {
-      if (keys_[i] == key) return counts_[i];
-      i = (i + 1) & mask_;
-    }
-    return 0;
+    const std::size_t i = table_.find(key);
+    return i == Table::npos ? 0 : table_.payload_at(i);
   }
 
   /// Adds delta to a bin; removes the bin when it reaches zero.
@@ -105,21 +101,20 @@ class SparseHistogram {
   void increment(std::uint64_t key) { add(key, 1); }
   void decrement(std::uint64_t key) { add(key, -1); }
 
-  std::size_t num_bins() const noexcept { return num_bins_; }
+  std::size_t num_bins() const noexcept { return table_.size(); }
 
   std::int64_t total() const noexcept {
     std::int64_t sum = 0;
-    for (const std::int64_t count : counts_) sum += count;
+    for (const auto& [key, count] : bins()) sum += count;
     return sum;
   }
 
-  bool empty() const noexcept { return num_bins_ == 0; }
-  void clear() noexcept;
+  bool empty() const noexcept { return table_.empty(); }
+  void clear() noexcept { table_.release(); }
 
   /// Bytes held by the key/count arrays (streaming memory accounting).
   std::size_t capacity_bytes() const noexcept {
-    return keys_.capacity() * sizeof(std::uint64_t) +
-           counts_.capacity() * sizeof(std::int64_t);
+    return table_.capacity_bytes();
   }
 
   BinView bins() const noexcept { return BinView(this); }
@@ -134,16 +129,19 @@ class SparseHistogram {
                                    const SparseHistogram& b);
 
  private:
-  std::size_t index_of(std::uint64_t key) const {
-    return static_cast<std::size_t>(util::splitmix64_mix(key)) & mask_;
-  }
-  void grow();
+  /// Payload occupancy: a slot is live iff its count is non-zero, so
+  /// key 0 is an ordinary bin and zero counts ARE erasure.
+  struct CountTraits {
+    using Payload = std::int64_t;
+    static constexpr bool occupied(std::uint64_t,
+                                   std::int64_t count) noexcept {
+      return count != 0;
+    }
+    static constexpr std::int64_t empty_payload() noexcept { return 0; }
+  };
+  using Table = util::FlatTable<CountTraits>;
 
-  // Parallel key/count arrays; counts_[i] == 0 marks an empty slot.
-  std::vector<std::uint64_t> keys_;
-  std::vector<std::int64_t> counts_;
-  std::size_t mask_ = 0;       // capacity - 1 (capacity is a power of two)
-  std::size_t num_bins_ = 0;
+  Table table_;
 };
 
 }  // namespace orbis::dk

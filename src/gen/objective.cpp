@@ -184,75 +184,31 @@ DeviatingBin JddObjective::sample_deviating_bin(util::Rng& rng) const {
 // SparseJddObjective: open-addressing table of occupied bins.
 // ---------------------------------------------------------------------------
 
-std::size_t SparseJddObjective::find_slot(
-    std::uint64_t stored_key) const noexcept {
-  std::size_t i = index_of(stored_key);
-  while (keys_[i] != 0 && keys_[i] != stored_key) i = (i + 1) & mask_;
-  return i;
-}
-
-void SparseJddObjective::grow() {
-  const std::size_t capacity = keys_.empty() ? 16 : keys_.size() * 2;
-  std::vector<std::uint64_t> old_keys = std::move(keys_);
-  std::vector<std::int32_t> old_diffs = std::move(diffs_);
-  std::vector<std::uint32_t> old_pos = std::move(dev_pos_);
-  keys_.assign(capacity, 0);
-  diffs_.assign(capacity, 0);
-  dev_pos_.assign(capacity, no_position);
-  mask_ = capacity - 1;
-  for (std::size_t slot = 0; slot < old_keys.size(); ++slot) {
-    if (old_keys[slot] == 0) continue;
-    std::size_t i = index_of(old_keys[slot]);
-    while (keys_[i] != 0) i = (i + 1) & mask_;
-    keys_[i] = old_keys[slot];
-    diffs_[i] = old_diffs[slot];
-    dev_pos_[i] = old_pos[slot];
-  }
-}
-
-void SparseJddObjective::erase_slot(std::size_t slot) {
-  // Backward-shift deletion (no tombstones): pull later chain members
-  // into the hole so probe sequences stay gap-free.  Deviating entries
-  // are never erased, and moved entries carry their dev_pos with them —
-  // the deviating list stores keys, not slots, so moves are invisible.
-  std::size_t hole = slot;
-  std::size_t probe = slot;
-  while (true) {
-    probe = (probe + 1) & mask_;
-    if (keys_[probe] == 0) break;
-    const std::size_t ideal = index_of(keys_[probe]);
-    if (((probe - ideal) & mask_) >= ((probe - hole) & mask_)) {
-      keys_[hole] = keys_[probe];
-      diffs_[hole] = diffs_[probe];
-      dev_pos_[hole] = dev_pos_[probe];
-      hole = probe;
-    }
-  }
-  keys_[hole] = 0;
-  dev_pos_[hole] = no_position;
-  --occupied_;
-}
-
 std::int64_t SparseJddObjective::bump(std::uint32_t c1, std::uint32_t c2,
                                       std::int64_t delta, bool erase_zero) {
   const std::uint64_t stored = util::pair_key(c1, c2) + 1;
-  if (keys_.empty()) grow();
-  std::size_t slot = find_slot(stored);
+  if (!table_.has_storage()) table_.grow();
+  std::size_t slot = table_.locate(stored);
   std::int64_t before = 0;
-  if (keys_[slot] == 0) {
-    if (2 * (occupied_ + 1) > keys_.size()) {
-      grow();
-      slot = find_slot(stored);
+  if (!table_.occupied(slot)) {
+    if (table_.over_load_factor()) {
+      table_.grow();
+      slot = table_.locate(stored);
     }
-    keys_[slot] = stored;
-    ++occupied_;
+    table_.occupy(slot, stored);
   } else {
-    before = diffs_[slot];
+    before = table_.payload_at(slot).diff;
   }
   const std::int64_t after = before + delta;
-  diffs_[slot] = static_cast<std::int32_t>(after);
-  if (erase_zero && after == 0 && dev_pos_[slot] == no_position) {
-    erase_slot(slot);
+  table_.payload_at(slot).diff = static_cast<std::int32_t>(after);
+  // Zero-diff bins outside the deviating set are dropped (backing out a
+  // rejected trial must not leave satisfied bins behind); deviating
+  // entries are never erased here.  erase_at's backward shift moves
+  // payloads with their keys, and the deviating list stores keys, not
+  // slots, so moves stay invisible to it.
+  if (erase_zero && after == 0 &&
+      table_.payload_at(slot).dev_pos == no_position) {
+    table_.erase_at(slot);
   }
   return delta * (2 * before + delta);
 }
@@ -280,33 +236,24 @@ SparseJddObjective::SparseJddObjective(
   // constructor's row scan produces, which the bit-identical-chain
   // guarantee rests on.
   std::vector<std::pair<std::uint64_t, std::int32_t>> bins;
-  bins.reserve(occupied_);
-  for (std::size_t slot = 0; slot < keys_.size(); ++slot) {
-    if (keys_[slot] != 0 && diffs_[slot] != 0) {
-      bins.emplace_back(keys_[slot] - 1, diffs_[slot]);
+  bins.reserve(table_.size());
+  for (std::size_t slot = 0; slot < table_.capacity(); ++slot) {
+    if (table_.occupied(slot) && table_.payload_at(slot).diff != 0) {
+      bins.emplace_back(table_.key_at(slot) - 1, table_.payload_at(slot).diff);
     }
   }
   std::sort(bins.begin(), bins.end());
 
-  std::size_t capacity = 16;
-  while (2 * (bins.size() + 1) > capacity) capacity *= 2;
-  // Fresh vectors, not assign(): the build-phase table also held the
-  // satisfied bins, and assign() would retain that larger capacity for
-  // the objective's lifetime while memory_bytes() reports the smaller
-  // size.
-  keys_ = std::vector<std::uint64_t>(capacity, 0);
-  diffs_ = std::vector<std::int32_t>(capacity, 0);
-  dev_pos_ = std::vector<std::uint32_t>(capacity, no_position);
-  mask_ = capacity - 1;
-  occupied_ = 0;
+  // reserve_for() allocates fresh storage: the build-phase table also
+  // held the satisfied bins, and keeping that larger capacity for the
+  // objective's lifetime would contradict what memory_bytes() reports.
+  table_.reserve_for(bins.size());
   deviating_.reserve(bins.size());
   for (const auto& [key, diff] : bins) {
-    const std::size_t slot = find_slot(key + 1);
-    keys_[slot] = key + 1;
-    diffs_[slot] = diff;
-    dev_pos_[slot] = static_cast<std::uint32_t>(deviating_.size());
+    const std::size_t slot = table_.locate(key + 1);
+    table_.occupy(slot, key + 1,
+                  {diff, static_cast<std::uint32_t>(deviating_.size())});
     deviating_.push_back(key);
-    ++occupied_;
     distance_ += square(diff);
   }
 }
@@ -348,12 +295,13 @@ void SparseJddObjective::commit(std::uint32_t ca, std::uint32_t cb,
 void SparseJddObjective::refresh_deviation(std::uint32_t c1,
                                            std::uint32_t c2) {
   const std::uint64_t key = util::pair_key(c1, c2);
-  const std::size_t slot = find_slot(key + 1);
-  if (keys_[slot] == 0) return;  // diff 0 and not deviating: nothing to do
-  const bool deviating = diffs_[slot] != 0;
-  const std::uint32_t pos = dev_pos_[slot];
+  const std::size_t slot = table_.locate(key + 1);
+  if (!table_.occupied(slot)) return;  // diff 0, not deviating: no entry
+  const bool deviating = table_.payload_at(slot).diff != 0;
+  const std::uint32_t pos = table_.payload_at(slot).dev_pos;
   if (deviating && pos == no_position) {
-    dev_pos_[slot] = static_cast<std::uint32_t>(deviating_.size());
+    table_.payload_at(slot).dev_pos =
+        static_cast<std::uint32_t>(deviating_.size());
     deviating_.push_back(key);
   } else if (!deviating) {
     if (pos != no_position) {
@@ -361,11 +309,11 @@ void SparseJddObjective::refresh_deviation(std::uint32_t c1,
       deviating_[pos] = moved;
       deviating_.pop_back();
       if (pos < deviating_.size()) {
-        dev_pos_[find_slot(moved + 1)] = pos;
+        table_.payload_at(table_.locate(moved + 1)).dev_pos = pos;
       }
-      dev_pos_[slot] = no_position;
+      table_.payload_at(slot).dev_pos = no_position;
     }
-    erase_slot(slot);  // satisfied bin: drop the entry entirely
+    table_.erase_at(slot);  // satisfied bin: drop the entry entirely
   }
 }
 
@@ -375,15 +323,13 @@ DeviatingBin SparseJddObjective::sample_deviating_bin(util::Rng& rng) const {
   DeviatingBin bin;
   bin.c1 = c1;
   bin.c2 = c2;
-  bin.deficit = diffs_[find_slot(key + 1)] < 0;
+  bin.deficit = table_.payload_at(table_.locate(key + 1)).diff < 0;
   return bin;
 }
 
 std::size_t SparseJddObjective::memory_bytes() const noexcept {
   // Capacities, not sizes: what the process actually holds.
-  return keys_.capacity() * sizeof(std::uint64_t) +
-         diffs_.capacity() * sizeof(std::int32_t) +
-         dev_pos_.capacity() * sizeof(std::uint32_t) +
+  return table_.capacity_bytes() +
          deviating_.capacity() * sizeof(std::uint64_t);
 }
 

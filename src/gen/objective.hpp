@@ -33,6 +33,7 @@
 #include "core/three_k_profile.hpp"
 #include "gen/objective_backend.hpp"
 #include "graph/edge_index.hpp"
+#include "util/flat_table.hpp"
 #include "util/rng.hpp"
 
 namespace orbis::gen {
@@ -101,14 +102,14 @@ class JddObjective {
 };
 
 /// Sparse drop-in for JddObjective: the (current - target) differences
-/// live in a flat open-addressing linear-probe table (splitmix-finalized
-/// hash, power-of-two capacity, backward-shift deletion — the
-/// FlatEdgeHash design) keyed by the canonical class pair, so memory is
-/// O(occupied bins) instead of O(C^2).  The deviating set stores packed
-/// class-pair keys and is maintained by exactly the same push / swap-pop
-/// sequence as the dense backend (including ascending construction
-/// order), which is what makes guided sampling — and therefore whole
-/// chains — bit-identical across backends.
+/// live in a util::FlatTable (the shared flat open-addressing
+/// implementation — see util/flat_table.hpp) keyed by the canonical
+/// class pair, so memory is O(occupied bins) instead of O(C^2).  The
+/// deviating set stores packed class-pair keys and is maintained by
+/// exactly the same push / swap-pop sequence as the dense backend
+/// (including ascending construction order), which is what makes guided
+/// sampling — and therefore whole chains — bit-identical across
+/// backends.
 class SparseJddObjective {
  public:
   SparseJddObjective(const EdgeIndex& index,
@@ -126,7 +127,7 @@ class SparseJddObjective {
   bool has_deviating_bin() const noexcept { return !deviating_.empty(); }
   DeviatingBin sample_deviating_bin(util::Rng& rng) const;
 
-  std::size_t num_occupied_bins() const noexcept { return occupied_; }
+  std::size_t num_occupied_bins() const noexcept { return table_.size(); }
   /// Current table + deviating-set allocation (docs/scaling.md memory
   /// model; compare dense_jdd_objective_bytes).
   std::size_t memory_bytes() const noexcept;
@@ -134,30 +135,26 @@ class SparseJddObjective {
  private:
   static constexpr std::uint32_t no_position = 0xffffffffu;
 
-  std::size_t index_of(std::uint64_t stored_key) const noexcept {
-    return static_cast<std::size_t>(util::splitmix64_mix(stored_key)) &
-           mask_;
-  }
-  /// Slot of the key, or the empty slot where it belongs.
-  std::size_t find_slot(std::uint64_t stored_key) const noexcept;
-  void erase_slot(std::size_t slot);
-  void grow();
+  /// Per-bin payload: the (current - target) diff plus the bin's index
+  /// in the deviating list (or no_position).  Keys are
+  /// util::pair_key(c1,c2) + 1 so 0 can mark an empty slot (class pair
+  /// (0,0) packs to 0); diffs may sit at 0 transiently between apply()
+  /// and revert()/commit(), so occupancy is key-carried, not
+  /// diff-carried.
+  struct Bin {
+    std::int32_t diff = 0;       // current - target
+    std::uint32_t dev_pos = no_position;  // deviating_ index
+  };
+  struct BinTraits : util::KeySentinelTraits<Bin> {};
+  using Table = util::FlatTable<BinTraits>;
 
   std::int64_t bump(std::uint32_t c1, std::uint32_t c2, std::int64_t delta,
                     bool erase_zero);
   void refresh_deviation(std::uint32_t c1, std::uint32_t c2);
 
   std::int64_t distance_ = 0;
-  std::size_t occupied_ = 0;
 
-  // Open-addressing table: parallel arrays over power-of-two capacity.
-  // Keys are util::pair_key(c1,c2) + 1 so 0 can mark an empty slot
-  // (class pair (0,0) packs to 0); diffs may sit at 0 transiently
-  // between apply() and revert()/commit().
-  std::vector<std::uint64_t> keys_;    // stored key, or 0 = empty
-  std::vector<std::int32_t> diffs_;    // current - target
-  std::vector<std::uint32_t> dev_pos_;  // deviating_ index, or no_position
-  std::size_t mask_ = 0;
+  Table table_;  // occupied class-pair bins only
 
   std::vector<std::uint64_t> deviating_;  // packed pair keys (not +1)
 };

@@ -7,74 +7,31 @@
 
 namespace orbis {
 
-namespace {
-
-std::size_t hash_capacity_for(std::size_t expected_edges) {
+FlatEdgeHash::FlatEdgeHash(std::size_t expected_edges) {
   // Load factor <= 0.5 keeps linear-probe chains short; the capacity is
   // static because double-edge swaps preserve the edge count.
-  std::size_t capacity = 16;
-  while (capacity < 2 * expected_edges + 1) capacity <<= 1;
-  return capacity;
-}
-
-}  // namespace
-
-FlatEdgeHash::FlatEdgeHash(std::size_t expected_edges) {
-  const std::size_t capacity = hash_capacity_for(expected_edges);
-  keys_.assign(capacity, 0);
-  slots_.assign(capacity, npos);
-  mask_ = capacity - 1;
+  table_.reserve_for(expected_edges);
 }
 
 void FlatEdgeHash::insert(std::uint64_t key, std::uint32_t slot) {
-  std::size_t i = index_of(key);
-  while (keys_[i] != 0) i = (i + 1) & mask_;
-  keys_[i] = key;
-  slots_[i] = slot;
+  table_.occupy(table_.locate(key), key, slot);
 }
 
 std::uint32_t FlatEdgeHash::find(std::uint64_t key) const {
-  std::size_t i = index_of(key);
-  while (keys_[i] != 0) {
-    if (keys_[i] == key) return slots_[i];
-    i = (i + 1) & mask_;
-  }
-  return npos;
+  const std::size_t i = table_.find(key);
+  return i == table_.npos ? npos : table_.payload_at(i);
 }
 
 void FlatEdgeHash::reassign(std::uint64_t key, std::uint32_t slot) {
-  std::size_t i = index_of(key);
-  while (keys_[i] != key) {
-    util::ensures(keys_[i] != 0, "FlatEdgeHash::reassign: key not found");
-    i = (i + 1) & mask_;
-  }
-  slots_[i] = slot;
+  const std::size_t i = table_.find(key);
+  util::ensures(i != table_.npos, "FlatEdgeHash::reassign: key not found");
+  table_.payload_at(i) = slot;
 }
 
 void FlatEdgeHash::erase(std::uint64_t key) {
-  std::size_t i = index_of(key);
-  while (keys_[i] != key) {
-    util::ensures(keys_[i] != 0, "FlatEdgeHash::erase: key not found");
-    i = (i + 1) & mask_;
-  }
-  // Backward-shift deletion: pull later chain members into the hole so
-  // probe sequences stay gap-free without tombstones.
-  std::size_t hole = i;
-  std::size_t probe = i;
-  while (true) {
-    probe = (probe + 1) & mask_;
-    if (keys_[probe] == 0) break;
-    const std::size_t ideal = index_of(keys_[probe]);
-    // The element at `probe` may fill the hole iff its ideal position
-    // is cyclically outside (hole, probe].
-    if (((probe - ideal) & mask_) >= ((probe - hole) & mask_)) {
-      keys_[hole] = keys_[probe];
-      slots_[hole] = slots_[probe];
-      hole = probe;
-    }
-  }
-  keys_[hole] = 0;
-  slots_[hole] = npos;
+  const std::size_t i = table_.find(key);
+  util::ensures(i != table_.npos, "FlatEdgeHash::erase: key not found");
+  table_.erase_at(i);
 }
 
 EdgeIndex::EdgeIndex(const Graph& g)

@@ -32,16 +32,17 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/flat_table.hpp"
 #include "util/keys.hpp"
 #include "util/rng.hpp"
 
 namespace orbis {
 
-/// Open-addressing linear-probe hash map from packed edge keys to edge
-/// slots.  Keys are util::pair_key values (never 0 for a simple graph
-/// edge, so 0 is the empty sentinel).  Deletion uses backward-shift, so
-/// there are no tombstones and probe chains stay short at a fixed load
-/// factor.  Capacity is sized once: rewiring preserves the edge count.
+/// Hash map from packed edge keys to edge slots over util::FlatTable
+/// (the shared probe/deletion implementation — see flat_table.hpp).
+/// Keys are util::pair_key values (never 0 for a simple graph edge, so
+/// key-sentinel occupancy applies).  Capacity is sized once: rewiring
+/// preserves the edge count, so the table never grows.
 class FlatEdgeHash {
  public:
   static constexpr std::uint32_t npos = 0xffffffffu;
@@ -57,13 +58,13 @@ class FlatEdgeHash {
   void reassign(std::uint64_t key, std::uint32_t slot);
 
  private:
-  std::size_t index_of(std::uint64_t key) const {
-    return static_cast<std::size_t>(util::splitmix64_mix(key)) & mask_;
-  }
+  /// Vacated slots park their payload at npos, mirroring find()'s miss
+  /// sentinel.
+  struct SlotTraits : util::KeySentinelTraits<std::uint32_t> {
+    static constexpr std::uint32_t empty_payload() noexcept { return npos; }
+  };
 
-  std::vector<std::uint64_t> keys_;
-  std::vector<std::uint32_t> slots_;
-  std::size_t mask_ = 0;
+  util::FlatTable<SlotTraits> table_;
 };
 
 class EdgeIndex {

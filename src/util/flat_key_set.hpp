@@ -1,26 +1,24 @@
 // Growable flat hash set of non-zero uint64 keys.
 //
 // The streaming extraction pipeline needs duplicate-edge detection over
-// millions of packed pair keys per pass: one open-addressing
-// linear-probe table (splitmix-finalized hash, power-of-two capacity,
-// load factor <= 1/2 — the FlatEdgeHash design) costs 8 bytes per slot
-// and zero per-insert allocations, where unordered_set pays a node
-// allocation per key.  Unlike FlatEdgeHash the capacity grows on demand
-// (the edge count is unknown until the stream ends) and there is no
-// deletion — clear() resets between passes while keeping the storage.
+// millions of packed pair keys per pass: a presence-only util::FlatTable
+// (see flat_table.hpp — the payload array is elided for empty payloads)
+// costs 8 bytes per slot and zero per-insert allocations, where
+// unordered_set pays a node allocation per key.  Unlike FlatEdgeHash the
+// capacity grows on demand (the edge count is unknown until the stream
+// ends) and there is no deletion — clear() resets between passes while
+// keeping the storage.
 //
 // Key 0 marks an empty slot.  util::pair_key(u, v) of a non-loop edge is
 // never 0 (the larger endpoint occupies the low bits and is >= 1), so
 // edge keys need no offset.
 #pragma once
 
-#include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <vector>
 
 #include "util/check.hpp"
-#include "util/keys.hpp"
+#include "util/flat_table.hpp"
 
 namespace orbis::util {
 
@@ -29,70 +27,35 @@ class FlatKeySet {
   FlatKeySet() = default;
   /// Pre-sizes the table for an expected key count (optional).
   explicit FlatKeySet(std::size_t expected_keys) {
-    std::size_t capacity = 16;
-    while (capacity < 2 * (expected_keys + 1)) capacity *= 2;
-    keys_.assign(capacity, 0);
-    mask_ = capacity - 1;
+    table_.reserve_for(expected_keys);
   }
 
   /// Inserts the key; returns false (set unchanged) if already present.
   bool insert(std::uint64_t key) {
     expects(key != 0, "FlatKeySet: key 0 is the empty-slot marker");
-    if (keys_.empty() || 2 * (size_ + 1) > keys_.size()) grow();
-    std::size_t i = index_of(key);
-    while (keys_[i] != 0) {
-      if (keys_[i] == key) return false;
-      i = (i + 1) & mask_;
-    }
-    keys_[i] = key;
-    ++size_;
+    if (table_.over_load_factor()) table_.grow();
+    const std::size_t i = table_.locate(key);
+    if (table_.occupied(i)) return false;
+    table_.occupy(i, key);
     return true;
   }
 
   bool contains(std::uint64_t key) const noexcept {
-    if (keys_.empty()) return false;
-    std::size_t i = index_of(key);
-    while (keys_[i] != 0) {
-      if (keys_[i] == key) return true;
-      i = (i + 1) & mask_;
-    }
-    return false;
+    return table_.contains(key);
   }
 
-  std::size_t size() const noexcept { return size_; }
-  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return table_.size(); }
+  bool empty() const noexcept { return table_.empty(); }
 
   /// Empties the set but keeps the table allocation (pass-to-pass reuse).
-  void clear() noexcept {
-    std::fill(keys_.begin(), keys_.end(), 0);
-    size_ = 0;
-  }
+  void clear() noexcept { table_.clear(); }
 
   std::size_t capacity_bytes() const noexcept {
-    return keys_.size() * sizeof(std::uint64_t);
+    return table_.capacity_bytes();
   }
 
  private:
-  std::size_t index_of(std::uint64_t key) const noexcept {
-    return static_cast<std::size_t>(splitmix64_mix(key)) & mask_;
-  }
-
-  void grow() {
-    const std::size_t capacity = keys_.empty() ? 16 : keys_.size() * 2;
-    std::vector<std::uint64_t> old = std::move(keys_);
-    keys_.assign(capacity, 0);
-    mask_ = capacity - 1;
-    for (const std::uint64_t key : old) {
-      if (key == 0) continue;
-      std::size_t i = index_of(key);
-      while (keys_[i] != 0) i = (i + 1) & mask_;
-      keys_[i] = key;
-    }
-  }
-
-  std::vector<std::uint64_t> keys_;
-  std::size_t mask_ = 0;
-  std::size_t size_ = 0;
+  util::FlatTable<KeySentinelTraits<NoPayload>> table_;
 };
 
 }  // namespace orbis::util

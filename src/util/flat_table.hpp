@@ -1,0 +1,266 @@
+// The one flat open-addressing table behind every hot-path hash
+// structure in this library.
+//
+// Four structures used to carry hand-mirrored copies of the same probe
+// design: graph::FlatEdgeHash (edge key -> slot), dk::SparseHistogram
+// (dK bin counts), gen::SparseJddObjective's occupied-bin table, and
+// util::FlatKeySet (streaming duplicate detection).  The probe
+// arithmetic — splitmix64-finalized hashing, power-of-two capacity with
+// mask indexing, linear probing, load-factor growth, and backward-shift
+// deletion — is subtle enough that each copy needed its own pinning
+// tests, and a fix in one had to be mirrored by hand into the others.
+// FlatTable owns that arithmetic exactly once; the four wrappers are now
+// thin orchestration over these primitives and contain no probe loops of
+// their own.  See docs/flat_table.md for the probe protocol, the growth
+// policy, and the payload-traits contract.
+//
+// Layout: parallel arrays keys_[capacity] / payloads_[capacity] over a
+// power-of-two capacity (payload storage is elided entirely for empty
+// payload types, so a presence-only set costs 8 bytes per slot).  All
+// keys are std::uint64_t — every user hashes packed util::keys values.
+//
+// Occupancy is traits-defined, which is what lets one template serve two
+// regimes:
+//   * key-sentinel occupancy: a slot is live iff its key != 0 (edge
+//     hash, JDD bins with a +1 key offset, key set);
+//   * payload occupancy: a slot is live iff its payload is non-zero
+//     (the histogram, where a count of 0 IS erasure and key 0 is an
+//     ordinary bin).
+//
+// The traits contract (TraitsT):
+//   using Payload = ...;                 // any type; empty => elided
+//   static bool occupied(std::uint64_t key, const Payload&);
+//   static Payload empty_payload();      // representation of a vacated
+//                                        // slot; occupied() must reject
+//                                        // (0, empty_payload())
+//
+// Growth is explicit, not implicit: insertion is locate() + occupy(),
+// and the CALLER decides when to grow via over_load_factor()/grow().
+// That keeps each wrapper's historical growth timing — and therefore
+// its exact slot layout, iteration order, and downstream chain
+// bit-identity — intact.  Every wrapper keeps the invariant
+// load factor <= 1/2, which linear probing needs for short chains.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "util/keys.hpp"
+
+namespace orbis::util {
+
+template <class TraitsT>
+class FlatTable {
+ public:
+  using Traits = TraitsT;
+  using Payload = typename TraitsT::Payload;
+
+  /// Returned by find() when the key is absent.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Empty payload types (presence-only sets) get no payload storage.
+  static constexpr bool stores_payload = !std::is_empty_v<Payload>;
+
+  FlatTable() = default;
+
+  /// Discards any contents and allocates fresh storage sized for
+  /// `expected` elements at load factor <= 1/2 (the smallest power of
+  /// two >= max(16, 2 * expected + 2)).  Fresh vectors, not assign():
+  /// a rebuild after a larger transient phase must not retain the
+  /// transient capacity while capacity_bytes() reports the smaller one.
+  void reserve_for(std::size_t expected) {
+    std::size_t capacity = kMinCapacity;
+    while (capacity < 2 * expected + 2) capacity <<= 1;
+    keys_ = std::vector<std::uint64_t>(capacity, 0);
+    if constexpr (stores_payload) {
+      payloads_ = std::vector<Payload>(capacity, Traits::empty_payload());
+    }
+    mask_ = capacity - 1;
+    size_ = 0;
+  }
+
+  std::size_t capacity() const noexcept { return keys_.size(); }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  bool has_storage() const noexcept { return !keys_.empty(); }
+
+  bool occupied(std::size_t slot) const {
+    if constexpr (stores_payload) {
+      return Traits::occupied(keys_[slot], payloads_[slot]);
+    } else {
+      return Traits::occupied(keys_[slot], Payload{});
+    }
+  }
+  std::uint64_t key_at(std::size_t slot) const { return keys_[slot]; }
+  Payload& payload_at(std::size_t slot) { return payloads_[slot]; }
+  const Payload& payload_at(std::size_t slot) const {
+    return payloads_[slot];
+  }
+
+  /// Slot holding `key`, or npos.  Safe on a storage-less table.
+  std::size_t find(std::uint64_t key) const {
+    if (keys_.empty()) return npos;
+    std::size_t i = home(key);
+    while (occupied(i)) {
+      if (keys_[i] == key) return i;
+      i = next(i);
+    }
+    return npos;
+  }
+
+  bool contains(std::uint64_t key) const { return find(key) != npos; }
+
+  /// Slot holding `key` if present, else the empty slot where it
+  /// belongs (check occupied() to tell the cases apart).  Requires
+  /// storage and load factor < 1; any growth invalidates the result.
+  std::size_t locate(std::uint64_t key) const {
+    std::size_t i = home(key);
+    while (occupied(i) && keys_[i] != key) i = next(i);
+    return i;
+  }
+
+  /// Claims the empty slot returned by locate() for a new element.
+  /// occupied(slot) must become true under the traits — i.e. the key
+  /// must be non-zero under key-sentinel occupancy, the payload
+  /// non-empty under payload occupancy.
+  void occupy(std::size_t slot, std::uint64_t key,
+              const Payload& payload = Payload{}) {
+    keys_[slot] = key;
+    if constexpr (stores_payload) payloads_[slot] = payload;
+    ++size_;
+  }
+
+  /// Erases the occupied slot by backward-shift deletion: later members
+  /// of the probe cluster whose home position lies cyclically outside
+  /// (hole, probe] are pulled into the hole, so probe sequences stay
+  /// gap-free without tombstones and chains never accumulate length.
+  /// Payloads travel with their keys, so slot-external bookkeeping must
+  /// reference keys, never slot indices, across an erase.
+  void erase_at(std::size_t slot) {
+    std::size_t hole = slot;
+    std::size_t probe = slot;
+    while (true) {
+      probe = next(probe);
+      if (!occupied(probe)) break;
+      const std::size_t ideal = home(keys_[probe]);
+      if (((probe - ideal) & mask_) >= ((probe - hole) & mask_)) {
+        keys_[hole] = keys_[probe];
+        if constexpr (stores_payload) payloads_[hole] = payloads_[probe];
+        hole = probe;
+      }
+    }
+    vacate(hole);
+    --size_;
+  }
+
+  /// True when holding `extra` more elements would push the load factor
+  /// past 1/2 (or when there is no storage yet).  Callers gate grow()
+  /// on this — before or after the insertion, per their historical
+  /// timing (see the header comment).
+  bool over_load_factor(std::size_t extra = 1) const noexcept {
+    return keys_.empty() || 2 * (size_ + extra) > keys_.size();
+  }
+
+  /// Doubles the capacity (16 when empty) and rehashes every live
+  /// element, scanning old slots in index order.
+  void grow() {
+    const std::size_t capacity =
+        keys_.empty() ? kMinCapacity : keys_.size() * 2;
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    // [[maybe_unused]]: every reference sits inside `if constexpr`
+    // branches that payload-elided instantiations discard.
+    [[maybe_unused]] PayloadStore old_payloads = std::move(payloads_);
+    keys_.assign(capacity, 0);
+    if constexpr (stores_payload) {
+      payloads_.assign(capacity, Traits::empty_payload());
+    }
+    mask_ = capacity - 1;
+    for (std::size_t slot = 0; slot < old_keys.size(); ++slot) {
+      const bool live = [&] {
+        if constexpr (stores_payload) {
+          return Traits::occupied(old_keys[slot], old_payloads[slot]);
+        } else {
+          return Traits::occupied(old_keys[slot], Payload{});
+        }
+      }();
+      if (!live) continue;
+      std::size_t i = home(old_keys[slot]);
+      while (occupied(i)) i = next(i);
+      keys_[i] = old_keys[slot];
+      if constexpr (stores_payload) payloads_[i] = old_payloads[slot];
+    }
+  }
+
+  /// Empties the table but keeps the allocation (pass-to-pass reuse).
+  void clear() noexcept {
+    std::fill(keys_.begin(), keys_.end(), 0);
+    if constexpr (stores_payload) {
+      std::fill(payloads_.begin(), payloads_.end(),
+                Traits::empty_payload());
+    }
+    size_ = 0;
+  }
+
+  /// Empties the table AND releases the storage.
+  void release() noexcept {
+    keys_ = {};
+    if constexpr (stores_payload) payloads_ = {};
+    mask_ = 0;
+    size_ = 0;
+  }
+
+  /// Bytes held by the parallel arrays (memory-model accounting).
+  std::size_t capacity_bytes() const noexcept {
+    std::size_t bytes = keys_.capacity() * sizeof(std::uint64_t);
+    if constexpr (stores_payload) {
+      bytes += payloads_.capacity() * sizeof(Payload);
+    }
+    return bytes;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  struct NoPayloadStore {};
+  using PayloadStore =
+      std::conditional_t<stores_payload, std::vector<Payload>,
+                         NoPayloadStore>;
+
+  std::size_t home(std::uint64_t key) const noexcept {
+    return static_cast<std::size_t>(splitmix64_mix(key)) & mask_;
+  }
+  std::size_t next(std::size_t i) const noexcept { return (i + 1) & mask_; }
+
+  void vacate(std::size_t slot) {
+    keys_[slot] = 0;
+    if constexpr (stores_payload) {
+      payloads_[slot] = Traits::empty_payload();
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  PayloadStore payloads_{};
+  std::size_t mask_ = 0;   // capacity - 1 (capacity is a power of two)
+  std::size_t size_ = 0;   // live elements
+};
+
+/// Ready-made traits for key-sentinel occupancy (key 0 = empty slot)
+/// with an arbitrary payload.  Wrappers needing a non-default vacated
+/// payload derive and shadow empty_payload().
+template <class P>
+struct KeySentinelTraits {
+  using Payload = P;
+  static constexpr bool occupied(std::uint64_t key, const P&) noexcept {
+    return key != 0;
+  }
+  static constexpr P empty_payload() noexcept { return P{}; }
+};
+
+/// Presence-only payload for key sets; being empty, it elides the
+/// payload array entirely.
+struct NoPayload {};
+
+}  // namespace orbis::util

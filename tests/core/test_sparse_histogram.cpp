@@ -4,6 +4,8 @@
 
 #include <map>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "util/rng.hpp"
 
@@ -168,6 +170,35 @@ TEST(SparseHistogram, EqualityIgnoresInsertionOrderAndCapacity) {
   for (std::uint64_t key = 0; key < 100; ++key) b.add(key, -1);
   EXPECT_EQ(a, b);
   EXPECT_EQ(b, a);
+}
+
+TEST(SparseHistogram, IterationOrderIsAPureFunctionOfTheOpSequence) {
+  // dK serialization and objective seeding consume bins() directly, so
+  // the slot layout — and with it iteration order — must be a pure
+  // function of the operation sequence, growth timing included.  Two
+  // histograms fed the same ops must iterate identically; this pins the
+  // grow-after-insert timing the FlatTable refactor preserved.
+  SparseHistogram a;
+  SparseHistogram b;
+  util::Rng rng_a(2024);
+  util::Rng rng_b(2024);
+  for (int step = 0; step < 5000; ++step) {
+    const std::uint64_t key_a = rng_a.uniform(600);
+    const std::uint64_t key_b = rng_b.uniform(600);
+    ASSERT_EQ(key_a, key_b);
+    if (a.count(key_a) > 0 && step % 3 == 0) {
+      a.decrement(key_a);
+      b.decrement(key_b);
+    } else {
+      a.increment(key_a);
+      b.increment(key_b);
+    }
+  }
+  std::vector<std::pair<std::uint64_t, std::int64_t>> order_a(a.begin(),
+                                                              a.end());
+  std::vector<std::pair<std::uint64_t, std::int64_t>> order_b(b.begin(),
+                                                              b.end());
+  EXPECT_EQ(order_a, order_b);
 }
 
 TEST(SparseHistogram, FailedNegativeAddLeavesStateUntouched) {
