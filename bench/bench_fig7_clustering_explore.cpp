@@ -13,7 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace orbis;
-  const bench::Context context(argc, argv);
+  const bench::Context context(argc, argv, {"--explore-attempts"});
   bench::print_header(
       "Figure 7 - varying clustering within the 2K space of skitter",
       "C(k) for max-C / min-C / 2K-random graphs sharing the skitter "

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/dk_state.hpp"
 #include "core/series.hpp"
@@ -19,6 +20,7 @@
 #include "metrics/betweenness.hpp"
 #include "metrics/distance.hpp"
 #include "metrics/spectrum.hpp"
+#include "util/flat_table.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -241,6 +243,61 @@ BENCHMARK(BM_Parallel3KTarget)
     ->Arg(4)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// Raw FlatTable probe throughput — the primitive under the edge hash,
+// histogram bins and sparse JDD bins — through the build's default
+// find() dispatch (control-byte groups under ORBIS_SIMD, the scalar
+// walk when OFF), so SIMD-vs-scalar builds of this binary measure the
+// group-probing speedup directly.  Hit and miss are split because they
+// stress different paths: hits end at a fragment match, misses scan to
+// the first empty byte.
+void BM_FlatTableProbeHit(benchmark::State& state) {
+  using Table = util::FlatTable<util::KeySentinelTraits<std::uint32_t>>;
+  const auto count = static_cast<std::size_t>(state.range(0));
+  Table table;
+  table.reserve_for(count);
+  util::Rng fill_rng(21);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(count);
+  while (keys.size() < count) {
+    const std::uint64_t key = 1 + fill_rng.next();
+    const std::size_t slot = table.locate(key);
+    if (table.occupied(slot)) continue;
+    table.occupy(slot, key, static_cast<std::uint32_t>(keys.size()));
+    keys.push_back(key);
+  }
+  util::Rng rng(22);
+  std::uint64_t probes = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find(keys[rng.uniform(keys.size())]));
+    ++probes;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(probes));
+}
+BENCHMARK(BM_FlatTableProbeHit)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_FlatTableProbeMiss(benchmark::State& state) {
+  using Table = util::FlatTable<util::KeySentinelTraits<std::uint32_t>>;
+  const auto count = static_cast<std::size_t>(state.range(0));
+  Table table;
+  table.reserve_for(count);
+  util::Rng fill_rng(21);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t key = 1 + fill_rng.next();
+    const std::size_t slot = table.locate(key);
+    if (table.occupied(slot)) continue;
+    table.occupy(slot, key, static_cast<std::uint32_t>(i));
+  }
+  // Probe keys drawn from a disjoint stream: virtually all misses.
+  util::Rng rng(23);
+  std::uint64_t probes = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find(1 + rng.next()));
+    ++probes;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(probes));
+}
+BENCHMARK(BM_FlatTableProbeMiss)->Arg(1 << 10)->Arg(1 << 16);
 
 void BM_DkStateSwap(benchmark::State& state) {
   const auto g = make_graph(1 << 12);

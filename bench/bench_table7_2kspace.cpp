@@ -21,7 +21,7 @@
 
 int main(int argc, char** argv) {
   using namespace orbis;
-  const bench::Context context(argc, argv);
+  const bench::Context context(argc, argv, {"--explore-attempts"});
   bench::print_header(
       "Table 7 - 2K-space exploration around the skitter substitute",
       "Extreme-C/S2 graphs share the JDD (same kbar, r) but differ in "

@@ -38,7 +38,21 @@ Graph load_cached(const Context& context, const std::string& key,
 
 }  // namespace
 
-Context::Context(int argc, const char* const* argv) : args(argc, argv) {
+namespace {
+
+std::vector<std::string> context_value_flags(
+    std::vector<std::string> extra) {
+  extra.push_back("--seeds");
+  extra.push_back("--scale");
+  extra.push_back("--seed");
+  return extra;
+}
+
+}  // namespace
+
+Context::Context(int argc, const char* const* argv,
+                 std::vector<std::string> extra_value_flags)
+    : args(argc, argv, context_value_flags(std::move(extra_value_flags))) {
   seeds = static_cast<std::size_t>(args.get_int("--seeds", 1));
   scale = args.get_double("--scale", 1.0);
   use_cache = !args.has_flag("--no-cache");

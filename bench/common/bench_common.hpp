@@ -23,7 +23,11 @@
 namespace orbis::bench {
 
 struct Context {
-  Context(int argc, const char* const* argv);
+  /// `extra_value_flags` declares binary-specific value-taking flags
+  /// (e.g. --explore-attempts) on top of the common set; see
+  /// util::ArgParser on why value flags are declared, not guessed.
+  Context(int argc, const char* const* argv,
+          std::vector<std::string> extra_value_flags = {});
 
   util::ArgParser args;
   std::size_t seeds = 1;      // graphs averaged per cell (paper used 100)

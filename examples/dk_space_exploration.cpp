@@ -16,7 +16,8 @@
 
 int main(int argc, char** argv) {
   using namespace orbis;
-  const util::ArgParser args(argc, argv);
+  const util::ArgParser args(argc, argv,
+                             {"--seed", "--nodes", "--attempts-per-edge"});
   util::Rng rng(static_cast<std::uint64_t>(args.get_int("--seed", 1)));
 
   topo::AsLevelOptions options;

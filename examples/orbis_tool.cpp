@@ -271,11 +271,20 @@ int cmd_compare(const util::ArgParser& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::ArgParser args(argc, argv);
+  // Every value-taking flag across the subcommands; the rest (--gcc,
+  // --in-memory, --trust-simple) are boolean and must NOT swallow a
+  // following positional (`extract --gcc graph.edges out`).
+  const util::ArgParser args(
+      argc, argv,
+      {"--seed", "--buffer-kb", "--d", "--out", "--like", "--from-1k",
+       "--from-2k", "--from-3k", "--method", "--chains", "--workers",
+       "--objective", "--memory-budget-mb", "--dot", "--nodes"});
   if (args.positional().empty()) return usage();
-  util::Rng rng(static_cast<std::uint64_t>(args.get_int("--seed", 1)));
   const std::string& command = args.positional()[0];
   try {
+    // Inside the try: a malformed --seed (strict parsing) must report
+    // like any other bad flag, not escape main and terminate.
+    util::Rng rng(static_cast<std::uint64_t>(args.get_int("--seed", 1)));
     if (command == "analyze") return cmd_analyze(args);
     if (command == "extract") return cmd_extract(args);
     if (command == "generate") return cmd_generate(args, rng);

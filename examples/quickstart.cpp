@@ -21,7 +21,7 @@
 
 int main(int argc, char** argv) {
   using namespace orbis;
-  const util::ArgParser args(argc, argv);
+  const util::ArgParser args(argc, argv, {"--seed", "--input"});
   util::Rng rng(static_cast<std::uint64_t>(args.get_int("--seed", 1)));
 
   // 1. Obtain a graph: a user-supplied edge list, or a small synthetic

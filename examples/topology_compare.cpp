@@ -20,7 +20,7 @@
 
 int main(int argc, char** argv) {
   using namespace orbis;
-  const util::ArgParser args(argc, argv);
+  const util::ArgParser args(argc, argv, {"--seed"});
   util::Rng rng(static_cast<std::uint64_t>(args.get_int("--seed", 1)));
 
   Graph a;

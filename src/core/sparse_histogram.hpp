@@ -93,6 +93,11 @@ class SparseHistogram {
     return i == Table::npos ? 0 : table_.payload_at(i);
   }
 
+  /// Prefetches key's probe group ahead of count()/add() — the ΔD3
+  /// pricing loop issues these for a whole delta journal before probing
+  /// any bin (docs/parallel.md).  Advisory; never changes results.
+  void prefetch(std::uint64_t key) const { table_.prefetch(key); }
+
   /// Adds delta to a bin; removes the bin when it reaches zero.
   /// Throws std::logic_error if a bin would become negative (the
   /// histogram is left unchanged).

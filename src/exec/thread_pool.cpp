@@ -6,10 +6,36 @@
 #include <latch>
 #include <utility>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 namespace orbis::exec {
+
+namespace {
+
+/// CPUs the process may actually run on per its affinity mask, or 0
+/// when the platform cannot say.  Containers and cpusets routinely
+/// grant fewer CPUs than the machine has; hardware_concurrency()
+/// reports the machine.
+std::size_t affinity_cpu_count() noexcept {
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    const int count = CPU_COUNT(&mask);
+    if (count > 0) return static_cast<std::size_t>(count);
+  }
+#endif
+  return 0;
+}
+
+}  // namespace
 
 std::size_t resolve_workers(std::size_t requested) noexcept {
   if (requested > 0) return requested;
+  const std::size_t affinity = affinity_cpu_count();
+  if (affinity > 0) return affinity;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<std::size_t>(hw) : 1;
 }

@@ -31,8 +31,11 @@
 namespace orbis::exec {
 
 /// Threads to use for a requested worker count: `requested` itself, or a
-/// hardware-derived default when `requested` == 0 (at least 1 even when
-/// hardware_concurrency() reports unknown).
+/// hardware-derived default when `requested` == 0.  The default honors
+/// the process CPU affinity mask (sched_getaffinity) where available —
+/// in a container pinned to 2 of 64 cores the right fan-out is 2, not
+/// the hardware_concurrency() machine total — falling back to
+/// hardware_concurrency(), and to 1 when both report unknown.
 std::size_t resolve_workers(std::size_t requested) noexcept;
 
 class ThreadPool {

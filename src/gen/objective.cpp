@@ -348,6 +348,19 @@ ThreeKObjective::ThreeKObjective(const dk::DkState& state,
 
 std::int64_t ThreeKObjective::delta_if_applied(
     const dk::DkState& state, const dk::DeltaJournal& journal) const {
+  // The journal names every bin this pricing will probe, so issue all
+  // the probe-group prefetches before the first probe: by the time the
+  // loops below reach entry k, its lines are usually already in flight
+  // (docs/parallel.md, "Prefetch-batched proposal evaluation").
+  for (const auto& [key, net] : journal.wedge) {
+    state.three_k().wedges().prefetch(key);
+    target_->wedges().prefetch(key);
+  }
+  for (const auto& [key, net] : journal.triangle) {
+    state.three_k().triangles().prefetch(key);
+    target_->triangles().prefetch(key);
+  }
+
   std::int64_t delta = 0;
   for (const auto& [key, net] : journal.wedge) {
     const std::int64_t before = state.three_k().wedges().count(key);

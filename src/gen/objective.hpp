@@ -34,6 +34,8 @@
 #include "gen/objective_backend.hpp"
 #include "graph/edge_index.hpp"
 #include "util/flat_table.hpp"
+#include "util/keys.hpp"
+#include "util/prefetch.hpp"
 #include "util/rng.hpp"
 
 namespace orbis::gen {
@@ -77,6 +79,17 @@ class JddObjective {
   /// swap touched (membership only changes at accepted swaps).
   void commit(std::uint32_t ca, std::uint32_t cb, std::uint32_t cc,
               std::uint32_t cd);
+
+  /// Prefetches the four difference-matrix cells apply() will bump for
+  /// a swap with these endpoint classes (batched proposal evaluation;
+  /// advisory only).
+  void prefetch(std::uint32_t ca, std::uint32_t cb, std::uint32_t cc,
+                std::uint32_t cd) const {
+    util::prefetch_read(&diff_[cell(ca, cb)]);
+    util::prefetch_read(&diff_[cell(cc, cd)]);
+    util::prefetch_read(&diff_[cell(ca, cd)]);
+    util::prefetch_read(&diff_[cell(cc, cb)]);
+  }
 
   bool has_deviating_bin() const noexcept { return !deviating_.empty(); }
 
@@ -124,6 +137,16 @@ class SparseJddObjective {
   void commit(std::uint32_t ca, std::uint32_t cb, std::uint32_t cc,
               std::uint32_t cd);
 
+  /// Prefetches the probe groups of the four class-pair bins apply()
+  /// will touch (same contract as JddObjective::prefetch).
+  void prefetch(std::uint32_t ca, std::uint32_t cb, std::uint32_t cc,
+                std::uint32_t cd) const {
+    table_.prefetch(bin_key(ca, cb));
+    table_.prefetch(bin_key(cc, cd));
+    table_.prefetch(bin_key(ca, cd));
+    table_.prefetch(bin_key(cc, cb));
+  }
+
   bool has_deviating_bin() const noexcept { return !deviating_.empty(); }
   DeviatingBin sample_deviating_bin(util::Rng& rng) const;
 
@@ -147,6 +170,13 @@ class SparseJddObjective {
   };
   struct BinTraits : util::KeySentinelTraits<Bin> {};
   using Table = util::FlatTable<BinTraits>;
+
+  /// Stored table key of the canonical class-pair bin (pair_key + 1 —
+  /// see Bin's comment on the key-0 sentinel).
+  static constexpr std::uint64_t bin_key(std::uint32_t c1,
+                                         std::uint32_t c2) noexcept {
+    return util::pair_key(c1, c2) + 1;
+  }
 
   std::int64_t bump(std::uint32_t c1, std::uint32_t c2, std::int64_t delta,
                     bool erase_zero);

@@ -127,13 +127,15 @@ Graph target_3k(const Graph& start, const dk::ThreeKProfile& target,
 // ---------------------------------------------------------------------------
 
 /// Annealing chains to run for `requested` (0 = autotune): one chain per
-/// available core, clamped to [1, 8] — past ~8 chains the best-of-K
-/// improvement flattens while every chain still burns a full budget.
+/// AVAILABLE core — exec::resolve_workers(0), which honors the process
+/// affinity mask before consulting hardware_concurrency() — clamped to
+/// [1, 8]: past ~8 chains the best-of-K improvement flattens while
+/// every chain still burns a full budget.
 std::size_t default_chain_count(std::size_t requested = 0) noexcept;
 
 struct MultiChainOptions {
-  /// Independently seeded annealing chains; 0 = autotune from
-  /// std::thread::hardware_concurrency() via default_chain_count().
+  /// Independently seeded annealing chains; 0 = autotune from the
+  /// available-core count via default_chain_count().
   std::size_t chains = 4;
 };
 

@@ -173,15 +173,29 @@ std::int64_t RewiringEngine::target_2k_with(Objective& objective,
     const bool drawn = (rng.bernoulli(options.guided_fraction) &&
                         propose_guided(objective, rng, swap)) ||
                        draw_uniform(rng, swap);
-    if (!drawn || !structurally_valid(swap)) {
+    if (!drawn) {
       if (stats != nullptr) ++stats->rejected_structural;
       continue;
     }
 
+    // Prefetch pipeline (docs/parallel.md, "Prefetch-batched proposal
+    // evaluation"): a drawn proposal names every cold line the checks
+    // below will touch — the two replacement-edge probe groups and the
+    // objective's four class-pair bins — so issue those prefetches
+    // first and let the misses overlap the work in between.  Hints
+    // only: the Rng stream and all results are unchanged.
+    index_.prefetch_edge_key(swap.a, swap.d);
+    index_.prefetch_edge_key(swap.c, swap.b);
     const std::uint32_t ca = index_.node_class(swap.a);
     const std::uint32_t cb = index_.node_class(swap.b);
     const std::uint32_t cc = index_.node_class(swap.c);
     const std::uint32_t cd = index_.node_class(swap.d);
+    objective.prefetch(ca, cb, cc, cd);
+
+    if (!structurally_valid(swap)) {
+      if (stats != nullptr) ++stats->rejected_structural;
+      continue;
+    }
     const std::int64_t delta = objective.apply(ca, cb, cc, cd);
     // Standard Metropolis: always accept downhill AND neutral moves
     // (plateau diffusion is what lets greedy descent reach D = 0);

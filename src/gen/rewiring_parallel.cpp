@@ -149,6 +149,15 @@ std::int64_t ThreeKRewirer::run_speculative(
       }
       PendingSwap& slot = pending[count++];
       slot.swap = swap;
+      // A filled lane will not be read again until the evaluate phase —
+      // a whole batch of draws away — so start pulling its endpoints'
+      // CSR rows toward the cache now (docs/parallel.md,
+      // "Prefetch-batched proposal evaluation").  Hints only: the Rng
+      // stream and every verdict are unchanged.
+      index_.prefetch_node(swap.a);
+      index_.prefetch_node(swap.b);
+      index_.prefetch_node(swap.c);
+      index_.prefetch_node(swap.d);
       // Greedy descent (T = 0) never consults the uniform, so skipping
       // the draw keeps the Rng stream identical to the serial chain's —
       // with batch = 1 the two are then bit-for-bit the same process.
@@ -169,6 +178,16 @@ std::int64_t ThreeKRewirer::run_speculative(
                           targeting, part, begin, end]() {
         dk::DkState::EvalScratch& scratch = scratches[part];
         for (std::size_t i = begin; i < end; ++i) {
+          // Prefetch the NEXT lane's endpoint rows before scoring this
+          // one, so lane i+1's misses overlap lane i's wedge/triangle
+          // walk (advisory only — verdicts are unaffected).
+          if (i + 1 < end) {
+            const Swap& next = pending[i + 1].swap;
+            index_.prefetch_node(next.a);
+            index_.prefetch_node(next.b);
+            index_.prefetch_node(next.c);
+            index_.prefetch_node(next.d);
+          }
           PendingSwap& slot = pending[i];
           state_.evaluate_swap(slot.swap.a, slot.swap.b, slot.swap.c,
                                slot.swap.d, slot.delta, scratch);

@@ -34,6 +34,7 @@
 #include "graph/graph.hpp"
 #include "util/flat_table.hpp"
 #include "util/keys.hpp"
+#include "util/prefetch.hpp"
 #include "util/rng.hpp"
 
 namespace orbis {
@@ -56,6 +57,8 @@ class FlatEdgeHash {
   bool contains(std::uint64_t key) const { return find(key) != npos; }
   /// Repoints an existing key at a new slot.
   void reassign(std::uint64_t key, std::uint32_t slot);
+  /// Prefetches key's probe group (batched proposal evaluation).
+  void prefetch(std::uint64_t key) const { table_.prefetch(key); }
 
  private:
   /// Vacated slots park their payload at npos, mirroring find()'s miss
@@ -122,6 +125,35 @@ class EdgeIndex {
   /// Uniform random edge slot (requires num_edges() > 0).
   std::uint32_t sample_edge(util::Rng& rng) const {
     return static_cast<std::uint32_t>(rng.uniform(edges_.size()));
+  }
+
+  // Prefetch hints for the batched proposal pipelines (docs/parallel.md,
+  // "Prefetch-batched proposal evaluation").  Advisory only: they pull
+  // lines toward the cache and can never change a result.
+
+  /// Prefetches v's CSR row (first lines of neighbors(v)) and its
+  /// row-size/class metadata — what evaluate_swap and the structural
+  /// checks walk for each proposal endpoint.
+  void prefetch_node(NodeId v) const {
+    util::prefetch_read(&row_size_[v]);
+    const auto* row = adj_.data() + row_offset_[v];
+    util::prefetch_read(row);
+    // A 64-byte line holds 16 NodeIds; hub rows span several lines but
+    // two cover the vast majority of rows without flooding the
+    // prefetch queue.
+    if (degree_[v] > 16) util::prefetch_read(row + 16);
+  }
+
+  /// Prefetches the edge-hash probe group of pair (u,v), ahead of a
+  /// has_edge() structural check.
+  void prefetch_edge_key(NodeId u, NodeId v) const {
+    hash_.prefetch(util::pair_key(u, v));
+  }
+
+  /// Prefetches class c's half-edge bucket header (sample_half_edge
+  /// reads its size before indexing it).
+  void prefetch_bucket(std::uint32_t c) const {
+    util::prefetch_read(&buckets_[c]);
   }
 
   /// Uniform random half-edge anchored at a node of degree class c;

@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/check.hpp"
@@ -14,9 +15,14 @@ bool is_flag(const std::string& token) {
 
 }  // namespace
 
-ArgParser::ArgParser(int argc, const char* const* argv) {
+ArgParser::ArgParser(int argc, const char* const* argv,
+                     std::vector<std::string> value_flags) {
   expects(argc >= 1, "ArgParser: argc must be at least 1");
   program_ = argv[0];
+  const auto takes_value = [&value_flags](const std::string& name) {
+    return std::find(value_flags.begin(), value_flags.end(), name) !=
+           value_flags.end();
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string token = argv[i];
     if (!is_flag(token)) {
@@ -28,8 +34,10 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
       values_[token.substr(0, equals)] = token.substr(equals + 1);
       continue;
     }
-    // `--name value` when the next token is not itself a flag.
-    if (i + 1 < argc && !is_flag(argv[i + 1])) {
+    // `--name value`: only a DECLARED value flag consumes the next
+    // token (and never one that is itself a flag — `--seed --gcc`
+    // leaves --seed bare rather than eating --gcc).
+    if (takes_value(token) && i + 1 < argc && !is_flag(argv[i + 1])) {
       values_[token] = argv[i + 1];
       ++i;
     } else {
@@ -47,7 +55,11 @@ std::int64_t ArgParser::get_int(const std::string& name,
   const auto it = values_.find(name);
   if (it == values_.end() || it->second.empty()) return fallback;
   try {
-    return std::stoll(it->second);
+    std::size_t consumed = 0;
+    const long long value = std::stoll(it->second, &consumed);
+    // Reject trailing garbage: "10x" must throw, not mean 10.
+    if (consumed != it->second.size()) throw std::invalid_argument("");
+    return value;
   } catch (const std::exception&) {
     throw std::invalid_argument("flag " + name + " expects an integer, got '" +
                                 it->second + "'");
@@ -58,7 +70,10 @@ double ArgParser::get_double(const std::string& name, double fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end() || it->second.empty()) return fallback;
   try {
-    return std::stod(it->second);
+    std::size_t consumed = 0;
+    const double value = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument("");
+    return value;
   } catch (const std::exception&) {
     throw std::invalid_argument("flag " + name + " expects a number, got '" +
                                 it->second + "'");

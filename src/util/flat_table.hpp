@@ -40,17 +40,121 @@
 // its exact slot layout, iteration order, and downstream chain
 // bit-identity — intact.  Every wrapper keeps the invariant
 // load factor <= 1/2, which linear probing needs for short chains.
+//
+// Probing is accelerated by SwissTable-style control-byte groups: a
+// parallel metadata array holds, per slot, either kCtrlEmpty (0x80) or
+// a 7-bit fragment of the slot key's hash, and find()/locate() compare
+// kGroupWidth (16) control bytes per step — one SSE2 compare+movemask,
+// or a portable SWAR equivalent off x86 — touching the 8-byte key array
+// only at fragment matches.  The group probe visits slots in EXACTLY
+// the scalar linear-probe order and slot placement is decided by the
+// same locate()/occupy()/erase_at() protocol either way, so the slot
+// layout, iteration order and every downstream chain are bit-identical
+// between the grouped and scalar builds (the `ORBIS_SIMD` CMake option
+// selects which one backs find()/locate(); both implementations are
+// always compiled and cross-checked in tests/util/test_flat_table.cpp).
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <type_traits>
 #include <vector>
 
 #include "util/keys.hpp"
+#include "util/prefetch.hpp"
+
+// ORBIS_SIMD=0 (the CMake option's OFF value) routes find()/locate()
+// through the scalar key-compare walk instead of control-byte groups.
+// Group probing itself needs no ISA support — on non-SSE2 targets it
+// falls back to SWAR arithmetic on two 8-byte lanes.
+#if !defined(ORBIS_SIMD)
+#define ORBIS_SIMD 1
+#endif
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define ORBIS_FLAT_TABLE_SSE2 1
+#else
+#define ORBIS_FLAT_TABLE_SSE2 0
+#endif
 
 namespace orbis::util {
+
+namespace detail {
+
+/// One kWidth-slot window of control bytes, compared 16 ways at once.
+/// match() / match_empty() return bitmasks whose bit j refers to the
+/// byte at `ctrl[j]`; occupied bytes are 7-bit hash fragments (high bit
+/// clear), empty slots are kCtrlEmpty (only value with the high bit
+/// set), so emptiness is a sign-bit test.
+class CtrlGroup {
+ public:
+  static constexpr std::size_t kWidth = 16;
+
+#if ORBIS_FLAT_TABLE_SSE2
+  explicit CtrlGroup(const std::uint8_t* ctrl) noexcept
+      : bytes_(_mm_loadu_si128(reinterpret_cast<const __m128i*>(ctrl))) {}
+
+  std::uint32_t match(std::uint8_t fragment) const noexcept {
+    return static_cast<std::uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(
+        bytes_, _mm_set1_epi8(static_cast<char>(fragment)))));
+  }
+  std::uint32_t match_empty() const noexcept {
+    return static_cast<std::uint32_t>(_mm_movemask_epi8(bytes_));
+  }
+
+ private:
+  __m128i bytes_;
+#else
+  explicit CtrlGroup(const std::uint8_t* ctrl) noexcept {
+    std::memcpy(&lo_, ctrl, sizeof(lo_));
+    std::memcpy(&hi_, ctrl + sizeof(lo_), sizeof(hi_));
+  }
+
+  std::uint32_t match(std::uint8_t fragment) const noexcept {
+    const std::uint64_t pattern = kOnes * fragment;
+    return collapse(zero_bytes(lo_ ^ pattern), zero_bytes(hi_ ^ pattern));
+  }
+  std::uint32_t match_empty() const noexcept {
+    return collapse(lo_ & kHighBits, hi_ & kHighBits);
+  }
+
+ private:
+  static constexpr std::uint64_t kOnes = 0x0101010101010101ull;
+  static constexpr std::uint64_t kLow7 = 0x7f7f7f7f7f7f7f7full;
+  static constexpr std::uint64_t kHighBits = 0x8080808080808080ull;
+
+  /// Exact per-byte zero test: high bit of each byte set iff the byte
+  /// is 0.  (x & 0x7f) + 0x7f never carries across byte boundaries, so
+  /// unlike the classic haszero() shortcut there are no false
+  /// positives next to matching bytes.
+  static constexpr std::uint64_t zero_bytes(std::uint64_t word) noexcept {
+    return ~(((word & kLow7) + kLow7) | word | kLow7);
+  }
+  /// Gathers the 8 per-byte high bits into a contiguous 16-bit
+  /// movemask-style mask.  The multiplier routes bit 8k to bit 56+k;
+  /// with inputs restricted to bit positions 8k the products cannot
+  /// collide in the top byte (verified exhaustively over all 256
+  /// subsets).
+  static constexpr std::uint32_t collapse(std::uint64_t low_word,
+                                          std::uint64_t high_word) noexcept {
+    constexpr std::uint64_t kGather = 0x0102040810204080ull;
+    const auto lo =
+        static_cast<std::uint32_t>(((low_word >> 7) * kGather) >> 56);
+    const auto hi =
+        static_cast<std::uint32_t>(((high_word >> 7) * kGather) >> 56);
+    return lo | (hi << 8);
+  }
+
+  std::uint64_t lo_ = 0;
+  std::uint64_t hi_ = 0;
+#endif
+};
+
+}  // namespace detail
 
 template <class TraitsT>
 class FlatTable {
@@ -75,6 +179,7 @@ class FlatTable {
     std::size_t capacity = kMinCapacity;
     while (capacity < 2 * expected + 2) capacity <<= 1;
     keys_ = std::vector<std::uint64_t>(capacity, 0);
+    ctrl_ = std::vector<std::uint8_t>(capacity + kGroupWidth, kCtrlEmpty);
     if constexpr (stores_payload) {
       payloads_ = std::vector<Payload>(capacity, Traits::empty_payload());
     }
@@ -101,7 +206,37 @@ class FlatTable {
   }
 
   /// Slot holding `key`, or npos.  Safe on a storage-less table.
+  /// Backed by the group probe or the scalar walk per the ORBIS_SIMD
+  /// build option; both visit slots in the same order and agree on
+  /// every table state (cross-checked in tests/util/test_flat_table).
   std::size_t find(std::uint64_t key) const {
+#if ORBIS_SIMD
+    return find_grouped(key);
+#else
+    return find_scalar(key);
+#endif
+  }
+
+  bool contains(std::uint64_t key) const { return find(key) != npos; }
+
+  /// Slot holding `key` if present, else the empty slot where it
+  /// belongs (check occupied() to tell the cases apart).  Requires
+  /// storage and load factor < 1; any growth invalidates the result.
+  std::size_t locate(std::uint64_t key) const {
+#if ORBIS_SIMD
+    return locate_grouped(key);
+#else
+    return locate_scalar(key);
+#endif
+  }
+
+  // Both probe implementations, always compiled: the scalar walk is the
+  // reference semantics (and the ORBIS_SIMD=OFF backend), the grouped
+  // probe is the control-byte accelerated path.  Exposed so tests can
+  // cross-check them on identical op sequences in any build.
+
+  /// Scalar find(): walk keys from the home slot, one compare per slot.
+  std::size_t find_scalar(std::uint64_t key) const {
     if (keys_.empty()) return npos;
     std::size_t i = home(key);
     while (occupied(i)) {
@@ -111,15 +246,84 @@ class FlatTable {
     return npos;
   }
 
-  bool contains(std::uint64_t key) const { return find(key) != npos; }
-
-  /// Slot holding `key` if present, else the empty slot where it
-  /// belongs (check occupied() to tell the cases apart).  Requires
-  /// storage and load factor < 1; any growth invalidates the result.
-  std::size_t locate(std::uint64_t key) const {
+  /// Scalar locate(): same contract as locate().
+  std::size_t locate_scalar(std::uint64_t key) const {
     std::size_t i = home(key);
     while (occupied(i) && keys_[i] != key) i = next(i);
     return i;
+  }
+
+  /// Group-probed find(): one CtrlGroup compare resolves kGroupWidth
+  /// slots — candidate slots are fragment matches before the first
+  /// empty byte, and a group containing an empty byte is the last.
+  std::size_t find_grouped(std::uint64_t key) const {
+    if (keys_.empty()) return npos;
+    const std::uint64_t hash = splitmix64_mix(key);
+    const std::uint8_t fragment = ctrl_fragment(hash);
+    std::size_t base = static_cast<std::size_t>(hash) & mask_;
+    while (true) {
+      // Pull the key line up in parallel with the control-byte match:
+      // on a hit the key compare needs it anyway, and fetching it
+      // serially AFTER the ctrl line would put two cache misses in the
+      // latency chain where the scalar walk has one.
+      prefetch_read(keys_.data() + base);
+      const detail::CtrlGroup group(ctrl_.data() + base);
+      std::uint32_t candidates = group.match(fragment);
+      const std::uint32_t empties = group.match_empty();
+      if (empties != 0) {
+        // Slots at or past the first empty are outside the probe chain.
+        candidates &= (1u << std::countr_zero(empties)) - 1u;
+      }
+      while (candidates != 0) {
+        const std::size_t slot =
+            (base + static_cast<std::size_t>(std::countr_zero(candidates))) &
+            mask_;
+        if (keys_[slot] == key) return slot;
+        candidates &= candidates - 1;
+      }
+      if (empties != 0) return npos;
+      base = (base + kGroupWidth) & mask_;
+    }
+  }
+
+  /// Group-probed locate(): same contract as locate().
+  std::size_t locate_grouped(std::uint64_t key) const {
+    const std::uint64_t hash = splitmix64_mix(key);
+    const std::uint8_t fragment = ctrl_fragment(hash);
+    std::size_t base = static_cast<std::size_t>(hash) & mask_;
+    while (true) {
+      prefetch_read(keys_.data() + base);  // overlap with the ctrl match
+      const detail::CtrlGroup group(ctrl_.data() + base);
+      std::uint32_t candidates = group.match(fragment);
+      const std::uint32_t empties = group.match_empty();
+      if (empties != 0) {
+        candidates &= (1u << std::countr_zero(empties)) - 1u;
+      }
+      while (candidates != 0) {
+        const std::size_t slot =
+            (base + static_cast<std::size_t>(std::countr_zero(candidates))) &
+            mask_;
+        if (keys_[slot] == key) return slot;
+        candidates &= candidates - 1;
+      }
+      if (empties != 0) {
+        return (base + static_cast<std::size_t>(std::countr_zero(empties))) &
+               mask_;
+      }
+      base = (base + kGroupWidth) & mask_;
+    }
+  }
+
+  /// Hints that `key`'s probe window will be read soon: pulls the home
+  /// slot's control-byte group, key line and (when stored) payload line
+  /// toward the cache.  Purely advisory — never changes results.
+  void prefetch(std::uint64_t key) const {
+    if (keys_.empty()) return;
+    const std::uint64_t hash = splitmix64_mix(key);
+    const std::size_t i = static_cast<std::size_t>(hash) & mask_;
+    prefetch_read(ctrl_.data() + i);
+    prefetch_read(keys_.data() + i);
+    if constexpr (stores_payload) prefetch_read(payloads_.data() + i);
   }
 
   /// Claims the empty slot returned by locate() for a new element.
@@ -129,6 +333,7 @@ class FlatTable {
   void occupy(std::size_t slot, std::uint64_t key,
               const Payload& payload = Payload{}) {
     keys_[slot] = key;
+    set_ctrl(slot, ctrl_fragment(splitmix64_mix(key)));
     if constexpr (stores_payload) payloads_[slot] = payload;
     ++size_;
   }
@@ -148,6 +353,9 @@ class FlatTable {
       const std::size_t ideal = home(keys_[probe]);
       if (((probe - ideal) & mask_) >= ((probe - hole) & mask_)) {
         keys_[hole] = keys_[probe];
+        // Control bytes travel with their keys (the fragment is a pure
+        // function of the key), exactly like payloads.
+        set_ctrl(hole, ctrl_[probe]);
         if constexpr (stores_payload) payloads_[hole] = payloads_[probe];
         hole = probe;
       }
@@ -174,6 +382,7 @@ class FlatTable {
     // branches that payload-elided instantiations discard.
     [[maybe_unused]] PayloadStore old_payloads = std::move(payloads_);
     keys_.assign(capacity, 0);
+    ctrl_.assign(capacity + kGroupWidth, kCtrlEmpty);
     if constexpr (stores_payload) {
       payloads_.assign(capacity, Traits::empty_payload());
     }
@@ -187,9 +396,11 @@ class FlatTable {
         }
       }();
       if (!live) continue;
-      std::size_t i = home(old_keys[slot]);
+      const std::uint64_t hash = splitmix64_mix(old_keys[slot]);
+      std::size_t i = static_cast<std::size_t>(hash) & mask_;
       while (occupied(i)) i = next(i);
       keys_[i] = old_keys[slot];
+      set_ctrl(i, ctrl_fragment(hash));
       if constexpr (stores_payload) payloads_[i] = old_payloads[slot];
     }
   }
@@ -197,6 +408,7 @@ class FlatTable {
   /// Empties the table but keeps the allocation (pass-to-pass reuse).
   void clear() noexcept {
     std::fill(keys_.begin(), keys_.end(), 0);
+    std::fill(ctrl_.begin(), ctrl_.end(), kCtrlEmpty);
     if constexpr (stores_payload) {
       std::fill(payloads_.begin(), payloads_.end(),
                 Traits::empty_payload());
@@ -207,6 +419,7 @@ class FlatTable {
   /// Empties the table AND releases the storage.
   void release() noexcept {
     keys_ = {};
+    ctrl_ = {};
     if constexpr (stores_payload) payloads_ = {};
     mask_ = 0;
     size_ = 0;
@@ -214,15 +427,37 @@ class FlatTable {
 
   /// Bytes held by the parallel arrays (memory-model accounting).
   std::size_t capacity_bytes() const noexcept {
-    std::size_t bytes = keys_.capacity() * sizeof(std::uint64_t);
+    std::size_t bytes = keys_.capacity() * sizeof(std::uint64_t) +
+                        ctrl_.capacity() * sizeof(std::uint8_t);
     if constexpr (stores_payload) {
       bytes += payloads_.capacity() * sizeof(Payload);
     }
     return bytes;
   }
 
+  /// Slots compared per control-byte group probe.
+  static constexpr std::size_t kGroupWidth = detail::CtrlGroup::kWidth;
+
  private:
   static constexpr std::size_t kMinCapacity = 16;
+
+  /// The only control byte with the high bit set; occupied slots hold a
+  /// 7-bit hash fragment.
+  static constexpr std::uint8_t kCtrlEmpty = 0x80;
+
+  /// 7-bit fragment from the TOP of the mixed hash: home() consumes the
+  /// low bits (mask_), so the fragment is independent of the home slot.
+  static constexpr std::uint8_t ctrl_fragment(std::uint64_t hash) noexcept {
+    return static_cast<std::uint8_t>(hash >> 57);
+  }
+
+  /// Writes a control byte, maintaining the mirror tail: the last
+  /// kGroupWidth bytes of ctrl_ replicate the first so a group load
+  /// starting anywhere below capacity never needs wrap masking.
+  void set_ctrl(std::size_t slot, std::uint8_t value) {
+    ctrl_[slot] = value;
+    if (slot < kGroupWidth) ctrl_[keys_.size() + slot] = value;
+  }
 
   struct NoPayloadStore {};
   using PayloadStore =
@@ -236,12 +471,15 @@ class FlatTable {
 
   void vacate(std::size_t slot) {
     keys_[slot] = 0;
+    set_ctrl(slot, kCtrlEmpty);
     if constexpr (stores_payload) {
       payloads_[slot] = Traits::empty_payload();
     }
   }
 
   std::vector<std::uint64_t> keys_;
+  // Per-slot metadata for group probing, + kGroupWidth mirror bytes.
+  std::vector<std::uint8_t> ctrl_;
   PayloadStore payloads_{};
   std::size_t mask_ = 0;   // capacity - 1 (capacity is a power of two)
   std::size_t size_ = 0;   // live elements

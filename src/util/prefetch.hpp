@@ -1,0 +1,27 @@
+// Software-prefetch hint, used by the batched rewiring pipelines.
+//
+// The 2K/3K proposal loops are probe-bound: CSR row walks, edge-hash
+// lookups and histogram-bin pricing all chase cache-cold lines whose
+// addresses are known one pipeline stage before they are needed (a
+// drawn proposal names its four endpoints; a speculative journal names
+// the bins it will price).  Issuing a prefetch at that point overlaps
+// the miss latency with the work in between — see docs/parallel.md,
+// "Prefetch-batched proposal evaluation".
+//
+// The hint is best-effort and side-effect-free: compilers without
+// __builtin_prefetch compile it away, and prefetching can never change
+// results, only timing, so the determinism contract is untouched.
+#pragma once
+
+namespace orbis::util {
+
+/// Hints that `address` will be read soon (high temporal locality).
+inline void prefetch_read(const void* address) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(address, /*rw=*/0, /*locality=*/3);
+#else
+  (void)address;
+#endif
+}
+
+}  // namespace orbis::util

@@ -6,9 +6,12 @@
 namespace orbis::util {
 namespace {
 
+/// Parser with the test suite's declared value flags (--seeds, --temp);
+/// any other --flag is boolean.
 ArgParser make_parser(std::vector<const char*> args) {
   args.insert(args.begin(), "prog");
-  return ArgParser(static_cast<int>(args.size()), args.data());
+  return ArgParser(static_cast<int>(args.size()), args.data(),
+                   {"--seeds", "--temp"});
 }
 
 TEST(ArgParser, SpaceSeparatedValue) {
@@ -55,6 +58,65 @@ TEST(ArgParser, PositionalArguments) {
 TEST(ArgParser, ProgramName) {
   const auto parser = make_parser({});
   EXPECT_EQ(parser.program_name(), "prog");
+}
+
+// --- Regressions for the declared-value-flag protocol -----------------
+
+TEST(ArgParser, BooleanFlagDoesNotSwallowPositional) {
+  // The historical shape-guessing parser bound "input.txt" as --fast's
+  // value, losing the positional (`orbis_tool extract --gcc graph out`).
+  const auto parser = make_parser({"--fast", "input.txt", "out.txt"});
+  EXPECT_TRUE(parser.has_flag("--fast"));
+  EXPECT_EQ(parser.get_string("--fast", ""), "");
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "input.txt");
+  EXPECT_EQ(parser.positional()[1], "out.txt");
+}
+
+TEST(ArgParser, BooleanFlagInterleavedEveryPosition) {
+  for (const auto& argv : std::vector<std::vector<const char*>>{
+           {"--fast", "a", "b"}, {"a", "--fast", "b"}, {"a", "b", "--fast"}}) {
+    const auto parser = make_parser(argv);
+    EXPECT_TRUE(parser.has_flag("--fast"));
+    ASSERT_EQ(parser.positional().size(), 2u);
+    EXPECT_EQ(parser.positional()[0], "a");
+    EXPECT_EQ(parser.positional()[1], "b");
+  }
+}
+
+TEST(ArgParser, UndeclaredFlagWithEqualsStillBindsValue) {
+  // `=` is explicit intent, declared or not.
+  const auto parser = make_parser({"--fast=yes"});
+  EXPECT_EQ(parser.get_string("--fast", ""), "yes");
+}
+
+TEST(ArgParser, ValueFlagAtEndOfLineIsBare) {
+  const auto parser = make_parser({"--seeds"});
+  EXPECT_TRUE(parser.has_flag("--seeds"));
+  EXPECT_EQ(parser.get_int("--seeds", 4), 4);  // no value -> fallback
+}
+
+TEST(ArgParser, ValueFlagBeforeAnotherFlagStaysBare) {
+  const auto parser = make_parser({"--seeds", "--fast"});
+  EXPECT_TRUE(parser.has_flag("--seeds"));
+  EXPECT_TRUE(parser.has_flag("--fast"));
+  EXPECT_EQ(parser.get_int("--seeds", 4), 4);
+}
+
+TEST(ArgParser, IntRejectsTrailingGarbage) {
+  const auto parser = make_parser({"--seeds", "10x"});
+  EXPECT_THROW(parser.get_int("--seeds", 1), std::invalid_argument);
+}
+
+TEST(ArgParser, DoubleRejectsTrailingGarbage) {
+  const auto parser = make_parser({"--temp", "0.5oops"});
+  EXPECT_THROW(parser.get_double("--temp", 1.0), std::invalid_argument);
+}
+
+TEST(ArgParser, StrictParsingStillAcceptsWellFormedNumbers) {
+  const auto parser = make_parser({"--seeds", "-12", "--temp", "2.5e-3"});
+  EXPECT_EQ(parser.get_int("--seeds", 1), -12);
+  EXPECT_DOUBLE_EQ(parser.get_double("--temp", 0.0), 2.5e-3);
 }
 
 TEST(TextTable, AlignsColumns) {

@@ -106,8 +106,11 @@ TEST(FlatTable, ReserveForKeepsHalfLoadFactor) {
 TEST(FlatTable, EmptyPayloadElidesStorage) {
   KeyOnlyTable table;
   table.reserve_for(7);
+  // Keys plus the control-byte array (with its kGroupWidth mirror
+  // tail); no payload bytes.
   EXPECT_EQ(table.capacity_bytes(),
-            table.capacity() * sizeof(std::uint64_t));
+            table.capacity() * sizeof(std::uint64_t) + table.capacity() +
+                KeyOnlyTable::kGroupWidth);
   insert_new(table, 5);
   EXPECT_TRUE(table.contains(5));
   EXPECT_FALSE(table.contains(6));
@@ -305,6 +308,117 @@ TEST(FlatTable, CountOccupancyChurn) {
     const std::size_t slot = table.find(key);
     ASSERT_NE(slot, CountTable::npos) << "key " << key;
     EXPECT_EQ(table.payload_at(slot), count);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Grouped vs scalar probe cross-checks.  find()/locate() dispatch to one
+// implementation per the ORBIS_SIMD build option, but BOTH are always
+// compiled and must agree slot-for-slot on every table state — that
+// equivalence is what makes SIMD and scalar builds bit-identical.
+// ---------------------------------------------------------------------------
+
+/// Asserts both probe paths agree for `key` on `table`'s current state.
+template <class Table>
+void expect_probes_agree(const Table& table, std::uint64_t key) {
+  ASSERT_EQ(table.find_grouped(key), table.find_scalar(key)) << "key " << key;
+  if (table.has_storage()) {
+    ASSERT_EQ(table.locate_grouped(key), table.locate_scalar(key))
+        << "key " << key;
+  }
+}
+
+TEST(FlatTable, GroupedProbeMatchesScalarUnderChurn) {
+  // Key-sentinel occupancy churn over a heavy-collision key universe;
+  // after every mutation, spot-check present and absent keys through
+  // both probe paths.
+  for (std::uint64_t seed : {3u, 555u}) {
+    SlotTable table;
+    std::unordered_map<std::uint64_t, std::uint32_t> model;
+    util::Rng rng(seed);
+    for (int step = 0; step < 8000; ++step) {
+      const std::uint64_t key = 1 + rng.uniform(200);
+      const auto it = model.find(key);
+      if (rng.bernoulli(0.5)) {
+        if (it == model.end()) {
+          insert_new(table, key, static_cast<std::uint32_t>(step));
+          model.emplace(key, static_cast<std::uint32_t>(step));
+        }
+      } else if (it != model.end()) {
+        table.erase_at(table.find(key));
+        model.erase(it);
+      }
+      expect_probes_agree(table, key);            // the key just touched
+      expect_probes_agree(table, 1 + rng.uniform(200));  // a random probe
+      expect_probes_agree(table, 1000 + step);    // a definitely-absent key
+    }
+    for (const auto& [key, payload] : model) {
+      const std::size_t slot = table.find_grouped(key);
+      ASSERT_NE(slot, SlotTable::npos);
+      EXPECT_EQ(table.payload_at(slot), payload);
+    }
+  }
+}
+
+TEST(FlatTable, GroupedProbeMatchesScalarCountOccupancy) {
+  // Payload-carried occupancy (the histogram regime, key 0 legal).
+  CountTable table;
+  table.grow();
+  util::Rng rng(7);
+  std::unordered_map<std::uint64_t, std::int64_t> model;
+  for (int step = 0; step < 8000; ++step) {
+    const std::uint64_t key = rng.uniform(150);  // includes key 0
+    if (rng.bernoulli(0.6)) {
+      const std::size_t slot = table.locate(key);
+      if (table.occupied(slot)) {
+        ++table.payload_at(slot);
+      } else {
+        table.occupy(slot, key, 1);
+        if (table.over_load_factor()) table.grow();
+      }
+      ++model[key];
+    } else if (model.count(key) != 0) {
+      const std::size_t slot = table.find(key);
+      ASSERT_NE(slot, CountTable::npos);
+      if (--table.payload_at(slot) == 0) table.erase_at(slot);
+      if (--model[key] == 0) model.erase(key);
+    }
+    expect_probes_agree(table, key);
+    expect_probes_agree(table, rng.uniform(150));
+  }
+}
+
+TEST(FlatTable, GroupedProbeAcrossWrappedGroup) {
+  // A minimum-capacity table (16 = exactly one group) makes every probe
+  // window wrap through the mirror tail: keys clustered at the last
+  // slots must be found whether the chain crosses slot 0 or not, and
+  // both probe paths must agree before and after a wrapped
+  // backward-shift erase.
+  for (std::size_t head : {12u, 14u, 15u}) {
+    SlotTable table;
+    table.reserve_for(4);
+    ASSERT_EQ(table.capacity(), 16u);
+    const std::size_t mask = table.capacity() - 1;
+    std::uint64_t cursor = 0;
+    std::vector<std::uint64_t> keys;
+    for (std::size_t i = 0; i < 6; ++i) {  // cluster wraps past slot 15
+      keys.push_back(key_with_home(head, mask, &cursor));
+      insert_new(table, keys.back(), static_cast<std::uint32_t>(i));
+    }
+    for (const std::uint64_t key : keys) expect_probes_agree(table, key);
+    // Absent keys homed inside and outside the wrapped cluster.
+    expect_probes_agree(table, key_with_home(head, mask, &cursor));
+    expect_probes_agree(table, key_with_home(1, mask, &cursor));
+    expect_probes_agree(table, key_with_home(8, mask, &cursor));
+
+    table.erase_at(table.find(keys[2]));
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      expect_probes_agree(table, keys[i]);
+      if (i == 2) continue;
+      const std::size_t slot = table.find_grouped(keys[i]);
+      ASSERT_NE(slot, SlotTable::npos) << "head " << head << " key " << i;
+      EXPECT_EQ(table.payload_at(slot), static_cast<std::uint32_t>(i));
+    }
   }
 }
 
