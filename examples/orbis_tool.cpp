@@ -27,27 +27,66 @@
 //   orbis_tool compare  <a.edges> <b.edges>          metric bundle + D_d
 //
 // Common flags: --seed S (default 1), --gcc (reduce output to the GCC).
+//
+// Fault tolerance (docs/robustness.md): targeting runs checkpoint with
+//   --checkpoint F            write a resumable checkpoint to F at every
+//                             leg boundary (atomic temp+rename writes)
+//   --checkpoint-every N      leg length in attempts (default: budget/10)
+//   --resume F                continue a checkpointed run; the final
+//                             graph is bit-identical to the
+//                             uninterrupted run's
+//   --stop-after-checkpoints N   test seam: request a stop after the
+//                             N-th checkpoint write (deterministic kill)
+// SIGINT/SIGTERM request a cooperative stop: the run winds down at the
+// next batch boundary, the last completed checkpoint is kept, and the
+// tool exits 130.  A second signal kills immediately (default action).
+//
+// Exit codes: 0 success; 1 unexpected error; 2 usage/parse errors;
+// 3 I/O errors; 4 resource exhaustion; 130 interrupted.
 
+#include <algorithm>
+#include <csignal>
 #include <cstdio>
+#include <new>
 #include <string>
 
 #include "core/rescale.hpp"
 #include "core/series.hpp"
+#include "gen/checkpoint.hpp"
 #include "gen/generate.hpp"
+#include "gen/matching.hpp"
 #include "gen/rewiring.hpp"
 #include "graph/algorithms.hpp"
+#include "io/checkpoint_io.hpp"
 #include "io/chunked_edge_reader.hpp"
 #include "io/dk_serialization.hpp"
 #include "io/dot.hpp"
 #include "io/edge_list.hpp"
 #include "metrics/summary.hpp"
 #include "util/cli.hpp"
+#include "util/errors.hpp"
 #include "util/memory.hpp"
+#include "util/stop_token.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace orbis;
+
+/// Process-wide cooperative stop, flipped by the signal handler and
+/// polled by every long-running chain (util/stop_token.hpp).
+util::StopSource g_stop;
+volatile std::sig_atomic_t g_signal = 0;
+
+void handle_signal(int sig) {
+  g_signal = sig;
+  g_stop.request_stop();  // relaxed atomic store: async-signal-safe
+  // Restore the default action so a second signal terminates
+  // immediately — the escape hatch if cooperative shutdown wedges.
+  std::signal(sig, SIG_DFL);
+}
+
+constexpr int kExitInterrupted = 130;  // 128 + SIGINT, the shell convention
 
 int usage() {
   std::fprintf(stderr,
@@ -104,11 +143,15 @@ int cmd_extract(const util::ArgParser& args) {
                    streamed.skipped_self_loops,
                    streamed.skipped_duplicates);
     }
+    // peak_rss_bytes is optional: /proc may be unreadable (containers,
+    // hardened kernels) and "0 KiB" would be a lie.
+    const auto rss = util::peak_rss_bytes();
+    const std::string rss_text =
+        rss ? std::to_string(*rss / 1024) + " KiB"
+            : std::string("unavailable");
     std::fprintf(stderr,
-                 "streaming extract: %zu KiB accumulators, %zu KiB peak "
-                 "RSS\n",
-                 streamed.peak_accumulator_bytes / 1024,
-                 util::peak_rss_bytes() / 1024);
+                 "streaming extract: %zu KiB accumulators, %s peak RSS\n",
+                 streamed.peak_accumulator_bytes / 1024, rss_text.c_str());
     dists = std::move(streamed.distributions);
   }
 
@@ -152,6 +195,131 @@ gen::Method parse_method(const std::string& name) {
   throw std::invalid_argument("unknown method: " + name);
 }
 
+/// Checkpointed targeting run (--checkpoint / --resume).  Fresh runs
+/// bootstrap exactly as gen::generate_dk_random's targeting path does
+/// (matching_1k, then for d=3 the 2K stage) and then hand the long
+/// targeting walk to the leg driver, writing a durable checkpoint at
+/// every boundary.  Resumes skip the bootstrap entirely: the checkpoint
+/// holds each chain's graph, Rng state, stats and attempt count, and
+/// resuming is bit-identical to the uninterrupted run (gen/checkpoint.hpp).
+Graph generate_checkpointed(const util::ArgParser& args,
+                            const dk::DkDistributions& target, int d,
+                            const gen::GenerateOptions& options,
+                            util::Rng& rng, bool& interrupted) {
+  const std::string checkpoint_path = args.get_string("--checkpoint", "");
+  const std::string resume_path = args.get_string("--resume", "");
+  // Resume keeps writing to its own file unless redirected.
+  const std::string save_path =
+      checkpoint_path.empty() ? resume_path : checkpoint_path;
+
+  if (options.method != gen::Method::targeting || (d != 2 && d != 3)) {
+    throw std::invalid_argument(
+        "--checkpoint/--resume require --method targeting with --d 2 or "
+        "--d 3 (the long rewiring chains are what checkpoints cover)");
+  }
+
+  gen::RunCheckpoint state;
+  if (!resume_path.empty()) {
+    state = io::read_checkpoint_file(resume_path);
+    if (state.d != d) {
+      throw std::invalid_argument(
+          "--resume checkpoint targets d=" + std::to_string(state.d) +
+          " but the command line says --d " + std::to_string(d));
+    }
+    if (args.get_int("--checkpoint-every", 0) > 0) {
+      std::fprintf(stderr,
+                   "note: --checkpoint-every ignored on resume — the leg "
+                   "cadence is part of the run and comes from the "
+                   "checkpoint\n");
+    }
+    std::fprintf(stderr, "resuming %s: %llu/%llu attempts per chain, "
+                         "%zu chain(s)\n",
+                 resume_path.c_str(),
+                 static_cast<unsigned long long>(
+                     state.chains[0].attempts_done),
+                 static_cast<unsigned long long>(state.budget),
+                 state.chains.size());
+  } else {
+    Graph start = gen::matching_1k(target.degree, rng);
+    if (d == 3) {
+      // The 2K stage is the cheap prefix of the 3K pipeline; it runs
+      // un-checkpointed and the checkpoint covers the long 3K walk.
+      const std::size_t chains =
+          gen::default_chain_count(options.chains.chains);
+      start = chains == 1
+                  ? gen::target_2k(start, target.joint, options.targeting,
+                                   rng)
+                  : gen::target_2k_multichain(
+                        start, target.joint, options.targeting,
+                        gen::MultiChainOptions{.chains = chains}, rng);
+      if (g_stop.stop_requested()) {
+        // Interrupted before the first checkpointable state existed;
+        // nothing durable to leave behind.
+        interrupted = true;
+        return Graph(0);
+      }
+    }
+    const std::uint64_t every = parse_count(args, "--checkpoint-every", 0);
+    state = d == 2 ? gen::make_2k_run(start, options.targeting,
+                                      options.chains, every, rng)
+                   : gen::make_3k_run(start, options.targeting,
+                                      options.chains, every, rng);
+    if (every == 0) {
+      // Default cadence: ten legs across the budget.  Recorded in the
+      // checkpoint, because the cadence is part of the run's identity.
+      state.checkpoint_every = std::max<std::uint64_t>(state.budget / 10, 1);
+    }
+  }
+
+  gen::CheckpointOptions checkpointing;
+  checkpointing.stop = g_stop.token();
+  const std::size_t stop_after =
+      parse_count(args, "--stop-after-checkpoints", 0);
+  std::size_t written = 0;
+  checkpointing.on_checkpoint = [&](const gen::RunCheckpoint& snapshot) {
+    io::write_checkpoint_file(save_path, snapshot);
+    ++written;
+    std::fprintf(stderr, "checkpoint %zu: %llu/%llu attempts -> %s\n",
+                 written,
+                 static_cast<unsigned long long>(
+                     snapshot.chains[0].attempts_done),
+                 static_cast<unsigned long long>(snapshot.budget),
+                 save_path.c_str());
+    if (stop_after > 0 && written >= stop_after) g_stop.request_stop();
+  };
+
+  const gen::CheckpointedResult run =
+      d == 2 ? gen::run_checkpointed_2k(state, target.joint,
+                                        options.targeting, checkpointing)
+             : gen::run_checkpointed_3k(state, target.three_k,
+                                        options.targeting, checkpointing);
+  if (run.interrupted) {
+    // `state` snapped back to the last completed boundary; re-writing it
+    // is idempotent but guarantees a resume point exists even when the
+    // stop landed inside the very first leg.
+    io::write_checkpoint_file(save_path, state);
+    if (g_signal != 0) {
+      std::fprintf(stderr, "caught signal %d\n",
+                   static_cast<int>(g_signal));
+    }
+    std::fprintf(stderr,
+                 "interrupted at %llu/%llu attempts per chain; resume "
+                 "with: orbis_tool generate ... --resume %s\n",
+                 static_cast<unsigned long long>(run.attempts_done),
+                 static_cast<unsigned long long>(state.budget),
+                 save_path.c_str());
+    interrupted = true;
+    return Graph(0);
+  }
+  std::fprintf(stderr,
+               "targeting: best chain %zu, distance %.0f, %llu attempts "
+               "per chain, %llu accepted swaps\n",
+               run.best_chain, run.best_distance,
+               static_cast<unsigned long long>(run.attempts_done),
+               static_cast<unsigned long long>(run.total_stats.accepted));
+  return run.graph;
+}
+
 int cmd_generate(const util::ArgParser& args, util::Rng& rng) {
   const int d = static_cast<int>(args.get_int("--d", 2));
   const std::string out = args.get_string("--out", "");
@@ -160,16 +328,30 @@ int cmd_generate(const util::ArgParser& args, util::Rng& rng) {
     return 2;
   }
 
+  const bool checkpointed = !args.get_string("--checkpoint", "").empty() ||
+                            !args.get_string("--resume", "").empty();
+
   Graph result;
   const std::string like = args.get_string("--like", "");
   if (!like.empty()) {
+    if (checkpointed) {
+      throw std::invalid_argument(
+          "--checkpoint/--resume do not apply to --like randomizing runs");
+    }
     // dK-randomizing rewiring of an original graph.
     const Graph original = load(like, /*gcc=*/false);
     gen::RandomizeOptions options;
     options.d = d;
     options.workers = parse_count(args, "--workers", 1);
+    options.stop = g_stop.token();
     gen::RewiringStats stats;
     result = gen::randomize(original, options, rng, &stats);
+    if (g_stop.stop_requested()) {
+      std::fprintf(stderr,
+                   "generate: interrupted before completion; no output "
+                   "written\n");
+      return kExitInterrupted;
+    }
     std::fprintf(stderr, "randomized: %llu/%llu swaps accepted\n",
                  static_cast<unsigned long long>(stats.accepted),
                  static_cast<unsigned long long>(stats.attempts));
@@ -208,8 +390,22 @@ int cmd_generate(const util::ArgParser& args, util::Rng& rng) {
     // chain fan-out regardless of the machine.
     options.chains.chains = parse_count(args, "--chains", 0);
     options.targeting.workers = parse_count(args, "--workers", 1);
+    options.targeting.stop = g_stop.token();
     apply_objective_flags(args, options.targeting);
-    result = gen::generate_dk_random(target, d, options, rng);
+    if (checkpointed) {
+      bool interrupted = false;
+      result = generate_checkpointed(args, target, d, options, rng,
+                                     interrupted);
+      if (interrupted) return kExitInterrupted;
+    } else {
+      result = gen::generate_dk_random(target, d, options, rng);
+      if (g_stop.stop_requested()) {
+        std::fprintf(stderr,
+                     "generate: interrupted before completion; no output "
+                     "written (use --checkpoint for resumable runs)\n");
+        return kExitInterrupted;
+      }
+    }
   }
 
   if (args.has_flag("--gcc")) {
@@ -278,9 +474,18 @@ int main(int argc, char** argv) {
       argc, argv,
       {"--seed", "--buffer-kb", "--d", "--out", "--like", "--from-1k",
        "--from-2k", "--from-3k", "--method", "--chains", "--workers",
-       "--objective", "--memory-budget-mb", "--dot", "--nodes"});
+       "--objective", "--memory-budget-mb", "--dot", "--nodes",
+       "--checkpoint", "--checkpoint-every", "--resume",
+       "--stop-after-checkpoints"});
   if (args.positional().empty()) return usage();
   const std::string& command = args.positional()[0];
+
+  // Cooperative shutdown: the first SIGINT/SIGTERM flips the stop token
+  // and the run winds down at the next batch/leg boundary (flushing a
+  // final checkpoint when one is configured); the second one kills.
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
   try {
     // Inside the try: a malformed --seed (strict parsing) must report
     // like any other bad flag, not escape main and terminate.
@@ -290,6 +495,21 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(args, rng);
     if (command == "rescale") return cmd_rescale(args, rng);
     if (command == "compare") return cmd_compare(args);
+  } catch (const Error& error) {
+    // The structured taxonomy (util/errors.hpp) carries its own exit
+    // code: parse 2, I/O 3, resource 4, interrupted 130.
+    std::fprintf(stderr, "orbis_tool %s: %s\n", command.c_str(),
+                 error.what());
+    return error.exit_code();
+  } catch (const std::bad_alloc&) {
+    std::fprintf(stderr, "orbis_tool %s: out of memory\n", command.c_str());
+    return exit_code_for(ErrorCategory::resource);
+  } catch (const std::invalid_argument& error) {
+    // CLI-level validation (bad flag values, unknown method): usage
+    // errors, same exit class as malformed input.
+    std::fprintf(stderr, "orbis_tool %s: %s\n", command.c_str(),
+                 error.what());
+    return 2;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "orbis_tool %s: %s\n", command.c_str(),
                  error.what());

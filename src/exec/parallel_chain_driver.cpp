@@ -6,7 +6,8 @@ namespace orbis::exec {
 
 void ParallelChainDriver::run(
     std::size_t chains, util::Rng& rng,
-    const std::function<void(std::size_t, util::Rng&)>& body) {
+    const std::function<void(std::size_t, util::Rng&)>& body,
+    util::StopToken stop) {
   util::expects(chains > 0, "ParallelChainDriver: need at least one chain");
 
   // One draw fixes the master state; every chain stream is a pure
@@ -18,7 +19,11 @@ void ParallelChainDriver::run(
   std::vector<std::function<void()>> tasks;
   tasks.reserve(chains);
   for (std::size_t chain = 0; chain < chains; ++chain) {
-    tasks.emplace_back([&body, &master, chain]() {
+    tasks.emplace_back([&body, &master, chain, stop]() {
+      // Queued-but-unstarted chains drain without running once a stop is
+      // requested; their Rng stream is never derived, so the chains that
+      // DID run are unaffected.
+      if (stop.stop_requested()) return;
       util::Rng chain_rng = master.stream(chain);
       body(chain, chain_rng);
     });

@@ -20,6 +20,7 @@
 
 #include "exec/thread_pool.hpp"
 #include "util/rng.hpp"
+#include "util/stop_token.hpp"
 
 namespace orbis::exec {
 
@@ -34,8 +35,14 @@ class ParallelChainDriver {
   /// and blocks until all complete.  `rng` is advanced exactly once
   /// regardless of chain count; chain_rng for chain i is
   /// Rng(rng.next()).stream(i).
+  ///
+  /// `stop` (util/stop_token.hpp) cancels cooperatively: a chain whose
+  /// task starts after the stop request returns without invoking `body`
+  /// at all; chains already inside `body` are the body's own
+  /// responsibility (thread the same token into its inner loop).
   void run(std::size_t chains, util::Rng& rng,
-           const std::function<void(std::size_t, util::Rng&)>& body);
+           const std::function<void(std::size_t, util::Rng&)>& body,
+           util::StopToken stop = {});
 
  private:
   ThreadPool* pool_;

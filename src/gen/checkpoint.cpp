@@ -1,0 +1,207 @@
+#include "gen/checkpoint.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "exec/thread_pool.hpp"
+#include "gen/rewiring_engine.hpp"
+#include "util/check.hpp"
+
+namespace orbis::gen {
+
+namespace {
+
+std::size_t budget_of(const TargetingOptions& options, std::size_t m) {
+  return options.attempts > 0 ? options.attempts
+                              : options.attempts_per_edge * m;
+}
+
+/// Distinct degree values of g — the class count the dense-vs-sparse
+/// heuristic prices.  (EdgeIndex computes the same thing; this avoids
+/// building a full index just to pin the backend.)
+std::uint32_t distinct_degree_count(const Graph& g) {
+  std::vector<std::uint8_t> seen(g.max_degree() + 1, 0);
+  std::uint32_t classes = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::uint8_t& flag = seen[g.degree(v)];
+    if (flag == 0) {
+      flag = 1;
+      ++classes;
+    }
+  }
+  return classes;
+}
+
+RunCheckpoint make_run(int d, const Graph& start,
+                       const TargetingOptions& options,
+                       const MultiChainOptions& chain_options,
+                       std::uint64_t checkpoint_every, util::Rng& rng) {
+  RunCheckpoint state;
+  state.d = d;
+  state.budget = budget_of(options, start.num_edges());
+  state.checkpoint_every = checkpoint_every;
+  state.backend =
+      d == 2 ? resolve_objective_backend(options.objective,
+                                         distinct_degree_count(start),
+                                         options.memory_budget_mb)
+             : options.objective;
+
+  // Seeding mirrors ParallelChainDriver::run exactly: one draw from the
+  // caller's Rng forms the master, chain i gets master.stream(i).  A
+  // checkpointed run with the same seed therefore derives the same
+  // chain streams as the non-checkpointed multichain driver.
+  const std::size_t chains = default_chain_count(chain_options.chains);
+  const util::Rng master(rng.next());
+  state.chains.resize(chains);
+  for (std::size_t chain = 0; chain < chains; ++chain) {
+    state.chains[chain].rng_state = master.stream(chain).state_words();
+    state.chains[chain].graph = start;
+  }
+  return state;
+}
+
+/// The leg loop shared by the 2K and 3K drivers.  `run_leg(chain, leg)`
+/// advances one chain by `leg` attempts from its canonical state and
+/// re-canonicalizes it.
+template <typename RunLeg>
+CheckpointedResult run_legs(RunCheckpoint& state,
+                            const CheckpointOptions& checkpointing,
+                            double stop_distance, RunLeg run_leg) {
+  util::expects(!state.chains.empty(),
+                "run_checkpointed: checkpoint has no chains");
+  for (const auto& chain : state.chains) {
+    util::expects(chain.attempts_done == state.chains[0].attempts_done,
+                  "run_checkpointed: chains out of step (corrupt state?)");
+  }
+
+  CheckpointedResult result;
+  const std::uint64_t every =
+      state.checkpoint_every > 0 ? state.checkpoint_every : state.budget;
+
+  while (state.chains[0].attempts_done < state.budget) {
+    if (checkpointing.stop.stop_requested()) {
+      result.interrupted = true;
+      break;
+    }
+    const std::uint64_t done = state.chains[0].attempts_done;
+    const std::uint64_t leg = std::min<std::uint64_t>(
+        every > 0 ? every : 1, state.budget - done);
+
+    // Mid-leg interrupts discard the leg: keep the boundary state so a
+    // stop observed below can snap back to it.  Without a stop token no
+    // interrupt can happen, so skip the copies.
+    std::vector<ChainCheckpoint> boundary;
+    if (checkpointing.stop.stop_possible()) boundary = state.chains;
+
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(state.chains.size());
+    for (std::size_t i = 0; i < state.chains.size(); ++i) {
+      ChainCheckpoint& chain = state.chains[i];
+      tasks.emplace_back([&chain, &run_leg, leg, stop_distance]() {
+        // A converged chain idles through remaining legs: target_* would
+        // return immediately without touching the Rng, so skip the
+        // rebuild entirely.  attempts_done still advances — leg cadence
+        // is uniform across chains by construction.
+        if (static_cast<double>(chain.distance) > stop_distance) {
+          run_leg(chain, leg);
+        }
+        chain.attempts_done += leg;
+      });
+    }
+    exec::shared_pool().run_tasks(tasks);
+
+    if (checkpointing.stop.stop_requested()) {
+      // The leg bodies bailed early (or ran to completion — either way
+      // the cadence is broken): revert to the boundary, report
+      // interrupted.  The caller's last on_checkpoint write is still the
+      // truth on disk.
+      if (!boundary.empty()) state.chains = std::move(boundary);
+      result.interrupted = true;
+      break;
+    }
+    if (checkpointing.on_checkpoint) checkpointing.on_checkpoint(state);
+  }
+
+  // Best chain: lowest distance, ties to the lowest id — same rule as
+  // run_multichain, so the winner is scheduling-independent.
+  std::size_t best = 0;
+  for (std::size_t chain = 1; chain < state.chains.size(); ++chain) {
+    if (state.chains[chain].distance < state.chains[best].distance) {
+      best = chain;
+    }
+  }
+  result.best_chain = best;
+  result.best_distance = static_cast<double>(state.chains[best].distance);
+  result.graph = state.chains[best].graph;
+  result.attempts_done = state.chains[0].attempts_done;
+  for (const auto& chain : state.chains) {
+    const RewiringStats& s = chain.stats;
+    result.total_stats.attempts += s.attempts;
+    result.total_stats.accepted += s.accepted;
+    result.total_stats.rejected_structural += s.rejected_structural;
+    result.total_stats.rejected_constraint += s.rejected_constraint;
+    result.total_stats.rejected_objective += s.rejected_objective;
+    result.total_stats.conflict_reevaluations += s.conflict_reevaluations;
+  }
+  return result;
+}
+
+}  // namespace
+
+RunCheckpoint make_2k_run(const Graph& start, const TargetingOptions& options,
+                          const MultiChainOptions& chains,
+                          std::uint64_t checkpoint_every, util::Rng& rng) {
+  return make_run(2, start, options, chains, checkpoint_every, rng);
+}
+
+RunCheckpoint make_3k_run(const Graph& start, const TargetingOptions& options,
+                          const MultiChainOptions& chains,
+                          std::uint64_t checkpoint_every, util::Rng& rng) {
+  return make_run(3, start, options, chains, checkpoint_every, rng);
+}
+
+CheckpointedResult run_checkpointed_2k(
+    RunCheckpoint& state, const dk::JointDegreeDistribution& target,
+    const TargetingOptions& options, const CheckpointOptions& checkpointing) {
+  util::expects(state.d == 2, "run_checkpointed_2k: checkpoint is not a "
+                              "2K run");
+  TargetingOptions leg_options = options;
+  leg_options.objective = state.backend;  // pinned at run start
+  leg_options.stop = checkpointing.stop;  // mid-leg bail; leg is discarded
+  return run_legs(
+      state, checkpointing, options.stop_distance,
+      [&](ChainCheckpoint& chain, std::uint64_t leg) {
+        util::Rng rng = util::Rng::from_state_words(chain.rng_state);
+        // Rebuild from the canonical edge list — the same rebuild a
+        // resume performs, which is the whole determinism argument.
+        RewiringEngine engine(chain.graph);
+        chain.distance = engine.target_2k(target, leg_options, leg, rng,
+                                          &chain.stats);
+        chain.graph = engine.graph();
+        chain.rng_state = rng.state_words();
+      });
+}
+
+CheckpointedResult run_checkpointed_3k(RunCheckpoint& state,
+                                       const dk::ThreeKProfile& target,
+                                       const TargetingOptions& options,
+                                       const CheckpointOptions& checkpointing) {
+  util::expects(state.d == 3, "run_checkpointed_3k: checkpoint is not a "
+                              "3K run");
+  TargetingOptions leg_options = options;
+  // Chains already occupy the pool; the leg bodies must stay serial.
+  leg_options.workers = 1;
+  leg_options.stop = checkpointing.stop;
+  return run_legs(
+      state, checkpointing, options.stop_distance,
+      [&](ChainCheckpoint& chain, std::uint64_t leg) {
+        util::Rng rng = util::Rng::from_state_words(chain.rng_state);
+        ThreeKRewirer rewirer(chain.graph);
+        chain.distance =
+            rewirer.target(target, leg_options, leg, rng, &chain.stats);
+        chain.graph = rewirer.graph();
+        chain.rng_state = rng.state_words();
+      });
+}
+
+}  // namespace orbis::gen

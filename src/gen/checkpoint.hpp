@@ -1,0 +1,137 @@
+// Checkpoint/resume for long targeting runs (docs/robustness.md).
+//
+// A checkpointed run is structured as LEGS of `checkpoint_every`
+// attempts.  At every leg boundary each chain's state is reduced to its
+// canonical form — the edge list (slot order), the Rng's four state
+// words, the cumulative RewiringStats and the attempt count — and the
+// engine is rebuilt from scratch for the next leg.  That
+// canonicalize-at-every-boundary discipline is what makes resume exact:
+//
+//   kill at ANY boundary + resume  ==  the uninterrupted checkpointed
+//   run, bit-identical final graph, distance and stats,
+//
+// because resuming IS what the uninterrupted run does at that boundary
+// anyway (rebuild from the canonical form).  Nothing history-dependent
+// (EdgeIndex bucket order, hash layout, objective deviating-list order)
+// is ever serialized, so there is nothing to drift.
+//
+// The flip side: `checkpoint_every` is part of the run's identity, like
+// the seed.  A run checkpointed every 10k attempts and one checkpointed
+// every 50k walk (equally valid) different chains, because the rebuild
+// boundaries fall elsewhere.  Resume therefore takes its cadence from
+// the checkpoint, never from the command line.
+//
+// Cancellation: the driver polls CheckpointOptions::stop between legs
+// and passes it into the leg bodies.  A stop mid-leg discards that
+// leg's partial work — the RunCheckpoint snaps back to the last
+// completed boundary — so an interrupt can never publish mid-leg state
+// that a resume could not reproduce.
+//
+// File format and I/O live in io/checkpoint_io.hpp; this header is the
+// in-memory model and the drivers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "core/joint_degree_distribution.hpp"
+#include "core/three_k_profile.hpp"
+#include "gen/rewiring.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "util/stop_token.hpp"
+
+namespace orbis::gen {
+
+/// Canonical state of one chain at a leg boundary.
+struct ChainCheckpoint {
+  std::uint64_t attempts_done = 0;
+  std::array<std::uint64_t, 4> rng_state{};  // util::Rng::state_words
+  RewiringStats stats;                       // cumulative over all legs
+  /// Exact integer D_d after the last completed leg; the max sentinel
+  /// marks a chain that has not run yet (the objective rebuild computes
+  /// the true distance on first contact).
+  std::int64_t distance = std::numeric_limits<std::int64_t>::max();
+  Graph graph;
+};
+
+/// Everything a resume needs, minus the target distribution (which the
+/// caller re-reads from its own file — targets are inputs, not state).
+struct RunCheckpoint {
+  static constexpr std::uint32_t kVersion = 1;
+
+  int d = 2;                          // targeted series level: 2 | 3
+  std::uint64_t budget = 0;           // total attempts per chain
+  std::uint64_t checkpoint_every = 0; // leg length; 0 = one single leg
+  /// 2K only: the ΔD2 backend, resolved ONCE at run start and pinned so
+  /// every leg (and every resume) prices swaps through the same storage.
+  /// Dense and sparse walk bit-identical chains regardless — pinning is
+  /// a perf-consistency guarantee, not a correctness one.
+  ObjectiveBackend backend = ObjectiveBackend::automatic;
+  std::vector<ChainCheckpoint> chains;
+
+  /// True once every chain has consumed the full budget.
+  bool finished() const noexcept {
+    for (const auto& chain : chains) {
+      if (chain.attempts_done < budget) return false;
+    }
+    return !chains.empty();
+  }
+};
+
+struct CheckpointOptions {
+  /// Invoked with the updated RunCheckpoint after every completed leg
+  /// (typically: write it to disk via io::write_checkpoint_file).
+  std::function<void(const RunCheckpoint&)> on_checkpoint;
+  /// Polled between legs and passed into the leg bodies; a requested
+  /// stop discards the current leg's partial work and returns with
+  /// `interrupted` set, the RunCheckpoint at the last boundary.
+  util::StopToken stop{};
+};
+
+struct CheckpointedResult {
+  Graph graph;  // best chain's graph at the point the run ended
+  std::size_t best_chain = 0;
+  double best_distance = 0.0;
+  RewiringStats total_stats;  // summed over chains
+  bool interrupted = false;   // stopped before the budget ran out
+  std::uint64_t attempts_done = 0;  // per chain, at the returned state
+};
+
+/// Builds the leg-0 RunCheckpoint for a fresh 2K targeting run: resolves
+/// the chain count (MultiChainOptions) and budget (TargetingOptions)
+/// exactly as target_2k_multichain would, seeds chain i with
+/// Rng(rng.next()).stream(i) (the ParallelChainDriver discipline), and
+/// pins the objective backend.  `start` must already have the target's
+/// degree sequence.
+RunCheckpoint make_2k_run(const Graph& start, const TargetingOptions& options,
+                          const MultiChainOptions& chains,
+                          std::uint64_t checkpoint_every, util::Rng& rng);
+
+/// Same for a 3K targeting run (no backend to pin).  `start` must
+/// already have the target's JDD.
+RunCheckpoint make_3k_run(const Graph& start, const TargetingOptions& options,
+                          const MultiChainOptions& chains,
+                          std::uint64_t checkpoint_every, util::Rng& rng);
+
+/// Runs `state` to completion (or interruption), leg by leg, chains in
+/// parallel on the shared pool.  `state` is updated in place and is
+/// always left at a leg boundary.  Fresh runs and resumes call the SAME
+/// function — a resume is indistinguishable from the uninterrupted run
+/// reaching that boundary.  `options` must carry the same chain
+/// parameters (temperature, guided_fraction, stop_distance, ...) the
+/// run was started with; attempts/attempts_per_edge and objective are
+/// taken from `state`, which is authoritative.
+CheckpointedResult run_checkpointed_2k(
+    RunCheckpoint& state, const dk::JointDegreeDistribution& target,
+    const TargetingOptions& options, const CheckpointOptions& checkpointing);
+
+CheckpointedResult run_checkpointed_3k(RunCheckpoint& state,
+                                       const dk::ThreeKProfile& target,
+                                       const TargetingOptions& options,
+                                       const CheckpointOptions& checkpointing);
+
+}  // namespace orbis::gen

@@ -1,17 +1,18 @@
 // Error types thrown by the construction algorithms.
+//
+// The concrete classes were consolidated into the shared taxonomy in
+// util/errors.hpp (categories parse/io/resource/interrupted with stable
+// CLI exit codes); this header remains so existing includes and the
+// orbis::gen::GenerationError spelling keep working.
 #pragma once
 
-#include <stdexcept>
-#include <string>
+#include "util/errors.hpp"
 
 namespace orbis::gen {
 
 /// A construction algorithm could not complete (e.g. an unrepairable
 /// matching deadlock, or an inconsistent target distribution).
-class GenerationError : public std::runtime_error {
- public:
-  explicit GenerationError(const std::string& message)
-      : std::runtime_error(message) {}
-};
+/// Category `resource` (CLI exit code 4).
+using GenerationError = orbis::GenerationError;
 
 }  // namespace orbis::gen

@@ -1,5 +1,7 @@
 #include "gen/rewiring.hpp"
 
+#include <cmath>
+
 #include <algorithm>
 
 #include "exec/thread_pool.hpp"
@@ -61,7 +63,7 @@ Graph randomize(const Graph& g, const RandomizeOptions& options,
     case 1:
     case 2: {
       RewiringEngine engine(g);
-      engine.randomize(options.d, budget, rng, stats);
+      engine.randomize(options.d, budget, rng, stats, options.stop);
       return engine.graph();
     }
     default: {
@@ -71,9 +73,9 @@ Graph randomize(const Graph& g, const RandomizeOptions& options,
             .workers = exec::resolve_workers(options.workers),
             .batch = options.batch};
         rewirer.randomize_parallel(budget, rng, exec::shared_pool(),
-                                   speculation, stats);
+                                   speculation, stats, options.stop);
       } else {
-        rewirer.randomize(budget, rng, stats);
+        rewirer.randomize(budget, rng, stats, options.stop);
       }
       return rewirer.graph();
     }
@@ -129,7 +131,8 @@ void accumulate(RewiringStats& total, const RewiringStats& chain) {
 }
 
 Graph finish_multichain(std::vector<ChainOutcome>& outcomes,
-                        std::size_t best, MultiChainResult* result) {
+                        std::size_t best, MultiChainResult* result,
+                        const Graph& start) {
   if (result != nullptr) {
     result->best_chain = best;
     result->best_distance = outcomes[best].distance;
@@ -138,6 +141,10 @@ Graph finish_multichain(std::vector<ChainOutcome>& outcomes,
       accumulate(result->total_stats, outcome.stats);
     }
   }
+  // A stop requested before any chain started leaves every outcome at
+  // the infinite sentinel with an empty graph; hand back the input
+  // unchanged rather than an empty husk.
+  if (std::isinf(outcomes[best].distance)) return start;
   return std::move(outcomes[best].graph);
 }
 
@@ -161,8 +168,8 @@ Graph target_2k_multichain(const Graph& start,
         outcome.graph = engine.graph();
         return outcome;
       },
-      outcomes);
-  return finish_multichain(outcomes, best, result);
+      outcomes, options.stop);
+  return finish_multichain(outcomes, best, result, start);
 }
 
 Graph target_3k_multichain(const Graph& start,
@@ -183,8 +190,8 @@ Graph target_3k_multichain(const Graph& start,
         outcome.graph = rewirer.graph();
         return outcome;
       },
-      outcomes);
-  return finish_multichain(outcomes, best, result);
+      outcomes, options.stop);
+  return finish_multichain(outcomes, best, result, start);
 }
 
 Graph explore(const Graph& g, ExploreObjective objective,

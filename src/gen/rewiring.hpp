@@ -28,6 +28,7 @@
 #include "gen/objective_backend.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
+#include "util/stop_token.hpp"
 
 namespace orbis::gen {
 
@@ -67,6 +68,10 @@ struct RandomizeOptions {
   /// docs/parallel.md.
   std::size_t workers = 1;
   std::size_t batch = 256;  // proposals per speculation round (workers != 1)
+  /// Cooperative cancellation (util/stop_token.hpp): the chain polls the
+  /// token at batch boundaries and returns early — with whatever graph
+  /// it has — once a stop is requested.  Default token never stops.
+  util::StopToken stop{};
 };
 
 /// dK-randomizing rewiring: returns a random graph with exactly the same
@@ -105,6 +110,14 @@ struct TargetingOptions {
   /// memory/speed trade.  CLI: orbis_tool --objective / --memory-budget-mb.
   ObjectiveBackend objective = ObjectiveBackend::automatic;
   std::size_t memory_budget_mb = 512;
+  /// Cooperative cancellation (util/stop_token.hpp): chains poll the
+  /// token at batch boundaries (serial paths every 1024 attempts, the
+  /// speculative path between rounds) and return early with the current
+  /// graph and distance.  A cancelled chain's result is usable but NOT
+  /// comparable to an uninterrupted run's; checkpointed drivers
+  /// (gen/checkpoint.hpp) discard mid-leg partial work instead, so
+  /// their resume determinism is unaffected.  Default token never stops.
+  util::StopToken stop{};
 };
 
 /// 2K-targeting 1K-preserving rewiring.  `start` must already have the

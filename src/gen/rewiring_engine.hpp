@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 
 #include "core/dk_state.hpp"
 #include "gen/objective.hpp"
@@ -53,9 +54,10 @@ class RewiringEngine {
 
   /// dK-randomizing rewiring at d = 1 or 2 (degree-preserving swaps; at
   /// d = 2 candidates come from the degree buckets, so every structurally
-  /// valid proposal already preserves the JDD).
+  /// valid proposal already preserves the JDD).  `stop` is polled every
+  /// 1024 attempts; a requested stop ends the run early.
   void randomize(int d, std::size_t budget, util::Rng& rng,
-                 RewiringStats* stats);
+                 RewiringStats* stats, util::StopToken stop = {});
 
   /// 2K-targeting 1K-preserving Metropolis rewiring.  Returns the exact
   /// integer D2 after the run.  The ΔD2 objective backend is resolved
@@ -120,8 +122,10 @@ class ThreeKRewirer {
   // stay at a stable address (DkState already suppresses copy/move).
 
   /// 3K-preserving randomization: bucket-drawn 2K-preserving candidates,
-  /// verified exactly against the wedge/triangle delta journal.
-  void randomize(std::size_t budget, util::Rng& rng, RewiringStats* stats);
+  /// verified exactly against the wedge/triangle delta journal.  `stop`
+  /// is polled every 1024 attempts.
+  void randomize(std::size_t budget, util::Rng& rng, RewiringStats* stats,
+                 util::StopToken stop = {});
 
   /// 3K-targeting 2K-preserving Metropolis rewiring; returns exact
   /// integer D3 after the run.
@@ -143,7 +147,7 @@ class ThreeKRewirer {
   void randomize_parallel(std::size_t budget, util::Rng& rng,
                           exec::ThreadPool& pool,
                           const SpeculationOptions& speculation,
-                          RewiringStats* stats);
+                          RewiringStats* stats, util::StopToken stop = {});
   std::int64_t target_parallel(const dk::ThreeKProfile& target,
                                const TargetingOptions& options,
                                std::size_t budget, util::Rng& rng,
@@ -180,13 +184,19 @@ class ThreeKRewirer {
 /// schedule further work on the shared pool.
 struct ChainOutcome {
   Graph graph;
-  double distance = 0.0;
+  /// Infinity until a chain body fills the slot, so a chain skipped by a
+  /// stop request never outranks one that actually ran.
+  double distance = std::numeric_limits<double>::infinity();
   RewiringStats stats;
 };
 
+/// `stop`: chains that have not started when a stop is requested are
+/// skipped entirely (their outcome keeps the infinite sentinel
+/// distance); running chains finish on their own cadence — pass the same
+/// token into their TargetingOptions to cut them short too.
 std::size_t run_multichain(
     std::size_t chains, util::Rng& rng,
     const std::function<ChainOutcome(std::size_t, util::Rng&)>& run_chain,
-    std::vector<ChainOutcome>& outcomes);
+    std::vector<ChainOutcome>& outcomes, util::StopToken stop = {});
 
 }  // namespace orbis::gen

@@ -80,11 +80,13 @@ bool journal_touches(const std::unordered_set<std::uint64_t>& dirty,
 void ThreeKRewirer::randomize_parallel(std::size_t budget, util::Rng& rng,
                                        exec::ThreadPool& pool,
                                        const SpeculationOptions& speculation,
-                                       RewiringStats* stats) {
+                                       RewiringStats* stats,
+                                       util::StopToken stop) {
   util::expects(state_.level() == dk::TrackLevel::full_three_k,
                 "ThreeKRewirer::randomize_parallel: needs full_three_k");
-  run_speculative(nullptr, TargetingOptions{}, budget, rng, pool,
-                  speculation, stats);
+  TargetingOptions options;
+  options.stop = stop;
+  run_speculative(nullptr, options, budget, rng, pool, speculation, stats);
 }
 
 std::int64_t ThreeKRewirer::target_parallel(
@@ -129,6 +131,10 @@ std::int64_t ThreeKRewirer::run_speculative(
 
   std::size_t drawn = 0;  // budget consumed (= serial attempt count)
   while (drawn < budget && !reached_stop() && index_.num_edges() >= 2) {
+    // Cooperative cancellation at round granularity: the committer is
+    // the only mutator, so between rounds is the one place a bail-out
+    // leaves the state consistent (never mid-commit).
+    if (options.stop.stop_requested()) break;
     ++round_id;
     dirty_bins.clear();
 

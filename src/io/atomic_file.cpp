@@ -1,0 +1,193 @@
+#include "io/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "io/fault_injection.hpp"
+#include "util/errors.hpp"
+
+namespace orbis::io {
+
+namespace {
+
+std::string errno_text(int err) {
+  return std::string(std::strerror(err)) + " (errno " + std::to_string(err) +
+         ")";
+}
+
+/// Directory part of `path` ("." for a bare filename) — for the
+/// directory fsync that makes the rename durable.
+std::string directory_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// write(2) the whole span, honoring the fault seam and retrying EINTR
+/// at the syscall level (the retry.hpp wrapper is for read paths whose
+/// operations are idempotent; a partial write must continue, not
+/// restart).
+void write_all(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    int injected = 0;
+    if (fault::should_fail(fault::Point::write, injected)) {
+      throw IoError("write failed: " + errno_text(injected), injected);
+    }
+    const ssize_t got = ::write(fd, data + written, size - written);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      throw IoError("write failed: " + errno_text(err), err);
+    }
+    written += static_cast<std::size_t>(got);
+  }
+}
+
+}  // namespace
+
+/// Buffered fd-backed streambuf: overflow/sync funnel into write_all,
+/// so every byte passes the fault seam and carries errno on failure.
+/// A failed write poisons the buf (ostream badbit) and records errno
+/// for commit() to report.
+class AtomicFileWriter::FdStreamBuf : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd), buffer_(1 << 16) {
+    setp(buffer_.data(), buffer_.data() + buffer_.size());
+  }
+
+  int fd() const noexcept { return fd_; }
+  int error() const noexcept { return error_; }
+
+  /// Flushes buffered bytes to the fd; false on failure.
+  bool flush_buffer() noexcept {
+    const auto pending = static_cast<std::size_t>(pptr() - pbase());
+    if (pending == 0) return true;
+    try {
+      write_all(fd_, pbase(), pending);
+    } catch (const IoError& e) {
+      error_ = e.errno_value() != 0 ? e.errno_value() : EIO;
+      return false;
+    }
+    setp(buffer_.data(), buffer_.data() + buffer_.size());
+    return true;
+  }
+
+  void close_fd() noexcept {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ protected:
+  int overflow(int ch) override {
+    if (error_ != 0 || !flush_buffer()) return traits_type::eof();
+    if (ch != traits_type::eof()) {
+      *pptr() = static_cast<char>(ch);
+      pbump(1);
+    }
+    return ch == traits_type::eof() ? 0 : ch;
+  }
+
+  int sync() override { return error_ == 0 && flush_buffer() ? 0 : -1; }
+
+ private:
+  int fd_;
+  int error_ = 0;
+  std::vector<char> buffer_;
+};
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)),
+      temp_path_(path_ + ".tmp." + std::to_string(::getpid())) {
+  const int fd = ::open(temp_path_.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    const int err = errno;
+    throw IoError("cannot open temp file for atomic write: " + temp_path_ +
+                      ": " + errno_text(err),
+                  err);
+  }
+  buffer_ = std::make_unique<FdStreamBuf>(fd);
+  stream_ = std::make_unique<std::ostream>(buffer_.get());
+}
+
+AtomicFileWriter::~AtomicFileWriter() { abort(); }
+
+void AtomicFileWriter::abort() noexcept {
+  if (buffer_ == nullptr) return;
+  buffer_->close_fd();
+  std::remove(temp_path_.c_str());
+  stream_.reset();
+  buffer_.reset();
+}
+
+void AtomicFileWriter::commit() {
+  if (committed_ || buffer_ == nullptr) {
+    throw IoError("AtomicFileWriter::commit: already committed or aborted");
+  }
+
+  // Flush the ostream layer, then the streambuf; a recorded write error
+  // (ENOSPC mid-run) surfaces here with its errno.
+  stream_->flush();
+  const bool flushed = buffer_->flush_buffer();
+  const int write_err = buffer_->error();
+  if (!flushed || write_err != 0 || stream_->bad()) {
+    const int err = write_err != 0 ? write_err : EIO;
+    abort();
+    throw IoError("write failed for " + path_ + ": " + errno_text(err), err);
+  }
+
+  // fsync the temp file: the rename must never publish bytes the disk
+  // has not accepted.
+  int injected = 0;
+  if (fault::should_fail(fault::Point::fsync, injected) ||
+      ::fsync(buffer_->fd()) != 0) {
+    const int err = injected != 0 ? injected : errno;
+    abort();
+    throw IoError("fsync failed for " + temp_path_ + ": " + errno_text(err),
+                  err);
+  }
+  buffer_->close_fd();
+
+  // Atomic publish.
+  if (fault::should_fail(fault::Point::rename_file, injected) ||
+      std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    const int err = injected != 0 ? injected : errno;
+    abort();
+    throw IoError("rename failed: " + temp_path_ + " -> " + path_ + ": " +
+                      errno_text(err),
+                  err);
+  }
+
+  // Directory fsync makes the rename itself durable.  Best-effort on
+  // filesystems that refuse O_RDONLY directory fsync: the content is
+  // already safe, only the directory entry could be lost on power cut.
+  const int dir_fd =
+      ::open(directory_of(path_).c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+
+  committed_ = true;
+  stream_.reset();
+  buffer_.reset();
+}
+
+void write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& fill) {
+  AtomicFileWriter writer(path);
+  fill(writer.stream());
+  writer.commit();
+}
+
+}  // namespace orbis::io

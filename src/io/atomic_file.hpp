@@ -1,0 +1,76 @@
+// Durable atomic file writes (docs/robustness.md, "Atomic-write
+// protocol").
+//
+// Every writer in this library that produces an output another process
+// (or a resumed run) will consume — edge lists, .1k/.2k/.3k
+// distribution files, checkpoints — goes through AtomicFileWriter:
+//
+//   1. write everything to `<path>.tmp.<pid>` in the same directory,
+//   2. flush + fsync the temp file,
+//   3. rename(2) it onto the final path (atomic within a filesystem),
+//   4. fsync the containing directory so the rename itself is durable.
+//
+// Consequence: the final path NEVER holds a half-written file.  At any
+// kill point the observer sees either the complete previous version or
+// the complete new one; a failure at any step (ENOSPC mid-write, fsync
+// error, rename error) throws orbis::IoError, removes the temp file,
+// and leaves the final path untouched.
+//
+// The writer exposes a std::ostream backed by an fd-writing streambuf,
+// so `write_1k(writer.stream(), dist)`-style code needs no changes and
+// write errors carry a real errno (the ofstream path would only report
+// badbit).  All syscalls consult the io::fault injection seam.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+
+namespace orbis::io {
+
+class AtomicFileWriter {
+ public:
+  /// Opens `<path>.tmp.<pid>` for writing; throws orbis::IoError if the
+  /// temp file cannot be created.
+  explicit AtomicFileWriter(std::string path);
+
+  /// Aborts (removes the temp file) unless commit() succeeded.
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Stream to write content through.  A write failure (e.g. ENOSPC)
+  /// sets badbit here and is re-reported with errno by commit().
+  std::ostream& stream() noexcept { return *stream_; }
+
+  /// Flush + fsync + rename + directory fsync.  Throws orbis::IoError
+  /// on any failure (after removing the temp file); afterwards the
+  /// writer is inert.  Calling commit() twice is an error.
+  void commit();
+
+  /// Removes the temp file without publishing.  Safe to call anytime;
+  /// idempotent.  The destructor calls this automatically.
+  void abort() noexcept;
+
+  const std::string& path() const noexcept { return path_; }
+  const std::string& temp_path() const noexcept { return temp_path_; }
+
+ private:
+  class FdStreamBuf;
+
+  std::string path_;
+  std::string temp_path_;
+  std::unique_ptr<FdStreamBuf> buffer_;
+  std::unique_ptr<std::ostream> stream_;
+  bool committed_ = false;
+};
+
+/// Convenience: `fill(stream)` then commit.  The common writer shape —
+///   write_file_atomic(path, [&](std::ostream& out) { write_2k(out, d); });
+void write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& fill);
+
+}  // namespace orbis::io

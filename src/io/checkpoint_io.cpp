@@ -1,0 +1,241 @@
+#include "io/checkpoint_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "io/atomic_file.hpp"
+#include "util/errors.hpp"
+
+namespace orbis::io {
+
+namespace {
+
+constexpr const char* kHeader = "# orbis checkpoint v1";
+
+void write_checkpoint(std::ostream& out, const gen::RunCheckpoint& state) {
+  out << kHeader << '\n';
+  out << "d " << state.d << '\n';
+  out << "budget " << state.budget << '\n';
+  out << "every " << state.checkpoint_every << '\n';
+  out << "backend " << gen::to_string(state.backend) << '\n';
+  out << "chains " << state.chains.size() << '\n';
+  for (std::size_t i = 0; i < state.chains.size(); ++i) {
+    const gen::ChainCheckpoint& chain = state.chains[i];
+    out << "chain " << i << '\n';
+    out << "attempts " << chain.attempts_done << '\n';
+    out << "rng " << chain.rng_state[0] << ' ' << chain.rng_state[1] << ' '
+        << chain.rng_state[2] << ' ' << chain.rng_state[3] << '\n';
+    const gen::RewiringStats& s = chain.stats;
+    out << "stats " << s.attempts << ' ' << s.accepted << ' '
+        << s.rejected_structural << ' ' << s.rejected_constraint << ' '
+        << s.rejected_objective << ' ' << s.conflict_reevaluations << '\n';
+    out << "distance " << chain.distance << '\n';
+    out << "graph " << chain.graph.num_nodes() << ' '
+        << chain.graph.num_edges() << '\n';
+    for (const Edge& e : chain.graph.edges()) {
+      out << e.u << ' ' << e.v << '\n';
+    }
+    out << "end chain\n";
+  }
+  out << "end checkpoint\n";
+}
+
+/// Line-at-a-time strict reader: every helper throws ParseError naming
+/// the file and line on the first deviation, and IoError if the stream
+/// fails mid-read (EOF is only EOF when the stream is good).
+class CheckpointParser {
+ public:
+  CheckpointParser(std::istream& in, std::string path)
+      : in_(in), path_(std::move(path)) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError("checkpoint " + path_ + " line " +
+                     std::to_string(line_number_) + ": " + what);
+  }
+
+  /// Next line, or a ParseError complaining about truncation — inside a
+  /// checkpoint every line is mandatory, so EOF mid-structure is always
+  /// a torn file.
+  const std::string& next_line(const char* expected) {
+    if (!std::getline(in_, line_)) {
+      if (in_.bad()) {
+        throw IoError("checkpoint " + path_ + ": read failed after line " +
+                      std::to_string(line_number_));
+      }
+      fail(std::string("unexpected end of file (expected ") + expected + ")");
+    }
+    ++line_number_;
+    if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+    return line_;
+  }
+
+  /// Parses "key v0 v1 ..." into exactly `count` uint64 values.
+  void keyed_u64s(const char* key, std::uint64_t* values, int count) {
+    next_line(key);
+    std::istringstream fields(line_);
+    std::string word;
+    if (!(fields >> word) || word != key) {
+      fail(std::string("expected '") + key + "' record, got: " + line_);
+    }
+    for (int i = 0; i < count; ++i) {
+      if (!(fields >> values[i])) {
+        fail(std::string("'") + key + "' record needs " +
+             std::to_string(count) + " value(s)");
+      }
+    }
+    expect_exhausted(fields, key);
+  }
+
+  std::uint64_t keyed_u64(const char* key) {
+    std::uint64_t value = 0;
+    keyed_u64s(key, &value, 1);
+    return value;
+  }
+
+  std::int64_t keyed_i64(const char* key) {
+    next_line(key);
+    std::istringstream fields(line_);
+    std::string word;
+    std::int64_t value = 0;
+    if (!(fields >> word) || word != key || !(fields >> value)) {
+      fail(std::string("expected '") + key + " <integer>', got: " + line_);
+    }
+    expect_exhausted(fields, key);
+    return value;
+  }
+
+  std::string keyed_word(const char* key) {
+    next_line(key);
+    std::istringstream fields(line_);
+    std::string word;
+    std::string value;
+    if (!(fields >> word) || word != key || !(fields >> value)) {
+      fail(std::string("expected '") + key + " <value>', got: " + line_);
+    }
+    expect_exhausted(fields, key);
+    return value;
+  }
+
+  void expect_literal(const char* literal) {
+    if (next_line(literal) != literal) {
+      fail(std::string("expected '") + literal + "', got: " + line_);
+    }
+  }
+
+  void expect_eof() {
+    if (std::getline(in_, line_)) {
+      ++line_number_;
+      fail("trailing content after 'end checkpoint'");
+    }
+    if (in_.bad()) {
+      throw IoError("checkpoint " + path_ + ": read failed at end");
+    }
+  }
+
+ private:
+  void expect_exhausted(std::istringstream& fields, const char* key) {
+    std::string extra;
+    if (fields >> extra) {
+      fail(std::string("trailing tokens on '") + key + "' record");
+    }
+  }
+
+  std::istream& in_;
+  std::string path_;
+  std::string line_;
+  std::size_t line_number_ = 0;
+};
+
+Graph read_graph(CheckpointParser& parser) {
+  std::uint64_t header[2] = {0, 0};
+  parser.keyed_u64s("graph", header, 2);
+  const std::uint64_t nodes = header[0];
+  const std::uint64_t edges = header[1];
+  if (nodes > std::numeric_limits<NodeId>::max()) {
+    parser.fail("node count out of range");
+  }
+  Graph g(static_cast<NodeId>(nodes));
+  g.reserve_edges(edges);
+  for (std::uint64_t i = 0; i < edges; ++i) {
+    const std::string& line = parser.next_line("edge line");
+    std::istringstream fields(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    std::string extra;
+    if (!(fields >> u >> v) || (fields >> extra)) {
+      parser.fail("expected edge 'u v', got: " + line);
+    }
+    if (u >= nodes || v >= nodes) parser.fail("edge endpoint out of range");
+    if (u == v) parser.fail("self-loop in checkpoint graph");
+    if (!g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v))) {
+      parser.fail("duplicate edge in checkpoint graph");
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+void write_checkpoint_file(const std::string& path,
+                           const gen::RunCheckpoint& state) {
+  write_file_atomic(path,
+                    [&](std::ostream& out) { write_checkpoint(out, state); });
+}
+
+gen::RunCheckpoint read_checkpoint_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open checkpoint file: " + path);
+  CheckpointParser parser(in, path);
+
+  parser.expect_literal(kHeader);
+  gen::RunCheckpoint state;
+  const std::uint64_t d = parser.keyed_u64("d");
+  if (d != 2 && d != 3) parser.fail("d must be 2 or 3");
+  state.d = static_cast<int>(d);
+  state.budget = parser.keyed_u64("budget");
+  state.checkpoint_every = parser.keyed_u64("every");
+  const std::string backend = parser.keyed_word("backend");
+  try {
+    state.backend = gen::parse_objective_backend(backend);
+  } catch (const std::invalid_argument&) {
+    parser.fail("unknown backend: " + backend);
+  }
+  const std::uint64_t chains = parser.keyed_u64("chains");
+  if (chains == 0) parser.fail("checkpoint must have at least one chain");
+
+  state.chains.resize(chains);
+  for (std::uint64_t i = 0; i < chains; ++i) {
+    gen::ChainCheckpoint& chain = state.chains[i];
+    if (parser.keyed_u64("chain") != i) parser.fail("chain ids out of order");
+    chain.attempts_done = parser.keyed_u64("attempts");
+    if (chain.attempts_done > state.budget) {
+      parser.fail("chain attempts exceed the run budget");
+    }
+    if (chain.attempts_done != state.chains[0].attempts_done) {
+      parser.fail("chains out of step (unequal attempts)");
+    }
+    parser.keyed_u64s("rng", chain.rng_state.data(), 4);
+    if (chain.rng_state[0] == 0 && chain.rng_state[1] == 0 &&
+        chain.rng_state[2] == 0 && chain.rng_state[3] == 0) {
+      parser.fail("all-zero rng state");
+    }
+    std::uint64_t stats[6] = {0, 0, 0, 0, 0, 0};
+    parser.keyed_u64s("stats", stats, 6);
+    chain.stats.attempts = stats[0];
+    chain.stats.accepted = stats[1];
+    chain.stats.rejected_structural = stats[2];
+    chain.stats.rejected_constraint = stats[3];
+    chain.stats.rejected_objective = stats[4];
+    chain.stats.conflict_reevaluations = stats[5];
+    chain.distance = parser.keyed_i64("distance");
+    chain.graph = read_graph(parser);
+    parser.expect_literal("end chain");
+  }
+  parser.expect_literal("end checkpoint");
+  parser.expect_eof();
+  return state;
+}
+
+}  // namespace orbis::io

@@ -1,13 +1,83 @@
 #include "io/chunked_edge_reader.hpp"
 
-#include <fstream>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <string_view>
 #include <vector>
 
 #include "io/edge_line.hpp"
+#include "io/fault_injection.hpp"
+#include "io/retry.hpp"
 #include "util/check.hpp"
+#include "util/errors.hpp"
 
 namespace orbis::io {
+
+namespace {
+
+std::string errno_text(int err) {
+  return std::string(std::strerror(err)) + " (errno " + std::to_string(err) +
+         ")";
+}
+
+struct FdGuard {
+  int fd = -1;
+  ~FdGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// open(2) for reading through the fault seam.  Transient injected
+/// failures are absorbed by the caller's retry policy.
+int open_for_read(const std::string& path, const RetryPolicy& policy) {
+  return retry_transient(policy, [&]() -> int {
+    int injected = 0;
+    if (fault::should_fail(fault::Point::open_read, injected)) {
+      throw IoError("cannot open edge list file: " + path + ": " +
+                        errno_text(injected),
+                    injected);
+    }
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      const int err = errno;
+      throw IoError("cannot open edge list file: " + path + ": " +
+                        errno_text(err),
+                    err);
+    }
+    return fd;
+  });
+}
+
+/// One buffered read(2).  Returns bytes read; 0 is EOF and ONLY EOF — a
+/// failing read throws IoError naming the byte offset, it never
+/// masquerades as end-of-input (that conflation is how truncated-file
+/// bugs stay silent).  Transient failures (EINTR/EAGAIN, injected or
+/// real) are retried within the bounded policy.
+std::size_t read_some(int fd, char* data, std::size_t size,
+                      std::uint64_t offset, const std::string& path,
+                      const RetryPolicy& policy) {
+  return retry_transient(policy, [&]() -> std::size_t {
+    int injected = 0;
+    if (fault::should_fail(fault::Point::read, injected)) {
+      throw IoError("read failed at byte offset " + std::to_string(offset) +
+                        " of " + path + ": " + errno_text(injected),
+                    injected);
+    }
+    const ssize_t got = ::read(fd, data, size);
+    if (got < 0) {
+      const int err = errno;
+      throw IoError("read failed at byte offset " + std::to_string(offset) +
+                        " of " + path + ": " + errno_text(err),
+                    err);
+    }
+    return static_cast<std::size_t>(got);
+  });
+}
+
+}  // namespace
 
 ChunkedEdgeListReader::ChunkedEdgeListReader(std::string path)
     : ChunkedEdgeListReader(std::move(path), Options()) {}
@@ -23,10 +93,7 @@ ChunkedEdgeListReader::ChunkedEdgeListReader(std::string path,
 
 std::size_t ChunkedEdgeListReader::run_pass(
     const std::function<void(std::span<const RawEdge>)>& sink) {
-  std::ifstream in(path_, std::ios::binary);
-  if (!in) {
-    throw std::runtime_error("cannot open edge list file: " + path_);
-  }
+  FdGuard file{open_for_read(path_, options_.retry)};
 
   std::vector<char> buffer(options_.buffer_bytes);
   std::string carry;  // unterminated tail of the previous read
@@ -34,6 +101,7 @@ std::size_t ChunkedEdgeListReader::run_pass(
   chunk.reserve(options_.chunk_edges);
   std::size_t line_number = 0;
   std::size_t total_edges = 0;
+  std::uint64_t offset = 0;  // bytes consumed, for read-error reports
 
   const auto flush = [&]() {
     if (chunk.empty()) return;
@@ -51,10 +119,11 @@ std::size_t ChunkedEdgeListReader::run_pass(
     }
   };
 
-  while (in) {
-    in.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
-    const auto got = static_cast<std::size_t>(in.gcount());
-    if (got == 0) break;
+  for (;;) {
+    const std::size_t got = read_some(file.fd, buffer.data(), buffer.size(),
+                                      offset, path_, options_.retry);
+    if (got == 0) break;  // genuine EOF — errors threw above
+    offset += got;
     std::string_view window(buffer.data(), got);
     while (true) {
       const auto newline = window.find('\n');

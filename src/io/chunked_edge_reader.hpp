@@ -21,6 +21,7 @@
 #include <string>
 
 #include "core/streaming_extractor.hpp"
+#include "io/retry.hpp"
 
 namespace orbis::io {
 
@@ -34,6 +35,7 @@ class ChunkedEdgeListReader {
   struct Options {
     std::size_t buffer_bytes = 1 << 20;  // file-read granularity
     std::size_t chunk_edges = 1 << 15;   // parsed edges per sink call
+    RetryPolicy retry{};  // transient open/read failures (EINTR/EAGAIN)
   };
 
   explicit ChunkedEdgeListReader(std::string path);
@@ -42,9 +44,11 @@ class ChunkedEdgeListReader {
   /// One sequential scan: parses the file and invokes `sink` with
   /// successive spans of at most chunk_edges edges (comment/blank lines
   /// skipped; self-loop/duplicate policy is the consumer's).  Returns
-  /// the number of edges handed out.  Throws std::runtime_error if the
-  /// file cannot be opened and std::invalid_argument (with a line
-  /// number) on malformed content.
+  /// the number of edges handed out.  Throws orbis::IoError (a
+  /// std::runtime_error) if the file cannot be opened or a read fails —
+  /// read errors carry the byte offset and errno, and are never
+  /// silently treated as end-of-file — and orbis::ParseError (a
+  /// std::invalid_argument, with a line number) on malformed content.
   std::size_t run_pass(
       const std::function<void(std::span<const RawEdge>)>& sink);
 

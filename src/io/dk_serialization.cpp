@@ -5,14 +5,19 @@
 #include <sstream>
 #include <vector>
 
+#include "io/atomic_file.hpp"
 #include "util/check.hpp"
+#include "util/errors.hpp"
 #include "util/keys.hpp"
 
 namespace orbis::io {
 
 namespace {
 
-/// Yields non-comment, non-blank lines with their line numbers.
+/// Yields non-comment, non-blank lines with their line numbers.  A
+/// stream error mid-read throws IoError — getline's false is EOF only
+/// when no badbit is set, otherwise a truncated file would silently
+/// parse as a complete (smaller) distribution.
 template <typename Handle>
 void for_each_data_line(std::istream& in, Handle handle) {
   std::string line;
@@ -24,23 +29,37 @@ void for_each_data_line(std::istream& in, Handle handle) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     handle(line, line_number);
   }
+  if (in.bad()) {
+    throw IoError("read failed after line " + std::to_string(line_number) +
+                  " (stream badbit set; underlying I/O error)");
+  }
 }
 
 [[noreturn]] void parse_fail(const char* what, std::size_t line_number) {
-  throw std::invalid_argument(std::string(what) + " at line " +
-                              std::to_string(line_number));
+  throw ParseError(std::string(what) + " at line " +
+                   std::to_string(line_number));
 }
 
 std::ifstream open_input(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open file: " + path);
+  if (!in) throw IoError("cannot open file: " + path);
   return in;
 }
 
-std::ofstream open_output(const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
-  return out;
+/// Runs a stream reader against a file, prefixing errors with the path
+/// so "bad 2K line at line 7" becomes actionable across a directory of
+/// distribution files.
+template <typename Read>
+auto read_file_with_context(const std::string& path, Read read)
+    -> decltype(read(std::declval<std::istream&>())) {
+  auto in = open_input(path);
+  try {
+    return read(in);
+  } catch (const ParseError& e) {
+    throw ParseError(path + ": " + e.what());
+  } catch (const IoError& e) {
+    throw IoError(path + ": " + e.what(), e.errno_value());
+  }
 }
 
 }  // namespace
@@ -129,34 +148,31 @@ dk::ThreeKProfile read_3k(std::istream& in) {
 
 void write_1k_file(const std::string& path,
                    const dk::DegreeDistribution& dist) {
-  auto out = open_output(path);
-  write_1k(out, dist);
+  write_file_atomic(path, [&](std::ostream& out) { write_1k(out, dist); });
 }
 
 dk::DegreeDistribution read_1k_file(const std::string& path) {
-  auto in = open_input(path);
-  return read_1k(in);
+  return read_file_with_context(
+      path, [](std::istream& in) { return read_1k(in); });
 }
 
 void write_2k_file(const std::string& path,
                    const dk::JointDegreeDistribution& dist) {
-  auto out = open_output(path);
-  write_2k(out, dist);
+  write_file_atomic(path, [&](std::ostream& out) { write_2k(out, dist); });
 }
 
 dk::JointDegreeDistribution read_2k_file(const std::string& path) {
-  auto in = open_input(path);
-  return read_2k(in);
+  return read_file_with_context(
+      path, [](std::istream& in) { return read_2k(in); });
 }
 
 void write_3k_file(const std::string& path, const dk::ThreeKProfile& profile) {
-  auto out = open_output(path);
-  write_3k(out, profile);
+  write_file_atomic(path, [&](std::ostream& out) { write_3k(out, profile); });
 }
 
 dk::ThreeKProfile read_3k_file(const std::string& path) {
-  auto in = open_input(path);
-  return read_3k(in);
+  return read_file_with_context(
+      path, [](std::istream& in) { return read_3k(in); });
 }
 
 }  // namespace orbis::io

@@ -5,6 +5,14 @@
 //   3K:  "w k1 k2 k3 count"          wedges (k2 = center, k1 <= k3)
 //        "t k1 k2 k3 count"          triangles (k1 <= k2 <= k3)
 // '#' comments and blank lines are ignored.
+//
+// Error contract: malformed content throws orbis::ParseError (a
+// std::invalid_argument) naming the line — and, for the *_file
+// variants, the file; I/O failures throw orbis::IoError (a
+// std::runtime_error).  Readers never return a partially-filled
+// distribution: a truncated or failing stream throws rather than
+// parsing short.  The *_file writers are atomic (temp + fsync +
+// rename, io/atomic_file.hpp).
 #pragma once
 
 #include <iosfwd>
@@ -25,7 +33,7 @@ dk::JointDegreeDistribution read_2k(std::istream& in);
 void write_3k(std::ostream& out, const dk::ThreeKProfile& profile);
 dk::ThreeKProfile read_3k(std::istream& in);
 
-// File-path conveniences (throw std::runtime_error on I/O failure).
+// File-path conveniences; see the error contract above.
 void write_1k_file(const std::string& path, const dk::DegreeDistribution&);
 dk::DegreeDistribution read_1k_file(const std::string& path);
 void write_2k_file(const std::string& path,

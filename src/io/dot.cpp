@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
 
+#include "io/atomic_file.hpp"
 #include "util/check.hpp"
 
 namespace orbis::io {
@@ -39,11 +39,8 @@ void write_dot(std::ostream& out, const Graph& g, const DotOptions& options) {
 
 void write_dot_file(const std::string& path, const Graph& g,
                     const DotOptions& options) {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("cannot open file for writing: " + path);
-  }
-  write_dot(out, g, options);
+  write_file_atomic(
+      path, [&](std::ostream& out) { write_dot(out, g, options); });
 }
 
 }  // namespace orbis::io

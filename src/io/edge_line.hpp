@@ -15,9 +15,10 @@
 #include <charconv>
 #include <cstdint>
 #include <cstdio>
-#include <stdexcept>
 #include <string>
 #include <string_view>
+
+#include "util/errors.hpp"
 
 namespace orbis::io::detail {
 
@@ -30,8 +31,8 @@ inline std::string_view trim_edge_line_ws(std::string_view text) noexcept {
 
 /// Parses one line.  Returns true with (u, v) filled for an edge line;
 /// false for a blank or comment-only line.  A recognized writer header
-/// updates *declared_nodes.  Malformed content throws
-/// std::invalid_argument naming `line_number`.
+/// updates *declared_nodes.  Malformed content throws orbis::ParseError
+/// (a std::invalid_argument) naming `line_number`.
 inline bool parse_edge_line(std::string_view line, std::size_t line_number,
                             std::uint64_t& u, std::uint64_t& v,
                             std::uint64_t* declared_nodes) {
@@ -52,8 +53,8 @@ inline bool parse_edge_line(std::string_view line, std::size_t line_number,
   if (line.empty()) return false;
 
   const auto malformed = [line_number](const char* what) {
-    throw std::invalid_argument("edge list line " +
-                                std::to_string(line_number) + ": " + what);
+    throw ParseError("edge list line " + std::to_string(line_number) + ": " +
+                     what);
   };
 
   const char* cursor = line.data();

@@ -3,8 +3,10 @@
 #include <fstream>
 #include <unordered_map>
 
+#include "io/atomic_file.hpp"
 #include "io/edge_line.hpp"
 #include "util/check.hpp"
+#include "util/errors.hpp"
 
 namespace orbis::io {
 
@@ -32,6 +34,14 @@ EdgeListReadResult read_edge_list(std::istream& in) {
     if (detail::parse_edge_line(line, line_number, u, v, &declared_nodes)) {
       raw_edges.emplace_back(u, v);
     }
+  }
+  // getline returning false means EOF *or* a stream error; badbit is the
+  // latter, and treating it as end-of-input would silently truncate the
+  // graph.
+  if (in.bad()) {
+    throw IoError("read failed after edge list line " +
+                  std::to_string(line_number) +
+                  " (stream badbit set; underlying I/O error)");
   }
 
   // With a declared node count and in-range ids, keep ids verbatim.
@@ -71,7 +81,7 @@ EdgeListReadResult read_edge_list(std::istream& in) {
 EdgeListReadResult read_edge_list_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("cannot open edge list file: " + path);
+    throw IoError("cannot open edge list file: " + path);
   }
   return read_edge_list(in);
 }
@@ -85,11 +95,9 @@ void write_edge_list(std::ostream& out, const Graph& g) {
 }
 
 void write_edge_list_file(const std::string& path, const Graph& g) {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("cannot open file for writing: " + path);
-  }
-  write_edge_list(out, g);
+  // Atomic: a crash or ENOSPC mid-write never leaves a truncated edge
+  // list at `path` for a resumed run to read back.
+  write_file_atomic(path, [&g](std::ostream& out) { write_edge_list(out, g); });
 }
 
 }  // namespace orbis::io

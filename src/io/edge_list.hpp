@@ -20,14 +20,19 @@ struct EdgeListReadResult {
   std::size_t skipped_duplicates = 0;
 };
 
-/// Parse an edge list from a stream.  Throws std::invalid_argument with a
-/// line number on malformed input.
+/// Parse an edge list from a stream.  Throws orbis::ParseError (a
+/// std::invalid_argument) with a line number on malformed input, and
+/// orbis::IoError if the stream goes bad mid-read — a stream error is
+/// never conflated with end-of-file.
 EdgeListReadResult read_edge_list(std::istream& in);
 
-/// Read from a file path; throws std::runtime_error if unreadable.
+/// Read from a file path; throws orbis::IoError (a std::runtime_error)
+/// if unreadable.
 EdgeListReadResult read_edge_list_file(const std::string& path);
 
-/// Write "u v" lines (dense ids).
+/// Write "u v" lines (dense ids).  The file variant writes atomically
+/// (temp + fsync + rename, io/atomic_file.hpp) and throws orbis::IoError
+/// on any failure, leaving the destination untouched.
 void write_edge_list(std::ostream& out, const Graph& g);
 void write_edge_list_file(const std::string& path, const Graph& g);
 

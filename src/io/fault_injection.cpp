@@ -1,0 +1,153 @@
+#include "io/fault_injection.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/errors.hpp"
+
+namespace orbis::io::fault {
+
+namespace {
+
+constexpr int kPointCount = 5;
+
+struct PointState {
+  bool armed = false;
+  std::uint64_t after = 0;
+  std::uint64_t remaining = 0;
+  int error_code = EIO;
+  std::uint64_t operations = 0;  // successful ops seen at this point
+};
+
+// One slot per Point value; index by static_cast<int>(point).
+PointState g_points[kPointCount];
+std::atomic<bool> g_any_armed{false};
+std::once_flag g_env_once;
+
+void ensure_env_parsed() { std::call_once(g_env_once, arm_from_env); }
+
+int parse_errno_name(std::string_view name) {
+  if (name == "ENOSPC") return ENOSPC;
+  if (name == "EIO") return EIO;
+  if (name == "EINTR") return EINTR;
+  if (name == "EAGAIN") return EAGAIN;
+  if (name == "EACCES") return EACCES;
+  // Raw number fallback.
+  int value = 0;
+  for (const char c : name) {
+    if (c < '0' || c > '9') {
+      throw ParseError("ORBIS_FAULT: unknown errno name: " +
+                       std::string(name));
+    }
+    value = value * 10 + (c - '0');
+  }
+  if (value == 0) {
+    throw ParseError("ORBIS_FAULT: errno must be a known name or a "
+                     "positive number");
+  }
+  return value;
+}
+
+Point parse_point_name(std::string_view name) {
+  if (name == "open_read") return Point::open_read;
+  if (name == "read") return Point::read;
+  if (name == "write") return Point::write;
+  if (name == "fsync") return Point::fsync;
+  if (name == "rename") return Point::rename_file;
+  throw ParseError("ORBIS_FAULT: unknown fault point: " + std::string(name));
+}
+
+std::uint64_t parse_u64(std::string_view text, const char* field) {
+  std::uint64_t value = 0;
+  if (text.empty()) {
+    throw ParseError(std::string("ORBIS_FAULT: empty ") + field);
+  }
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw ParseError(std::string("ORBIS_FAULT: bad ") + field + ": " +
+                       std::string(text));
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+void arm(const Plan& plan) {
+  PointState& state = g_points[static_cast<int>(plan.point)];
+  state.armed = true;
+  state.after = plan.after;
+  state.remaining = plan.count;
+  state.error_code = plan.error_code != 0 ? plan.error_code : EIO;
+  state.operations = 0;
+  g_any_armed.store(true, std::memory_order_relaxed);
+}
+
+void clear() {
+  for (PointState& state : g_points) state = PointState{};
+  g_any_armed.store(false, std::memory_order_relaxed);
+}
+
+bool any_armed() {
+  ensure_env_parsed();
+  return g_any_armed.load(std::memory_order_relaxed);
+}
+
+bool should_fail(Point point, int& errno_out) {
+  if (!any_armed()) return false;
+  PointState& state = g_points[static_cast<int>(point)];
+  if (!state.armed) return false;
+  if (state.operations < state.after) {
+    ++state.operations;
+    return false;
+  }
+  if (state.remaining == 0) return false;
+  if (state.remaining != ~0ull) --state.remaining;
+  errno_out = state.error_code;
+  return true;
+}
+
+void arm_from_env() {
+  const char* spec_cstr = std::getenv("ORBIS_FAULT");
+  if (spec_cstr == nullptr || *spec_cstr == '\0') return;
+  std::string_view spec(spec_cstr);
+
+  // point[:after=N][:err=NAME][:count=N]
+  Plan plan;
+  bool have_point = false;
+  while (!spec.empty()) {
+    const auto colon = spec.find(':');
+    const std::string_view field = spec.substr(0, colon);
+    spec = colon == std::string_view::npos ? std::string_view{}
+                                           : spec.substr(colon + 1);
+    const auto equals = field.find('=');
+    if (equals == std::string_view::npos) {
+      plan.point = parse_point_name(field);
+      have_point = true;
+      continue;
+    }
+    const std::string_view key = field.substr(0, equals);
+    const std::string_view value = field.substr(equals + 1);
+    if (key == "after") {
+      plan.after = parse_u64(value, "after");
+    } else if (key == "err") {
+      plan.error_code = parse_errno_name(value);
+    } else if (key == "count") {
+      plan.count = parse_u64(value, "count");
+    } else {
+      throw ParseError("ORBIS_FAULT: unknown field: " + std::string(key));
+    }
+  }
+  if (!have_point) {
+    throw ParseError("ORBIS_FAULT: spec must start with a fault point");
+  }
+  arm(plan);
+}
+
+}  // namespace orbis::io::fault

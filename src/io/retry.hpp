@@ -1,0 +1,61 @@
+// Bounded retry-with-backoff for transient I/O failures
+// (docs/robustness.md, "Retry policy").
+//
+// Long streaming passes over network filesystems see transient read
+// failures (EINTR from signal delivery, EAGAIN from overloaded mounts)
+// that a bounded retry absorbs without surfacing a run-killing error.
+// Anything else — ENOSPC, EIO, permission errors — is NOT transient and
+// propagates on the first attempt: retrying a genuinely failing disk
+// only delays the structured error the caller needs.
+//
+// The wrapper retries only orbis::IoError whose errno_value() is in the
+// transient set; after max_attempts the LAST error propagates, so the
+// caller still sees the real errno and byte offset.
+#pragma once
+
+#include <cerrno>
+#include <cstddef>
+#include <chrono>
+#include <thread>
+
+#include "util/errors.hpp"
+
+namespace orbis::io {
+
+struct RetryPolicy {
+  /// Total tries, including the first (1 = no retry).
+  std::size_t max_attempts = 4;
+  /// Sleep before retry k is initial_backoff * 2^(k-1).  The default is
+  /// tiny: transient errors clear in microseconds or not at all.
+  std::chrono::milliseconds initial_backoff{1};
+};
+
+/// True for errno values worth retrying (interrupted / temporarily
+/// unavailable), false for hard failures.
+constexpr bool is_transient_errno(int errno_value) noexcept {
+  return errno_value == EINTR || errno_value == EAGAIN ||
+         errno_value == EWOULDBLOCK;
+}
+
+/// Invokes `operation` (returning its result) with bounded retries on
+/// transient IoError.  Non-transient IoError — and any other exception —
+/// propagates immediately.
+template <typename Operation>
+auto retry_transient(const RetryPolicy& policy, Operation&& operation)
+    -> decltype(operation()) {
+  auto backoff = policy.initial_backoff;
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      return operation();
+    } catch (const IoError& error) {
+      if (!is_transient_errno(error.errno_value()) ||
+          attempt >= policy.max_attempts) {
+        throw;
+      }
+    }
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    backoff *= 2;
+  }
+}
+
+}  // namespace orbis::io

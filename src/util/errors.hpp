@@ -1,0 +1,157 @@
+// Shared structured-error taxonomy (docs/robustness.md).
+//
+// Every failure the library can surface to a caller falls into one of
+// four categories, each with a stable process exit code for the CLI:
+//
+//   parse       (2)  — malformed input content: edge lists, .1k/.2k/.3k
+//                      files, checkpoint files, CLI values.  The message
+//                      names the file and line/offset where known.
+//   io          (3)  — the environment failed an I/O operation: open,
+//                      read (badbit/EIO, never EOF), write (ENOSPC),
+//                      fsync, rename.  The message carries errno text
+//                      and a byte offset where known.
+//   resource    (4)  — an algorithm could not complete within its
+//                      resources (matching deadlock, restart budget
+//                      exhausted, inconsistent target distribution).
+//   interrupted (130) — a cooperative cancellation (util::StopToken /
+//                      SIGINT / SIGTERM) stopped the run before the
+//                      budget; 130 = 128 + SIGINT by shell convention.
+//
+// Each concrete error derives BOTH from the matching standard exception
+// (so pre-existing `catch (std::invalid_argument)` / `catch
+// (std::runtime_error)` sites keep working) and from orbis::Error, the
+// category-carrying base that CLI front ends catch to pick an exit
+// code.  gen/errors.hpp's GenerationError is consolidated here as the
+// canonical `resource` error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace orbis {
+
+enum class ErrorCategory {
+  parse,
+  io,
+  resource,
+  interrupted,
+};
+
+/// Stable CLI exit code for a category (see table above).
+constexpr int exit_code_for(ErrorCategory category) noexcept {
+  switch (category) {
+    case ErrorCategory::parse:
+      return 2;
+    case ErrorCategory::io:
+      return 3;
+    case ErrorCategory::resource:
+      return 4;
+    case ErrorCategory::interrupted:
+      return 130;
+  }
+  return 1;
+}
+
+constexpr const char* to_string(ErrorCategory category) noexcept {
+  switch (category) {
+    case ErrorCategory::parse:
+      return "parse";
+    case ErrorCategory::io:
+      return "io";
+    case ErrorCategory::resource:
+      return "resource";
+    case ErrorCategory::interrupted:
+      return "interrupted";
+  }
+  return "unknown";
+}
+
+/// Category-carrying mixin base.  Deliberately NOT derived from
+/// std::exception: concrete errors inherit the standard exception type
+/// their category historically used (invalid_argument for parse,
+/// runtime_error for the rest) so existing catch sites keep matching,
+/// and additionally inherit Error so front ends can write one
+/// `catch (const orbis::Error&)` and map to an exit code.
+class Error {
+ public:
+  virtual ~Error() = default;
+
+  ErrorCategory category() const noexcept { return category_; }
+  int exit_code() const noexcept { return exit_code_for(category_); }
+
+  /// Same message the std::exception side reports; lets handlers that
+  /// caught `const Error&` print without cross-casting.
+  virtual const char* what() const noexcept = 0;
+
+ protected:
+  explicit Error(ErrorCategory category) noexcept : category_(category) {}
+  Error(const Error&) = default;
+  Error& operator=(const Error&) = default;
+
+ private:
+  ErrorCategory category_;
+};
+
+/// Malformed input content.  Derives std::invalid_argument: parse
+/// failures have always been reported that way in this library.
+class ParseError : public std::invalid_argument, public Error {
+ public:
+  explicit ParseError(const std::string& message)
+      : std::invalid_argument(message), Error(ErrorCategory::parse) {}
+
+  const char* what() const noexcept override {
+    return std::invalid_argument::what();
+  }
+};
+
+/// An I/O operation failed in the environment (never "end of input").
+class IoError : public std::runtime_error, public Error {
+ public:
+  explicit IoError(const std::string& message, int errno_value = 0)
+      : std::runtime_error(message),
+        Error(ErrorCategory::io),
+        errno_value_(errno_value) {}
+
+  /// errno of the failing call, 0 when unknown.  Used by the retry
+  /// layer: EINTR/EAGAIN-class failures are transient and retryable.
+  int errno_value() const noexcept { return errno_value_; }
+
+  const char* what() const noexcept override {
+    return std::runtime_error::what();
+  }
+
+ private:
+  int errno_value_ = 0;
+};
+
+/// An algorithm ran out of the resources it needs to complete.
+class ResourceError : public std::runtime_error, public Error {
+ public:
+  explicit ResourceError(const std::string& message)
+      : std::runtime_error(message), Error(ErrorCategory::resource) {}
+
+  const char* what() const noexcept override {
+    return std::runtime_error::what();
+  }
+};
+
+/// A cooperative cancellation stopped the run before completion.
+class InterruptedError : public std::runtime_error, public Error {
+ public:
+  explicit InterruptedError(const std::string& message)
+      : std::runtime_error(message), Error(ErrorCategory::interrupted) {}
+
+  const char* what() const noexcept override {
+    return std::runtime_error::what();
+  }
+};
+
+/// A construction algorithm could not complete (e.g. an unrepairable
+/// matching deadlock, or an inconsistent target distribution).  The
+/// historical gen::GenerationError, now part of the shared taxonomy.
+class GenerationError : public ResourceError {
+ public:
+  using ResourceError::ResourceError;
+};
+
+}  // namespace orbis

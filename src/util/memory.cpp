@@ -7,13 +7,16 @@ namespace orbis::util {
 
 namespace {
 
-/// Reads a "Vm...:  <kB> kB" line from /proc/self/status; 0 if absent.
-std::size_t status_field_bytes(const char* field) noexcept {
+/// Reads a "Vm...:  <kB> kB" line from /proc/self/status.  nullopt when
+/// the file cannot be opened (non-Linux, restricted sandbox) or the
+/// field is absent/malformed — a 0 return would be indistinguishable
+/// from a genuine (if implausible) measurement.
+std::optional<std::size_t> status_field_bytes(const char* field) noexcept {
   std::FILE* status = std::fopen("/proc/self/status", "r");
-  if (status == nullptr) return 0;
+  if (status == nullptr) return std::nullopt;
   const std::size_t field_length = std::strlen(field);
   char line[256];
-  std::size_t bytes = 0;
+  std::optional<std::size_t> bytes;
   while (std::fgets(line, sizeof line, status) != nullptr) {
     if (std::strncmp(line, field, field_length) != 0) continue;
     unsigned long long kb = 0;
@@ -28,9 +31,11 @@ std::size_t status_field_bytes(const char* field) noexcept {
 
 }  // namespace
 
-std::size_t peak_rss_bytes() noexcept { return status_field_bytes("VmHWM"); }
+std::optional<std::size_t> peak_rss_bytes() noexcept {
+  return status_field_bytes("VmHWM");
+}
 
-std::size_t current_rss_bytes() noexcept {
+std::optional<std::size_t> current_rss_bytes() noexcept {
   return status_field_bytes("VmRSS");
 }
 

@@ -2,19 +2,24 @@
 //
 // The streaming extraction pipeline's whole point is a bounded resident
 // set (docs/scaling.md), so the CLI and the large-graph smoke tooling
-// report it.  Linux-only in effect: other platforms report 0 and callers
-// must treat the value as best-effort diagnostics, never as logic input.
+// report it.  Linux-only in effect: where /proc/self/status is absent
+// or unreadable (other platforms, restricted sandboxes, seccomp'd
+// containers) the readings are nullopt — "unavailable" — never 0
+// masquerading as a measurement.  Callers must treat the value as
+// best-effort diagnostics, never as logic input.
 #pragma once
 
 #include <cstddef>
+#include <optional>
 
 namespace orbis::util {
 
-/// Peak resident set size of this process in bytes (VmHWM), or 0 when
-/// the platform does not expose it.
-std::size_t peak_rss_bytes() noexcept;
+/// Peak resident set size of this process in bytes (VmHWM), or nullopt
+/// when the platform does not expose it (missing or unreadable
+/// /proc/self/status, or a status file without the field).
+std::optional<std::size_t> peak_rss_bytes() noexcept;
 
-/// Current resident set size in bytes (VmRSS), or 0.
-std::size_t current_rss_bytes() noexcept;
+/// Current resident set size in bytes (VmRSS), or nullopt.
+std::optional<std::size_t> current_rss_bytes() noexcept;
 
 }  // namespace orbis::util

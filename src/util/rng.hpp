@@ -7,6 +7,7 @@
 // a single seed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -68,6 +69,26 @@ class Rng {
   /// chain/worker RNGs are a function of (master seed, index), never of
   /// thread scheduling.
   Rng stream(std::uint64_t stream_id) const noexcept;
+
+  // Checkpoint support (gen/checkpoint.hpp): the four xoshiro256**
+  // state words round-trip a generator exactly, so a resumed run draws
+  // the identical tail of the sequence an uninterrupted run would.
+
+  /// The current internal state, suitable for serialization.
+  std::array<std::uint64_t, 4> state_words() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  /// Reconstructs a generator from serialized state words.  The state
+  /// must come from state_words() (an all-zero state would be a fixed
+  /// point of xoshiro; reject it).
+  static Rng from_state_words(const std::array<std::uint64_t, 4>& words) {
+    expects(words[0] != 0 || words[1] != 0 || words[2] != 0 || words[3] != 0,
+            "Rng::from_state_words: all-zero state is invalid");
+    Rng rng;
+    for (int i = 0; i < 4; ++i) rng.state_[i] = words[i];
+    return rng;
+  }
 
   // UniformRandomBitGenerator interface (usable with <random> and
   // std::sample / std::shuffle).

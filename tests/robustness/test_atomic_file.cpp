@@ -1,0 +1,158 @@
+// AtomicFileWriter durability contract (docs/robustness.md): the final
+// path holds either the complete previous content or the complete new
+// content, at every kill/fault point — never a torn file, never a
+// leftover temp.
+#include "io/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "io/fault_injection.hpp"
+#include "util/errors.hpp"
+
+namespace orbis::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("orbis_atomic_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+    fault::clear();
+  }
+  void TearDown() override {
+    fault::clear();
+    fs::remove_all(dir_);
+  }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static std::string slurp(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  /// No *.tmp.* droppings in the test directory.
+  bool no_temp_files() const {
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      if (entry.path().filename().string().find(".tmp.") !=
+          std::string::npos) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(AtomicFileTest, CommitPublishesExactContent) {
+  const std::string target = path("out.txt");
+  AtomicFileWriter writer(target);
+  writer.stream() << "hello\nworld\n";
+  writer.commit();
+  EXPECT_EQ(slurp(target), "hello\nworld\n");
+  EXPECT_TRUE(no_temp_files());
+}
+
+TEST_F(AtomicFileTest, CommitReplacesPreviousContentAtomically) {
+  const std::string target = path("out.txt");
+  { std::ofstream(target) << "old content\n"; }
+  AtomicFileWriter writer(target);
+  writer.stream() << "new content\n";
+  // Until commit, the final path still holds the old version.
+  EXPECT_EQ(slurp(target), "old content\n");
+  writer.commit();
+  EXPECT_EQ(slurp(target), "new content\n");
+}
+
+TEST_F(AtomicFileTest, AbortLeavesTargetUntouchedAndRemovesTemp) {
+  const std::string target = path("out.txt");
+  { std::ofstream(target) << "precious\n"; }
+  {
+    AtomicFileWriter writer(target);
+    writer.stream() << "half-written garbage";
+    writer.abort();
+  }
+  EXPECT_EQ(slurp(target), "precious\n");
+  EXPECT_TRUE(no_temp_files());
+}
+
+TEST_F(AtomicFileTest, DestructorWithoutCommitActsAsAbort) {
+  const std::string target = path("out.txt");
+  { std::ofstream(target) << "precious\n"; }
+  {
+    AtomicFileWriter writer(target);
+    writer.stream() << "abandoned";
+    // no commit
+  }
+  EXPECT_EQ(slurp(target), "precious\n");
+  EXPECT_TRUE(no_temp_files());
+}
+
+TEST_F(AtomicFileTest, WriteFaultThrowsIoErrorWithErrnoAndCleansUp) {
+  const std::string target = path("out.txt");
+  { std::ofstream(target) << "precious\n"; }
+  fault::arm({fault::Point::write, /*after=*/0, ENOSPC});
+  try {
+    // Large enough to overflow the internal buffer and force a write(2).
+    write_file_atomic(target, [](std::ostream& out) {
+      for (int i = 0; i < 100000; ++i) out << "xxxxxxxxxxxxxxxx\n";
+    });
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.errno_value(), ENOSPC);
+    EXPECT_EQ(e.category(), ErrorCategory::io);
+  }
+  fault::clear();
+  EXPECT_EQ(slurp(target), "precious\n");
+  EXPECT_TRUE(no_temp_files());
+}
+
+TEST_F(AtomicFileTest, FsyncFaultThrowsIoErrorAndCleansUp) {
+  const std::string target = path("out.txt");
+  { std::ofstream(target) << "precious\n"; }
+  fault::arm({fault::Point::fsync, /*after=*/0, EIO});
+  EXPECT_THROW(
+      write_file_atomic(target,
+                        [](std::ostream& out) { out << "doomed\n"; }),
+      IoError);
+  fault::clear();
+  EXPECT_EQ(slurp(target), "precious\n");
+  EXPECT_TRUE(no_temp_files());
+}
+
+TEST_F(AtomicFileTest, RenameFaultThrowsIoErrorAndCleansUp) {
+  const std::string target = path("out.txt");
+  { std::ofstream(target) << "precious\n"; }
+  fault::arm({fault::Point::rename_file, /*after=*/0, EIO});
+  EXPECT_THROW(
+      write_file_atomic(target,
+                        [](std::ostream& out) { out << "doomed\n"; }),
+      IoError);
+  fault::clear();
+  EXPECT_EQ(slurp(target), "precious\n");
+  EXPECT_TRUE(no_temp_files());
+}
+
+TEST_F(AtomicFileTest, IoErrorIsCatchableAsStdException) {
+  // Existing call sites catch std::exception / std::runtime_error; the
+  // taxonomy must not break them.
+  fault::arm({fault::Point::fsync, 0, EIO});
+  EXPECT_THROW(write_file_atomic(path("x"),
+                                 [](std::ostream& out) { out << "x"; }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace orbis::io

@@ -1,0 +1,161 @@
+// End-to-end robustness of the orbis_tool binary: exit-code taxonomy,
+// ORBIS_FAULT injection across a process boundary, and the
+// checkpoint/kill/resume cycle through the real CLI.  Needs the example
+// binary: CMake exports its path as ORBIS_TOOL_BIN; skipped when the
+// examples are not built.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/series.hpp"
+#include "graph/builders.hpp"
+#include "io/dk_serialization.hpp"
+#include "io/edge_list.hpp"
+#include "util/rng.hpp"
+
+namespace orbis {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ToolCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* bin = std::getenv("ORBIS_TOOL_BIN");
+    if (bin == nullptr || !fs::exists(bin)) {
+      GTEST_SKIP() << "ORBIS_TOOL_BIN not set or missing (examples not "
+                      "built)";
+    }
+    tool_ = bin;
+    dir_ = fs::temp_directory_path() /
+           ("orbis_cli_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+
+    // A small test graph and its 2K file, written through the library.
+    util::Rng rng(23);
+    graph_ = builders::gnm(30, 60, rng);
+    io::write_edge_list_file(path("g.edges"), graph_);
+    io::write_2k_file(path("g.2k"), dk::extract(graph_, 2).joint);
+  }
+  void TearDown() override {
+    if (!dir_.empty()) fs::remove_all(dir_);
+  }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  /// Runs the tool through /bin/sh, returns its exit code.  `env` is an
+  /// optional VAR=value prefix (how ORBIS_FAULT reaches the child).
+  int run(const std::string& args, const std::string& env = "") {
+    const std::string cmd = env + (env.empty() ? "" : " ") + "'" + tool_ +
+                            "' " + args + " > /dev/null 2>> '" +
+                            path("stderr.log") + "'";
+    const int status = std::system(cmd.c_str());
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  std::string stderr_log() {
+    std::ifstream in(path("stderr.log"));
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  static std::string slurp(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  std::string tool_;
+  fs::path dir_;
+  Graph graph_;
+};
+
+TEST_F(ToolCliTest, SuccessIsZero) {
+  EXPECT_EQ(run("analyze '" + path("g.edges") + "'"), 0);
+}
+
+TEST_F(ToolCliTest, MissingInputFileExitsIo) {
+  EXPECT_EQ(run("analyze '" + path("missing.edges") + "'"), 3);
+  EXPECT_NE(stderr_log().find("missing.edges"), std::string::npos);
+}
+
+TEST_F(ToolCliTest, MalformedInputExitsParseAndNamesLine) {
+  std::ofstream(path("bad.edges")) << "0 1\nbroken line here\n";
+  EXPECT_EQ(run("analyze '" + path("bad.edges") + "'"), 2);
+  EXPECT_NE(stderr_log().find("line 2"), std::string::npos);
+}
+
+TEST_F(ToolCliTest, BadFlagValueExitsUsage) {
+  EXPECT_EQ(run("generate --d 2 --method bogus --from-2k '" + path("g.2k") +
+                "' --out '" + path("x.edges") + "'"),
+            2);
+}
+
+TEST_F(ToolCliTest, InjectedWriteFaultExitsIoAndLeavesNoOutput) {
+  EXPECT_EQ(run("generate --d 2 --method matching --from-2k '" +
+                    path("g.2k") + "' --out '" + path("fault.edges") + "'",
+                "ORBIS_FAULT=write:err=ENOSPC"),
+            3);
+  EXPECT_FALSE(fs::exists(path("fault.edges")));
+  EXPECT_NE(stderr_log().find("No space left"), std::string::npos);
+}
+
+TEST_F(ToolCliTest, InjectedFsyncFaultExitsIoAndKeepsOldFile) {
+  std::ofstream(path("keep.1k")) << "precious\n";
+  EXPECT_EQ(run("extract '" + path("g.edges") + "' '" + path("keep") + "'",
+                "ORBIS_FAULT=fsync:err=EIO"),
+            3);
+  EXPECT_EQ(slurp(path("keep.1k")), "precious\n");
+}
+
+TEST_F(ToolCliTest, TransientReadFaultIsAbsorbed) {
+  EXPECT_EQ(run("extract '" + path("g.edges") + "' '" + path("t") + "'",
+                "ORBIS_FAULT=read:err=EINTR:count=2"),
+            0);
+  EXPECT_TRUE(fs::exists(path("t.2k")));
+}
+
+TEST_F(ToolCliTest, CheckpointKillResumeIsBitIdentical) {
+  const std::string common = "generate --d 2 --method targeting --from-2k '" +
+                             path("g.2k") + "' --seed 11 --chains 2";
+  // Uninterrupted checkpointed run.
+  ASSERT_EQ(run(common + " --checkpoint '" + path("full.ck") +
+                "' --checkpoint-every 3000 --out '" + path("full.edges") +
+                "'"),
+            0);
+  // Same run, killed deterministically after the second checkpoint...
+  ASSERT_EQ(run(common + " --checkpoint '" + path("part.ck") +
+                "' --checkpoint-every 3000 --stop-after-checkpoints 2 "
+                "--out '" + path("part.edges") + "'"),
+            130);
+  EXPECT_FALSE(fs::exists(path("part.edges")));  // no partial output
+  // ...and resumed from the file on disk.
+  ASSERT_EQ(run(common + " --resume '" + path("part.ck") + "' --out '" +
+                path("resumed.edges") + "'"),
+            0);
+  EXPECT_EQ(slurp(path("full.edges")), slurp(path("resumed.edges")));
+}
+
+TEST_F(ToolCliTest, CorruptCheckpointExitsParse) {
+  std::ofstream(path("corrupt.ck")) << "# orbis checkpoint v1\nd 9\n";
+  EXPECT_EQ(run("generate --d 2 --method targeting --from-2k '" +
+                path("g.2k") + "' --resume '" + path("corrupt.ck") +
+                "' --out '" + path("x.edges") + "'"),
+            2);
+  EXPECT_NE(stderr_log().find("line 2"), std::string::npos);
+}
+
+TEST_F(ToolCliTest, CheckpointWithNonTargetingMethodExitsUsage) {
+  EXPECT_EQ(run("generate --d 2 --method matching --from-2k '" +
+                path("g.2k") + "' --checkpoint '" + path("x.ck") +
+                "' --out '" + path("x.edges") + "'"),
+            2);
+}
+
+}  // namespace
+}  // namespace orbis
