@@ -20,6 +20,7 @@
 #include "metrics/betweenness.hpp"
 #include "metrics/distance.hpp"
 #include "metrics/spectrum.hpp"
+#include "obs/metrics.hpp"
 #include "util/flat_table.hpp"
 #include "util/rng.hpp"
 
@@ -354,6 +355,21 @@ void BM_DistanceDistribution(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DistanceDistribution)->Range(1 << 8, 1 << 11);
+
+// The telemetry update primitive: one relaxed fetch_add through a
+// function-local static reference, exactly what publish_rewiring_metrics
+// and the exec/io instruments do per event.  This pins the "metrics are
+// nanoseconds, not microseconds" overhead claim in docs/observability.md
+// — the perf gate catches anyone putting a lock or a map lookup on the
+// update path.
+void BM_TelemetryCounter(benchmark::State& state) {
+  for (auto _ : state) {
+    static obs::Counter& counter =
+        obs::Registry::global().counter("bench.telemetry_counter");
+    counter.add(1);
+  }
+}
+BENCHMARK(BM_TelemetryCounter);
 
 }  // namespace
 

@@ -28,6 +28,21 @@
 //
 // Common flags: --seed S (default 1), --gcc (reduce output to the GCC).
 //
+// Observability (docs/observability.md): every subcommand accepts
+//   --progress        live status line on stderr (attempts/s, acceptance,
+//                     best objective, ETA), refreshed ~2x/second
+//   --quiet           silence progress and status chatter on stderr;
+//                     data output and report/trace files are unaffected
+//   --report F.json   write a machine-readable run report (config, seed,
+//                     host context, per-stage stats, objective trajectory,
+//                     metrics scrape, peak RSS, exit status) atomically
+//                     to F.json — written on failure and interrupt too
+//   --trace F.json    record phase spans and write a Chrome trace-event
+//                     file (chrome://tracing, Perfetto) on exit
+// stdout carries ONLY data (dK summaries, metric bundles, compare
+// tables); all human-facing status goes to stderr, so piping stdout
+// stays machine-parseable.
+//
 // Fault tolerance (docs/robustness.md): targeting runs checkpoint with
 //   --checkpoint F            write a resumable checkpoint to F at every
 //                             leg boundary (atomic temp+rename writes)
@@ -45,10 +60,14 @@
 // 3 I/O errors; 4 resource exhaustion; 130 interrupted.
 
 #include <algorithm>
+#include <chrono>
 #include <csignal>
+#include <cstdarg>
 #include <cstdio>
+#include <memory>
 #include <new>
 #include <string>
+#include <utility>
 
 #include "core/rescale.hpp"
 #include "core/series.hpp"
@@ -63,6 +82,10 @@
 #include "io/dot.hpp"
 #include "io/edge_list.hpp"
 #include "metrics/summary.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/errors.hpp"
 #include "util/memory.hpp"
@@ -87,6 +110,69 @@ void handle_signal(int sig) {
 }
 
 constexpr int kExitInterrupted = 130;  // 128 + SIGINT, the shell convention
+
+// -------------------------------------------------------------------------
+// Telemetry state (obs/).  The report accumulates across the whole
+// invocation and is written in main()'s epilogue — on success, failure
+// and interrupt alike.  --quiet gates status()/progress only; it never
+// suppresses data output, the report or the trace.
+// -------------------------------------------------------------------------
+
+bool g_quiet = false;
+bool g_want_report = false;
+obs::RunReport g_report;
+obs::TrajectoryRecorder g_trajectory;
+std::unique_ptr<obs::ProgressMeter> g_meter;
+obs::ProgressSink* g_progress = nullptr;  // meter+trajectory tee, or null
+
+/// Human-facing status chatter: stderr, silenced by --quiet.  Hard
+/// errors do NOT go through here — they print unconditionally.
+void status(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void status(const char* fmt, ...) {
+  if (g_quiet) return;
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+}
+
+void record_config(std::string key, std::string value) {
+  g_report.config.emplace_back(std::move(key), std::move(value));
+}
+
+void record_output(std::string path) {
+  g_report.outputs.push_back(std::move(path));
+}
+
+/// Cumulative rewire.* counters from the global registry.  Stage stats
+/// for paths that do not return a RewiringStats (gen::generate_dk_random)
+/// are the delta of this snapshot around the call — exact, because the
+/// wrappers publish at call boundaries and nothing else runs in between.
+gen::RewiringStats scrape_rewire_counters() {
+  auto& registry = obs::Registry::global();
+  gen::RewiringStats s;
+  s.attempts = registry.counter("rewire.attempts").value();
+  s.accepted = registry.counter("rewire.accepted").value();
+  s.rejected_structural =
+      registry.counter("rewire.rejected_structural").value();
+  s.rejected_constraint =
+      registry.counter("rewire.rejected_constraint").value();
+  s.rejected_objective =
+      registry.counter("rewire.rejected_objective").value();
+  s.conflict_reevaluations =
+      registry.counter("rewire.conflict_reevaluations").value();
+  return s;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void set_phase(const std::string& phase) {
+  if (g_meter != nullptr) g_meter->set_phase(phase);
+}
 
 int usage() {
   std::fprintf(stderr,
@@ -127,6 +213,7 @@ int cmd_extract(const util::ArgParser& args) {
   // implies the in-memory path.
   dk::DkDistributions dists;
   if (args.has_flag("--gcc") || args.has_flag("--in-memory")) {
+    record_config("mode", "in-memory");
     dists = dk::extract(load(path, args.has_flag("--gcc")), 3);
   } else {
     io::StreamingExtractOptions options;
@@ -137,11 +224,12 @@ int cmd_extract(const util::ArgParser& args) {
     }
     options.reader.buffer_bytes =
         static_cast<std::size_t>(buffer_kb) * 1024;
+    record_config("mode", "streaming");
+    record_config("buffer_kb", std::to_string(buffer_kb));
     auto streamed = io::extract_dk_streaming(path, 3, options);
     if (streamed.skipped_self_loops > 0 || streamed.skipped_duplicates > 0) {
-      std::fprintf(stderr, "skipped %zu self-loops, %zu duplicate edges\n",
-                   streamed.skipped_self_loops,
-                   streamed.skipped_duplicates);
+      status("skipped %zu self-loops, %zu duplicate edges\n",
+             streamed.skipped_self_loops, streamed.skipped_duplicates);
     }
     // peak_rss_bytes is optional: /proc may be unreadable (containers,
     // hardened kernels) and "0 KiB" would be a lie.
@@ -149,16 +237,18 @@ int cmd_extract(const util::ArgParser& args) {
     const std::string rss_text =
         rss ? std::to_string(*rss / 1024) + " KiB"
             : std::string("unavailable");
-    std::fprintf(stderr,
-                 "streaming extract: %zu KiB accumulators, %s peak RSS\n",
-                 streamed.peak_accumulator_bytes / 1024, rss_text.c_str());
+    status("streaming extract: %zu KiB accumulators, %s peak RSS\n",
+           streamed.peak_accumulator_bytes / 1024, rss_text.c_str());
     dists = std::move(streamed.distributions);
   }
 
   io::write_1k_file(prefix + ".1k", dists.degree);
   io::write_2k_file(prefix + ".2k", dists.joint);
   io::write_3k_file(prefix + ".3k", dists.three_k);
-  std::printf("wrote %s.{1k,2k,3k}\n", prefix.c_str());
+  record_output(prefix + ".1k");
+  record_output(prefix + ".2k");
+  record_output(prefix + ".3k");
+  status("wrote %s.{1k,2k,3k}\n", prefix.c_str());
   return 0;
 }
 
@@ -185,6 +275,8 @@ void apply_objective_flags(const util::ArgParser& args,
     throw std::invalid_argument("--memory-budget-mb must be positive");
   }
   targeting.memory_budget_mb = static_cast<std::size_t>(budget);
+  record_config("objective", objective);
+  record_config("memory_budget_mb", std::to_string(budget));
 }
 
 gen::Method parse_method(const std::string& name) {
@@ -217,6 +309,7 @@ Graph generate_checkpointed(const util::ArgParser& args,
         "--checkpoint/--resume require --method targeting with --d 2 or "
         "--d 3 (the long rewiring chains are what checkpoints cover)");
   }
+  record_config("checkpoint", save_path);
 
   gen::RunCheckpoint state;
   if (!resume_path.empty()) {
@@ -227,23 +320,22 @@ Graph generate_checkpointed(const util::ArgParser& args,
           " but the command line says --d " + std::to_string(d));
     }
     if (args.get_int("--checkpoint-every", 0) > 0) {
-      std::fprintf(stderr,
-                   "note: --checkpoint-every ignored on resume — the leg "
-                   "cadence is part of the run and comes from the "
-                   "checkpoint\n");
+      status("note: --checkpoint-every ignored on resume — the leg "
+             "cadence is part of the run and comes from the "
+             "checkpoint\n");
     }
-    std::fprintf(stderr, "resuming %s: %llu/%llu attempts per chain, "
-                         "%zu chain(s)\n",
-                 resume_path.c_str(),
-                 static_cast<unsigned long long>(
-                     state.chains[0].attempts_done),
-                 static_cast<unsigned long long>(state.budget),
-                 state.chains.size());
+    status("resuming %s: %llu/%llu attempts per chain, %zu chain(s)\n",
+           resume_path.c_str(),
+           static_cast<unsigned long long>(state.chains[0].attempts_done),
+           static_cast<unsigned long long>(state.budget),
+           state.chains.size());
+    record_config("resume", resume_path);
   } else {
     Graph start = gen::matching_1k(target.degree, rng);
     if (d == 3) {
       // The 2K stage is the cheap prefix of the 3K pipeline; it runs
       // un-checkpointed and the checkpoint covers the long 3K walk.
+      set_phase("2k seed");
       const std::size_t chains =
           gen::default_chain_count(options.chains.chains);
       start = chains == 1
@@ -270,24 +362,44 @@ Graph generate_checkpointed(const util::ArgParser& args,
       state.checkpoint_every = std::max<std::uint64_t>(state.budget / 10, 1);
     }
   }
+  record_config("chains", std::to_string(state.chains.size()));
+  record_config("checkpoint_every", std::to_string(state.checkpoint_every));
 
   gen::CheckpointOptions checkpointing;
   checkpointing.stop = g_stop.token();
   const std::size_t stop_after =
       parse_count(args, "--stop-after-checkpoints", 0);
   std::size_t written = 0;
+  auto leg_start = std::chrono::steady_clock::now();
+  set_phase(d == 2 ? "2k targeting" : "3k targeting");
   checkpointing.on_checkpoint = [&](const gen::RunCheckpoint& snapshot) {
     io::write_checkpoint_file(save_path, snapshot);
     ++written;
-    std::fprintf(stderr, "checkpoint %zu: %llu/%llu attempts -> %s\n",
-                 written,
-                 static_cast<unsigned long long>(
-                     snapshot.chains[0].attempts_done),
-                 static_cast<unsigned long long>(snapshot.budget),
-                 save_path.c_str());
+    if (g_want_report) {
+      obs::LegRecord leg;
+      leg.leg = written;
+      leg.attempts_done = snapshot.chains[0].attempts_done;
+      gen::RewiringStats total;
+      double best = static_cast<double>(snapshot.chains[0].distance);
+      for (const auto& chain : snapshot.chains) {
+        total += chain.stats;
+        best = std::min(best, static_cast<double>(chain.distance));
+      }
+      leg.best_distance = best;
+      leg.stats = total;
+      leg.duration_seconds = seconds_since(leg_start);
+      g_report.legs.push_back(leg);
+    }
+    leg_start = std::chrono::steady_clock::now();
+    status("checkpoint %zu: %llu/%llu attempts -> %s\n", written,
+           static_cast<unsigned long long>(
+               snapshot.chains[0].attempts_done),
+           static_cast<unsigned long long>(snapshot.budget),
+           save_path.c_str());
     if (stop_after > 0 && written >= stop_after) g_stop.request_stop();
   };
 
+  const auto stage_start = std::chrono::steady_clock::now();
   const gen::CheckpointedResult run =
       d == 2 ? gen::run_checkpointed_2k(state, target.joint,
                                         options.targeting, checkpointing)
@@ -298,25 +410,35 @@ Graph generate_checkpointed(const util::ArgParser& args,
     // is idempotent but guarantees a resume point exists even when the
     // stop landed inside the very first leg.
     io::write_checkpoint_file(save_path, state);
+    record_output(save_path);
     if (g_signal != 0) {
-      std::fprintf(stderr, "caught signal %d\n",
-                   static_cast<int>(g_signal));
+      status("caught signal %d\n", static_cast<int>(g_signal));
     }
-    std::fprintf(stderr,
-                 "interrupted at %llu/%llu attempts per chain; resume "
-                 "with: orbis_tool generate ... --resume %s\n",
-                 static_cast<unsigned long long>(run.attempts_done),
-                 static_cast<unsigned long long>(state.budget),
-                 save_path.c_str());
+    status("interrupted at %llu/%llu attempts per chain; resume "
+           "with: orbis_tool generate ... --resume %s\n",
+           static_cast<unsigned long long>(run.attempts_done),
+           static_cast<unsigned long long>(state.budget),
+           save_path.c_str());
     interrupted = true;
     return Graph(0);
   }
-  std::fprintf(stderr,
-               "targeting: best chain %zu, distance %.0f, %llu attempts "
-               "per chain, %llu accepted swaps\n",
-               run.best_chain, run.best_distance,
-               static_cast<unsigned long long>(run.attempts_done),
-               static_cast<unsigned long long>(run.total_stats.accepted));
+  record_output(save_path);
+  if (g_want_report) {
+    obs::StageRecord stage;
+    stage.name = d == 2 ? "target.2k" : "target.3k";
+    stage.stats = run.total_stats;
+    stage.final_distance = run.best_distance;
+    stage.has_distance = true;
+    stage.chains = state.chains.size();
+    stage.best_chain = run.best_chain;
+    stage.duration_seconds = seconds_since(stage_start);
+    g_report.stages.push_back(stage);
+  }
+  status("targeting: best chain %zu, distance %.0f, %llu attempts "
+         "per chain, %llu accepted swaps\n",
+         run.best_chain, run.best_distance,
+         static_cast<unsigned long long>(run.attempts_done),
+         static_cast<unsigned long long>(run.total_stats.accepted));
   return run.graph;
 }
 
@@ -327,6 +449,7 @@ int cmd_generate(const util::ArgParser& args, util::Rng& rng) {
     std::fprintf(stderr, "generate: --out is required\n");
     return 2;
   }
+  record_config("d", std::to_string(d));
 
   const bool checkpointed = !args.get_string("--checkpoint", "").empty() ||
                             !args.get_string("--resume", "").empty();
@@ -344,17 +467,29 @@ int cmd_generate(const util::ArgParser& args, util::Rng& rng) {
     options.d = d;
     options.workers = parse_count(args, "--workers", 1);
     options.stop = g_stop.token();
+    options.progress = g_progress;
+    record_config("like", like);
+    record_config("workers", std::to_string(options.workers));
+    set_phase("randomize " + std::to_string(d) + "k");
     gen::RewiringStats stats;
+    const auto stage_start = std::chrono::steady_clock::now();
     result = gen::randomize(original, options, rng, &stats);
+    if (g_want_report) {
+      obs::StageRecord stage;
+      stage.name = "randomize";
+      stage.stats = stats;
+      stage.duration_seconds = seconds_since(stage_start);
+      g_report.stages.push_back(stage);
+    }
     if (g_stop.stop_requested()) {
       std::fprintf(stderr,
                    "generate: interrupted before completion; no output "
                    "written\n");
       return kExitInterrupted;
     }
-    std::fprintf(stderr, "randomized: %llu/%llu swaps accepted\n",
-                 static_cast<unsigned long long>(stats.accepted),
-                 static_cast<unsigned long long>(stats.attempts));
+    status("randomized: %llu/%llu swaps accepted\n",
+           static_cast<unsigned long long>(stats.accepted),
+           static_cast<unsigned long long>(stats.attempts));
   } else {
     // Distribution-driven construction.
     dk::DkDistributions target;
@@ -391,14 +526,35 @@ int cmd_generate(const util::ArgParser& args, util::Rng& rng) {
     options.chains.chains = parse_count(args, "--chains", 0);
     options.targeting.workers = parse_count(args, "--workers", 1);
     options.targeting.stop = g_stop.token();
+    options.targeting.progress = g_progress;
     apply_objective_flags(args, options.targeting);
+    record_config("method", args.get_string("--method", "matching"));
+    record_config("workers", std::to_string(options.targeting.workers));
     if (checkpointed) {
       bool interrupted = false;
       result = generate_checkpointed(args, target, d, options, rng,
                                      interrupted);
       if (interrupted) return kExitInterrupted;
     } else {
+      record_config("chains", std::to_string(gen::default_chain_count(
+                                  options.chains.chains)));
+      set_phase("generate " + std::to_string(d) + "k");
+      // generate_dk_random does not hand stats back, but the wrappers it
+      // calls publish theirs to the registry at call boundaries — the
+      // counter delta around the call is this stage's exact count.
+      const gen::RewiringStats before = scrape_rewire_counters();
+      const auto stage_start = std::chrono::steady_clock::now();
       result = gen::generate_dk_random(target, d, options, rng);
+      if (g_want_report) {
+        obs::StageRecord stage;
+        stage.name = "generate." + std::to_string(d) + "k";
+        stage.stats = scrape_rewire_counters().delta_since(before);
+        stage.chains = options.method == gen::Method::targeting
+                           ? gen::default_chain_count(options.chains.chains)
+                           : 1;
+        stage.duration_seconds = seconds_since(stage_start);
+        g_report.stages.push_back(stage);
+      }
       if (g_stop.stop_requested()) {
         std::fprintf(stderr,
                      "generate: interrupted before completion; no output "
@@ -412,12 +568,14 @@ int cmd_generate(const util::ArgParser& args, util::Rng& rng) {
     result = largest_connected_component(result).graph;
   }
   io::write_edge_list_file(out, result);
-  std::printf("wrote %s (%u nodes, %zu edges)\n", out.c_str(),
-              result.num_nodes(), result.num_edges());
+  record_output(out);
+  status("wrote %s (%u nodes, %zu edges)\n", out.c_str(),
+         result.num_nodes(), result.num_edges());
   const std::string dot = args.get_string("--dot", "");
   if (!dot.empty()) {
     io::write_dot_file(dot, result);
-    std::printf("wrote %s\n", dot.c_str());
+    record_output(dot);
+    status("wrote %s\n", dot.c_str());
   }
   print_metrics(result);
   return 0;
@@ -433,16 +591,18 @@ int cmd_rescale(const util::ArgParser& args, util::Rng& rng) {
                  "rescale: --from-2k, --nodes and --out are required\n");
     return 2;
   }
+  record_config("nodes", std::to_string(nodes));
   const auto source = io::read_2k_file(from);
   dk::RescaleReport report;
   const auto scaled = dk::rescale_2k(source, nodes, rng, &report);
   io::write_2k_file(out, scaled);
-  std::printf("wrote %s: %lld edges (%lld scaled + %lld repair), "
-              "~%llu nodes\n",
-              out.c_str(), static_cast<long long>(scaled.num_edges()),
-              static_cast<long long>(report.scaled_edges),
-              static_cast<long long>(report.repair_edges),
-              static_cast<unsigned long long>(report.target_nodes));
+  record_output(out);
+  status("wrote %s: %lld edges (%lld scaled + %lld repair), "
+         "~%llu nodes\n",
+         out.c_str(), static_cast<long long>(scaled.num_edges()),
+         static_cast<long long>(report.scaled_edges),
+         static_cast<long long>(report.repair_edges),
+         static_cast<unsigned long long>(report.target_nodes));
   return 0;
 }
 
@@ -464,21 +624,58 @@ int cmd_compare(const util::ArgParser& args) {
   return 0;
 }
 
+int dispatch(const std::string& command, const util::ArgParser& args,
+             util::Rng& rng) {
+  if (command == "analyze") return cmd_analyze(args);
+  if (command == "extract") return cmd_extract(args);
+  if (command == "generate") return cmd_generate(args, rng);
+  if (command == "rescale") return cmd_rescale(args, rng);
+  if (command == "compare") return cmd_compare(args);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // Every value-taking flag across the subcommands; the rest (--gcc,
-  // --in-memory, --trust-simple) are boolean and must NOT swallow a
-  // following positional (`extract --gcc graph.edges out`).
+  // --in-memory, --trust-simple, --progress, --quiet) are boolean and
+  // must NOT swallow a following positional
+  // (`extract --gcc graph.edges out`).
   const util::ArgParser args(
       argc, argv,
       {"--seed", "--buffer-kb", "--d", "--out", "--like", "--from-1k",
        "--from-2k", "--from-3k", "--method", "--chains", "--workers",
        "--objective", "--memory-budget-mb", "--dot", "--nodes",
        "--checkpoint", "--checkpoint-every", "--resume",
-       "--stop-after-checkpoints"});
+       "--stop-after-checkpoints", "--report", "--trace"});
   if (args.positional().empty()) return usage();
   const std::string& command = args.positional()[0];
+
+  // Telemetry setup before any work runs.  The tracer must be enabled
+  // up front so phase spans from the very first extraction pass land in
+  // the buffer; the progress tee is static so engine threads can hold
+  // the pointer for the whole run.
+  g_quiet = args.has_flag("--quiet");
+  std::string report_path;
+  std::string trace_path;
+  try {
+    report_path = args.get_string("--report", "");
+    trace_path = args.get_string("--trace", "");
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "orbis_tool: %s\n", error.what());
+    return 2;
+  }
+  g_want_report = !report_path.empty();
+  if (!trace_path.empty()) obs::Tracer::global().enable();
+  if (args.has_flag("--progress") && !g_quiet) {
+    g_meter = std::make_unique<obs::ProgressMeter>(stderr);
+  }
+  static obs::ProgressTee progress_tee(
+      {g_meter.get(), g_want_report ? &g_trajectory : nullptr});
+  if (g_meter != nullptr || g_want_report) g_progress = &progress_tee;
+
+  g_report.command = command;
+  for (int i = 0; i < argc; ++i) g_report.argv.emplace_back(argv[i]);
 
   // Cooperative shutdown: the first SIGINT/SIGTERM flips the stop token
   // and the run winds down at the next batch/leg boundary (flushing a
@@ -486,34 +683,69 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
 
+  const auto start = std::chrono::steady_clock::now();
+  int code = 0;
   try {
     // Inside the try: a malformed --seed (strict parsing) must report
     // like any other bad flag, not escape main and terminate.
-    util::Rng rng(static_cast<std::uint64_t>(args.get_int("--seed", 1)));
-    if (command == "analyze") return cmd_analyze(args);
-    if (command == "extract") return cmd_extract(args);
-    if (command == "generate") return cmd_generate(args, rng);
-    if (command == "rescale") return cmd_rescale(args, rng);
-    if (command == "compare") return cmd_compare(args);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("--seed", 1));
+    g_report.seed = seed;
+    g_report.has_seed = true;
+    util::Rng rng(seed);
+    code = dispatch(command, args, rng);
   } catch (const Error& error) {
     // The structured taxonomy (util/errors.hpp) carries its own exit
     // code: parse 2, I/O 3, resource 4, interrupted 130.
     std::fprintf(stderr, "orbis_tool %s: %s\n", command.c_str(),
                  error.what());
-    return error.exit_code();
+    g_report.error = error.what();
+    code = error.exit_code();
   } catch (const std::bad_alloc&) {
     std::fprintf(stderr, "orbis_tool %s: out of memory\n", command.c_str());
-    return exit_code_for(ErrorCategory::resource);
+    g_report.error = "out of memory";
+    code = exit_code_for(ErrorCategory::resource);
   } catch (const std::invalid_argument& error) {
     // CLI-level validation (bad flag values, unknown method): usage
     // errors, same exit class as malformed input.
     std::fprintf(stderr, "orbis_tool %s: %s\n", command.c_str(),
                  error.what());
-    return 2;
+    g_report.error = error.what();
+    code = 2;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "orbis_tool %s: %s\n", command.c_str(),
                  error.what());
-    return 1;
+    g_report.error = error.what();
+    code = 1;
   }
-  return usage();
+
+  if (g_meter != nullptr) g_meter->finish();
+
+  // Trace first (it may bump the exit code on write failure), then the
+  // report, which records the FINAL code.  Neither is gated on --quiet
+  // and both are written on error and interrupt paths too — a failed
+  // run's report is the most valuable one.
+  if (!trace_path.empty()) {
+    try {
+      obs::Tracer::global().write_chrome_trace_file(trace_path);
+      record_output(trace_path);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "orbis_tool: trace write failed: %s\n",
+                   error.what());
+      if (code == 0) code = exit_code_for(ErrorCategory::io);
+    }
+  }
+  if (g_want_report) {
+    g_report.exit_code = code;
+    g_report.interrupted = code == kExitInterrupted;
+    g_report.wall_seconds = seconds_since(start);
+    g_report.trajectory = &g_trajectory;
+    try {
+      obs::write_run_report(report_path, g_report);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "orbis_tool: report write failed: %s\n",
+                   error.what());
+      if (code == 0) code = exit_code_for(ErrorCategory::io);
+    }
+  }
+  return code;
 }

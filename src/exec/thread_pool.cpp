@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <latch>
 #include <utility>
+
+#include "obs/metrics.hpp"
 
 #if defined(__linux__)
 #include <sched.h>
@@ -28,6 +31,39 @@ std::size_t affinity_cpu_count() noexcept {
   }
 #endif
   return 0;
+}
+
+/// Pool instruments (obs/metrics.hpp): queue depth as a gauge, task
+/// throughput as a counter, per-task wall time as a power-of-two
+/// histogram in microseconds.  One registry lookup per process; updates
+/// are relaxed atomics, invisible to task results.
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& gauge =
+      obs::Registry::global().gauge("exec.queue_depth");
+  return gauge;
+}
+
+obs::Counter& tasks_counter() {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("exec.tasks_run");
+  return counter;
+}
+
+obs::Histogram& task_micros_histogram() {
+  static obs::Histogram& histogram =
+      obs::Registry::global().histogram("exec.task_micros");
+  return histogram;
+}
+
+/// Runs one task, timing it into the instruments above.
+void run_timed(std::function<void()>& task) {
+  const auto start = std::chrono::steady_clock::now();
+  task();
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  task_micros_histogram().observe(
+      static_cast<std::uint64_t>(micros.count()));
+  tasks_counter().add(1);
 }
 
 }  // namespace
@@ -62,6 +98,7 @@ void ThreadPool::enqueue(std::function<void()> task) {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push(std::move(task));
   }
+  queue_depth_gauge().add(1);
   work_ready_.notify_one();
 }
 
@@ -75,7 +112,8 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    queue_depth_gauge().add(-1);
+    run_timed(task);
   }
 }
 
@@ -100,7 +138,9 @@ void ThreadPool::run_tasks(std::vector<std::function<void()>>& tasks) {
     });
   }
   try {
-    tasks.back()();
+    // The caller's slice of the batch is timed like the pooled ones, so
+    // exec.task_micros covers every task regardless of where it ran.
+    run_timed(tasks.back());
   } catch (...) {
     errors.back() = std::current_exception();
   }

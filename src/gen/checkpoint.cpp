@@ -5,6 +5,8 @@
 
 #include "exec/thread_pool.hpp"
 #include "gen/rewiring_engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace orbis::gen {
@@ -60,9 +62,18 @@ RunCheckpoint make_run(int d, const Graph& start,
   return state;
 }
 
-/// The leg loop shared by the 2K and 3K drivers.  `run_leg(chain, leg)`
-/// advances one chain by `leg` attempts from its canonical state and
-/// re-canonicalizes it.
+/// Cumulative stats over all chains — the between-leg snapshot the
+/// metrics publication diffs against.
+RewiringStats sum_chain_stats(const RunCheckpoint& state) {
+  RewiringStats total;
+  for (const auto& chain : state.chains) total += chain.stats;
+  return total;
+}
+
+/// The leg loop shared by the 2K and 3K drivers.
+/// `run_leg(chain, leg, chain_index)` advances one chain by `leg`
+/// attempts from its canonical state and re-canonicalizes it;
+/// `chain_index` is forwarded so leg bodies can tag progress lanes.
 template <typename RunLeg>
 CheckpointedResult run_legs(RunCheckpoint& state,
                             const CheckpointOptions& checkpointing,
@@ -74,9 +85,18 @@ CheckpointedResult run_legs(RunCheckpoint& state,
                   "run_checkpointed: chains out of step (corrupt state?)");
   }
 
+  static obs::Counter& legs_completed =
+      obs::Registry::global().counter("checkpoint.legs_completed");
+  static obs::Counter& flushes =
+      obs::Registry::global().counter("checkpoint.flushes");
+
   CheckpointedResult result;
   const std::uint64_t every =
       state.checkpoint_every > 0 ? state.checkpoint_every : state.budget;
+
+  // Metrics publish per-leg DELTAS against this baseline, so a resumed
+  // run never re-counts the attempts a previous process already ran.
+  RewiringStats published = sum_chain_stats(state);
 
   while (state.chains[0].attempts_done < state.budget) {
     if (checkpointing.stop.stop_requested()) {
@@ -97,18 +117,21 @@ CheckpointedResult run_legs(RunCheckpoint& state,
     tasks.reserve(state.chains.size());
     for (std::size_t i = 0; i < state.chains.size(); ++i) {
       ChainCheckpoint& chain = state.chains[i];
-      tasks.emplace_back([&chain, &run_leg, leg, stop_distance]() {
+      tasks.emplace_back([&chain, &run_leg, leg, stop_distance, i]() {
         // A converged chain idles through remaining legs: target_* would
         // return immediately without touching the Rng, so skip the
         // rebuild entirely.  attempts_done still advances — leg cadence
         // is uniform across chains by construction.
         if (static_cast<double>(chain.distance) > stop_distance) {
-          run_leg(chain, leg);
+          run_leg(chain, leg, i);
         }
         chain.attempts_done += leg;
       });
     }
-    exec::shared_pool().run_tasks(tasks);
+    {
+      const obs::Span leg_span("checkpoint.leg");
+      exec::shared_pool().run_tasks(tasks);
+    }
 
     if (checkpointing.stop.stop_requested()) {
       // The leg bodies bailed early (or ran to completion — either way
@@ -119,7 +142,15 @@ CheckpointedResult run_legs(RunCheckpoint& state,
       result.interrupted = true;
       break;
     }
-    if (checkpointing.on_checkpoint) checkpointing.on_checkpoint(state);
+    const RewiringStats now = sum_chain_stats(state);
+    publish_rewiring_metrics(now.delta_since(published));
+    published = now;
+    legs_completed.add(1);
+    if (checkpointing.on_checkpoint) {
+      const obs::Span flush_span("checkpoint.flush");
+      checkpointing.on_checkpoint(state);
+      flushes.add(1);
+    }
   }
 
   // Best chain: lowest distance, ties to the lowest id — same rule as
@@ -134,15 +165,7 @@ CheckpointedResult run_legs(RunCheckpoint& state,
   result.best_distance = static_cast<double>(state.chains[best].distance);
   result.graph = state.chains[best].graph;
   result.attempts_done = state.chains[0].attempts_done;
-  for (const auto& chain : state.chains) {
-    const RewiringStats& s = chain.stats;
-    result.total_stats.attempts += s.attempts;
-    result.total_stats.accepted += s.accepted;
-    result.total_stats.rejected_structural += s.rejected_structural;
-    result.total_stats.rejected_constraint += s.rejected_constraint;
-    result.total_stats.rejected_objective += s.rejected_objective;
-    result.total_stats.conflict_reevaluations += s.conflict_reevaluations;
-  }
+  result.total_stats = sum_chain_stats(state);
   return result;
 }
 
@@ -170,12 +193,15 @@ CheckpointedResult run_checkpointed_2k(
   leg_options.stop = checkpointing.stop;  // mid-leg bail; leg is discarded
   return run_legs(
       state, checkpointing, options.stop_distance,
-      [&](ChainCheckpoint& chain, std::uint64_t leg) {
+      [&](ChainCheckpoint& chain, std::uint64_t leg,
+          std::size_t chain_index) {
         util::Rng rng = util::Rng::from_state_words(chain.rng_state);
         // Rebuild from the canonical edge list — the same rebuild a
         // resume performs, which is the whole determinism argument.
         RewiringEngine engine(chain.graph);
-        chain.distance = engine.target_2k(target, leg_options, leg, rng,
+        TargetingOptions chain_options = leg_options;
+        chain_options.progress_lane = static_cast<std::uint32_t>(chain_index);
+        chain.distance = engine.target_2k(target, chain_options, leg, rng,
                                           &chain.stats);
         chain.graph = engine.graph();
         chain.rng_state = rng.state_words();
@@ -194,11 +220,14 @@ CheckpointedResult run_checkpointed_3k(RunCheckpoint& state,
   leg_options.stop = checkpointing.stop;
   return run_legs(
       state, checkpointing, options.stop_distance,
-      [&](ChainCheckpoint& chain, std::uint64_t leg) {
+      [&](ChainCheckpoint& chain, std::uint64_t leg,
+          std::size_t chain_index) {
         util::Rng rng = util::Rng::from_state_words(chain.rng_state);
         ThreeKRewirer rewirer(chain.graph);
+        TargetingOptions chain_options = leg_options;
+        chain_options.progress_lane = static_cast<std::uint32_t>(chain_index);
         chain.distance =
-            rewirer.target(target, leg_options, leg, rng, &chain.stats);
+            rewirer.target(target, chain_options, leg, rng, &chain.stats);
         chain.graph = rewirer.graph();
         chain.rng_state = rng.state_words();
       });

@@ -4,6 +4,7 @@
 
 #include "gen/errors.hpp"
 #include "gen/matching.hpp"
+#include "obs/trace.hpp"
 #include "gen/pseudograph.hpp"
 #include "gen/stochastic.hpp"
 #include "graph/builders.hpp"
@@ -22,6 +23,7 @@ namespace {
 Graph run_target_2k(const Graph& start,
                     const dk::JointDegreeDistribution& target,
                     const GenerateOptions& options, util::Rng& rng) {
+  const obs::Span span("generate.target_2k");
   const std::size_t chains = default_chain_count(options.chains.chains);
   if (chains == 1) {
     return target_2k(start, target, options.targeting, rng);
@@ -32,6 +34,7 @@ Graph run_target_2k(const Graph& start,
 
 Graph run_target_3k(const Graph& start, const dk::ThreeKProfile& target,
                     const GenerateOptions& options, util::Rng& rng) {
+  const obs::Span span("generate.target_3k");
   const std::size_t chains = default_chain_count(options.chains.chains);
   if (chains == 1) {
     return target_3k(start, target, options.targeting, rng);
@@ -80,7 +83,11 @@ Graph generate_2k(const dk::DkDistributions& target,
       const auto& one_k = target.degree.num_nodes() > 0
                               ? target.degree
                               : target.joint.project_to_1k();
-      const Graph start = matching_1k(one_k, rng);
+      Graph start;
+      {
+        const obs::Span seed_span("generate.seed_1k");
+        start = matching_1k(one_k, rng);
+      }
       return run_target_2k(start, target.joint, options, rng);
     }
   }
@@ -100,7 +107,11 @@ Graph generate_3k(const dk::DkDistributions& target,
   const auto& one_k_dist = target.degree.num_nodes() > 0
                                ? target.degree
                                : target.joint.project_to_1k();
-  const Graph one_k = matching_1k(one_k_dist, rng);
+  Graph one_k;
+  {
+    const obs::Span seed_span("generate.seed_1k");
+    one_k = matching_1k(one_k_dist, rng);
+  }
   const Graph two_k = run_target_2k(one_k, target.joint, options, rng);
   return run_target_3k(two_k, target.three_k, options, rng);
 }

@@ -6,6 +6,7 @@
 
 #include "exec/thread_pool.hpp"
 #include "gen/rewiring_engine.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 // Public rewiring entry points.  All dK-preserving swap machinery lives
@@ -46,6 +47,29 @@ Graph randomize_0k(const Graph& g, std::size_t budget, util::Rng& rng,
 
 }  // namespace
 
+void publish_rewiring_metrics(const RewiringStats& delta) {
+  if (delta == RewiringStats{}) return;
+  // Name resolution happens ONCE per process (function-local statics);
+  // afterwards a publish is six relaxed fetch_adds.
+  auto& registry = obs::Registry::global();
+  static obs::Counter& attempts = registry.counter("rewire.attempts");
+  static obs::Counter& accepted = registry.counter("rewire.accepted");
+  static obs::Counter& rejected_structural =
+      registry.counter("rewire.rejected_structural");
+  static obs::Counter& rejected_constraint =
+      registry.counter("rewire.rejected_constraint");
+  static obs::Counter& rejected_objective =
+      registry.counter("rewire.rejected_objective");
+  static obs::Counter& conflict_reevaluations =
+      registry.counter("rewire.conflict_reevaluations");
+  attempts.add(delta.attempts);
+  accepted.add(delta.accepted);
+  rejected_structural.add(delta.rejected_structural);
+  rejected_constraint.add(delta.rejected_constraint);
+  rejected_objective.add(delta.rejected_objective);
+  conflict_reevaluations.add(delta.conflict_reevaluations);
+}
+
 std::size_t default_chain_count(std::size_t requested) noexcept {
   if (requested > 0) return requested;
   return std::clamp<std::size_t>(exec::resolve_workers(0), 1, 8);
@@ -55,16 +79,26 @@ Graph randomize(const Graph& g, const RandomizeOptions& options,
                 util::Rng& rng, RewiringStats* stats) {
   util::expects(options.d >= 0 && options.d <= 3,
                 "randomize: d must be in [0,3]");
+  // Stats land in a local when the caller passed none, so the metrics
+  // publish below always sees this run's counts.  `before` handles
+  // callers that accumulate across calls into one struct.
+  RewiringStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  const RewiringStats before = *stats;
   const std::size_t budget =
       budget_of(options.attempts, options.attempts_per_edge, g.num_edges());
+  Graph out;
   switch (options.d) {
     case 0:
-      return randomize_0k(g, budget, rng, stats);
+      out = randomize_0k(g, budget, rng, stats);
+      break;
     case 1:
     case 2: {
       RewiringEngine engine(g);
-      engine.randomize(options.d, budget, rng, stats, options.stop);
-      return engine.graph();
+      engine.randomize(options.d, budget, rng, stats, options.stop,
+                       options.progress, options.progress_lane);
+      out = engine.graph();
+      break;
     }
     default: {
       ThreeKRewirer rewirer(g);
@@ -73,13 +107,17 @@ Graph randomize(const Graph& g, const RandomizeOptions& options,
             .workers = exec::resolve_workers(options.workers),
             .batch = options.batch};
         rewirer.randomize_parallel(budget, rng, exec::shared_pool(),
-                                   speculation, stats, options.stop);
+                                   speculation, stats, options.stop,
+                                   options.progress, options.progress_lane);
       } else {
-        rewirer.randomize(budget, rng, stats, options.stop);
+        rewirer.randomize(budget, rng, stats, options.stop, options.progress,
+                          options.progress_lane);
       }
-      return rewirer.graph();
+      out = rewirer.graph();
     }
   }
+  publish_rewiring_metrics(stats->delta_since(before));
+  return out;
 }
 
 Graph target_2k(const Graph& start, const dk::JointDegreeDistribution& target,
@@ -87,9 +125,13 @@ Graph target_2k(const Graph& start, const dk::JointDegreeDistribution& target,
                 RewiringStats* stats, double* final_distance) {
   const std::size_t budget = budget_of(
       options.attempts, options.attempts_per_edge, start.num_edges());
+  RewiringStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  const RewiringStats before = *stats;
   RewiringEngine engine(start);
   const std::int64_t distance =
       engine.target_2k(target, options, budget, rng, stats);
+  publish_rewiring_metrics(stats->delta_since(before));
   if (final_distance != nullptr) {
     *final_distance = static_cast<double>(distance);
   }
@@ -101,6 +143,9 @@ Graph target_3k(const Graph& start, const dk::ThreeKProfile& target,
                 RewiringStats* stats, double* final_distance) {
   const std::size_t budget = budget_of(
       options.attempts, options.attempts_per_edge, start.num_edges());
+  RewiringStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  const RewiringStats before = *stats;
   ThreeKRewirer rewirer(start);
   std::int64_t distance = 0;
   if (options.workers != 1) {
@@ -113,6 +158,7 @@ Graph target_3k(const Graph& start, const dk::ThreeKProfile& target,
   } else {
     distance = rewirer.target(target, options, budget, rng, stats);
   }
+  publish_rewiring_metrics(stats->delta_since(before));
   if (final_distance != nullptr) {
     *final_distance = static_cast<double>(distance);
   }
@@ -121,25 +167,16 @@ Graph target_3k(const Graph& start, const dk::ThreeKProfile& target,
 
 namespace {
 
-void accumulate(RewiringStats& total, const RewiringStats& chain) {
-  total.attempts += chain.attempts;
-  total.accepted += chain.accepted;
-  total.rejected_structural += chain.rejected_structural;
-  total.rejected_constraint += chain.rejected_constraint;
-  total.rejected_objective += chain.rejected_objective;
-  total.conflict_reevaluations += chain.conflict_reevaluations;
-}
-
 Graph finish_multichain(std::vector<ChainOutcome>& outcomes,
                         std::size_t best, MultiChainResult* result,
                         const Graph& start) {
+  RewiringStats total;
+  for (const auto& outcome : outcomes) total += outcome.stats;
+  publish_rewiring_metrics(total);
   if (result != nullptr) {
     result->best_chain = best;
     result->best_distance = outcomes[best].distance;
-    result->total_stats = RewiringStats{};
-    for (const auto& outcome : outcomes) {
-      accumulate(result->total_stats, outcome.stats);
-    }
+    result->total_stats = total;
   }
   // A stop requested before any chain started leaves every outcome at
   // the infinite sentinel with an empty graph; hand back the input
@@ -160,11 +197,15 @@ Graph target_2k_multichain(const Graph& start,
   std::vector<ChainOutcome> outcomes;
   const std::size_t best = run_multichain(
       chains.chains, rng,
-      [&](std::size_t, util::Rng& chain_rng) {
+      [&](std::size_t chain, util::Rng& chain_rng) {
         ChainOutcome outcome;
         RewiringEngine engine(start);
+        // Each chain reports progress under its own lane so a meter can
+        // aggregate attempts/acceptance across concurrent chains.
+        TargetingOptions chain_options = options;
+        chain_options.progress_lane = static_cast<std::uint32_t>(chain);
         outcome.distance = static_cast<double>(engine.target_2k(
-            target, options, budget, chain_rng, &outcome.stats));
+            target, chain_options, budget, chain_rng, &outcome.stats));
         outcome.graph = engine.graph();
         return outcome;
       },
@@ -182,11 +223,13 @@ Graph target_3k_multichain(const Graph& start,
   std::vector<ChainOutcome> outcomes;
   const std::size_t best = run_multichain(
       chains.chains, rng,
-      [&](std::size_t, util::Rng& chain_rng) {
+      [&](std::size_t chain, util::Rng& chain_rng) {
         ChainOutcome outcome;
         ThreeKRewirer rewirer(start);
+        TargetingOptions chain_options = options;
+        chain_options.progress_lane = static_cast<std::uint32_t>(chain);
         outcome.distance = static_cast<double>(rewirer.target(
-            target, options, budget, chain_rng, &outcome.stats));
+            target, chain_options, budget, chain_rng, &outcome.stats));
         outcome.graph = rewirer.graph();
         return outcome;
       },
@@ -199,19 +242,26 @@ Graph explore(const Graph& g, ExploreObjective objective,
               RewiringStats* stats) {
   const std::size_t budget =
       budget_of(options.attempts, options.attempts_per_edge, g.num_edges());
+  RewiringStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  const RewiringStats before = *stats;
   const bool s_objective = objective == ExploreObjective::maximize_s ||
                            objective == ExploreObjective::minimize_s;
+  Graph out;
   if (s_objective) {
     RewiringEngine engine(g);
     engine.explore_s(objective == ExploreObjective::maximize_s, budget,
                      options.stop_at_value, rng, stats);
-    return engine.graph();
+    out = engine.graph();
+  } else {
+    // Exploration only reads the scalar objectives, so skip the (hub-
+    // expensive) wedge/triangle histogram maintenance.
+    ThreeKRewirer rewirer(g, dk::TrackLevel::three_k_scalars);
+    rewirer.explore(objective, budget, options.stop_at_value, rng, stats);
+    out = rewirer.graph();
   }
-  // Exploration only reads the scalar objectives, so skip the (hub-
-  // expensive) wedge/triangle histogram maintenance.
-  ThreeKRewirer rewirer(g, dk::TrackLevel::three_k_scalars);
-  rewirer.explore(objective, budget, options.stop_at_value, rng, stats);
-  return rewirer.graph();
+  publish_rewiring_metrics(stats->delta_since(before));
+  return out;
 }
 
 double objective_value(const Graph& g, ExploreObjective objective) {

@@ -27,6 +27,7 @@
 #include "core/three_k_profile.hpp"
 #include "gen/objective_backend.hpp"
 #include "graph/graph.hpp"
+#include "obs/progress.hpp"
 #include "util/rng.hpp"
 #include "util/stop_token.hpp"
 
@@ -50,8 +51,41 @@ struct RewiringStats {
                : 0.0;
   }
 
+  /// Field-wise accumulation — THE way chain/leg stats are summed
+  /// (multichain drivers, checkpoint legs, tool summaries), so a new
+  /// counter added here is aggregated everywhere or nowhere.
+  RewiringStats& operator+=(const RewiringStats& other) {
+    attempts += other.attempts;
+    accepted += other.accepted;
+    rejected_structural += other.rejected_structural;
+    rejected_constraint += other.rejected_constraint;
+    rejected_objective += other.rejected_objective;
+    conflict_reevaluations += other.conflict_reevaluations;
+    return *this;
+  }
+
+  /// Field-wise difference of two cumulative snapshots (later - earlier):
+  /// how the checkpoint driver turns per-leg boundaries into per-leg
+  /// deltas for metrics and reports.
+  RewiringStats delta_since(const RewiringStats& earlier) const {
+    RewiringStats d;
+    d.attempts = attempts - earlier.attempts;
+    d.accepted = accepted - earlier.accepted;
+    d.rejected_structural = rejected_structural - earlier.rejected_structural;
+    d.rejected_constraint = rejected_constraint - earlier.rejected_constraint;
+    d.rejected_objective = rejected_objective - earlier.rejected_objective;
+    d.conflict_reevaluations =
+        conflict_reevaluations - earlier.conflict_reevaluations;
+    return d;
+  }
+
   friend bool operator==(const RewiringStats&, const RewiringStats&) = default;
 };
+
+/// Adds `delta` into the global metrics registry's rewire.* counters
+/// (obs/metrics.hpp).  Called once per engine run / checkpoint leg —
+/// never from the attempt hot path.
+void publish_rewiring_metrics(const RewiringStats& delta);
 
 // ---------------------------------------------------------------------------
 // Randomizing rewiring.
@@ -72,6 +106,11 @@ struct RandomizeOptions {
   /// token at batch boundaries and returns early — with whatever graph
   /// it has — once a stop is requested.  Default token never stops.
   util::StopToken stop{};
+  /// Optional live-progress observer (obs/progress.hpp), called at the
+  /// SAME batch boundaries where `stop` is polled.  Sinks only read the
+  /// sample, so chains are bit-identical with or without one.
+  obs::ProgressSink* progress = nullptr;
+  std::uint32_t progress_lane = 0;  ///< chain index in multichain runs
 };
 
 /// dK-randomizing rewiring: returns a random graph with exactly the same
@@ -118,6 +157,11 @@ struct TargetingOptions {
   /// (gen/checkpoint.hpp) discard mid-leg partial work instead, so
   /// their resume determinism is unaffected.  Default token never stops.
   util::StopToken stop{};
+  /// Optional live-progress observer (obs/progress.hpp), called at the
+  /// SAME batch boundaries where `stop` is polled.  Sinks only read the
+  /// sample, so chains are bit-identical with or without one.
+  obs::ProgressSink* progress = nullptr;
+  std::uint32_t progress_lane = 0;  ///< chain index in multichain runs
 };
 
 /// 2K-targeting 1K-preserving rewiring.  `start` must already have the

@@ -17,8 +17,20 @@ namespace {
 /// adding nothing measurable to the per-swap hot path.
 constexpr std::size_t kStopPollMask = 1023;
 
-inline bool stop_poll(const util::StopToken& stop, std::size_t attempt) {
-  return (attempt & kStopPollMask) == 0 && stop.stop_requested();
+/// Progress report at a stop-poll boundary.  Sinks only READ the sample
+/// (obs/progress.hpp), so a chain runs bit-identically with or without
+/// one; `stats` is never null here (callers substitute a local).
+inline void report_progress(obs::ProgressSink* sink, std::uint32_t lane,
+                            const RewiringStats& stats, std::uint64_t budget,
+                            double objective, bool has_objective) {
+  if (sink == nullptr) return;
+  obs::ProgressSample sample;
+  sample.attempts = stats.attempts;
+  sample.accepted = stats.accepted;
+  sample.budget = budget;
+  sample.objective = objective;
+  sample.has_objective = has_objective;
+  sink->report(lane, sample);
 }
 
 /// Uniform candidate: two distinct edge slots, random orientation of the
@@ -93,10 +105,20 @@ bool RewiringEngine::structurally_valid(const Swap& swap) const {
 }
 
 void RewiringEngine::randomize(int d, std::size_t budget, util::Rng& rng,
-                               RewiringStats* stats, util::StopToken stop) {
+                               RewiringStats* stats, util::StopToken stop,
+                               obs::ProgressSink* progress,
+                               std::uint32_t progress_lane) {
   util::expects(d == 1 || d == 2, "RewiringEngine::randomize: d must be 1|2");
+  // Count into a local when the caller passed no stats sink, so progress
+  // always has attempt/accept totals to report (observably identical —
+  // the chain never reads the counts).
+  RewiringStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
   for (std::size_t attempt = 0; attempt < budget; ++attempt) {
-    if (stop_poll(stop, attempt)) break;
+    if ((attempt & kStopPollMask) == 0) {
+      if (stop.stop_requested()) break;
+      report_progress(progress, progress_lane, *stats, budget, 0.0, false);
+    }
     if (index_.num_edges() < 2) break;
     if (stats != nullptr) ++stats->attempts;
     Swap swap{};
@@ -173,11 +195,18 @@ std::int64_t RewiringEngine::target_2k_with(Objective& objective,
                                             std::size_t budget,
                                             util::Rng& rng,
                                             RewiringStats* stats) {
+  RewiringStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
   for (std::size_t attempt = 0;
        attempt < budget &&
        static_cast<double>(objective.distance()) > options.stop_distance;
        ++attempt) {
-    if (stop_poll(options.stop, attempt)) break;
+    if ((attempt & kStopPollMask) == 0) {
+      if (options.stop.stop_requested()) break;
+      report_progress(options.progress, options.progress_lane, *stats,
+                      budget, static_cast<double>(objective.distance()),
+                      true);
+    }
     if (index_.num_edges() < 2) break;
     if (stats != nullptr) ++stats->attempts;
     Swap swap{};
@@ -286,12 +315,19 @@ bool ThreeKRewirer::draw_candidate(util::Rng& rng, Swap& swap) const {
 }
 
 void ThreeKRewirer::randomize(std::size_t budget, util::Rng& rng,
-                              RewiringStats* stats, util::StopToken stop) {
+                              RewiringStats* stats, util::StopToken stop,
+                              obs::ProgressSink* progress,
+                              std::uint32_t progress_lane) {
   util::expects(state_.level() == dk::TrackLevel::full_three_k,
                 "ThreeKRewirer::randomize: needs full_three_k tracking");
+  RewiringStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
   dk::SwapDelta delta;
   for (std::size_t attempt = 0; attempt < budget; ++attempt) {
-    if (stop_poll(stop, attempt)) break;
+    if ((attempt & kStopPollMask) == 0) {
+      if (stop.stop_requested()) break;
+      report_progress(progress, progress_lane, *stats, budget, 0.0, false);
+    }
     if (index_.num_edges() < 2) break;
     if (stats != nullptr) ++stats->attempts;
     Swap swap{};
@@ -321,11 +357,18 @@ std::int64_t ThreeKRewirer::target(const dk::ThreeKProfile& target,
   ThreeKObjective objective(state_, target);
   dk::SwapDelta swap_delta;
 
+  RewiringStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
   for (std::size_t attempt = 0;
        attempt < budget &&
        static_cast<double>(objective.distance()) > options.stop_distance;
        ++attempt) {
-    if (stop_poll(options.stop, attempt)) break;
+    if ((attempt & kStopPollMask) == 0) {
+      if (options.stop.stop_requested()) break;
+      report_progress(options.progress, options.progress_lane, *stats,
+                      budget, static_cast<double>(objective.distance()),
+                      true);
+    }
     if (index_.num_edges() < 2) break;
     if (stats != nullptr) ++stats->attempts;
     Swap swap{};

@@ -55,9 +55,12 @@ class RewiringEngine {
   /// dK-randomizing rewiring at d = 1 or 2 (degree-preserving swaps; at
   /// d = 2 candidates come from the degree buckets, so every structurally
   /// valid proposal already preserves the JDD).  `stop` is polled every
-  /// 1024 attempts; a requested stop ends the run early.
+  /// 1024 attempts; a requested stop ends the run early.  `progress`
+  /// (may be null) is reported at the same cadence.
   void randomize(int d, std::size_t budget, util::Rng& rng,
-                 RewiringStats* stats, util::StopToken stop = {});
+                 RewiringStats* stats, util::StopToken stop = {},
+                 obs::ProgressSink* progress = nullptr,
+                 std::uint32_t progress_lane = 0);
 
   /// 2K-targeting 1K-preserving Metropolis rewiring.  Returns the exact
   /// integer D2 after the run.  The ΔD2 objective backend is resolved
@@ -123,9 +126,12 @@ class ThreeKRewirer {
 
   /// 3K-preserving randomization: bucket-drawn 2K-preserving candidates,
   /// verified exactly against the wedge/triangle delta journal.  `stop`
-  /// is polled every 1024 attempts.
+  /// is polled every 1024 attempts; `progress` (may be null) is
+  /// reported at the same cadence.
   void randomize(std::size_t budget, util::Rng& rng, RewiringStats* stats,
-                 util::StopToken stop = {});
+                 util::StopToken stop = {},
+                 obs::ProgressSink* progress = nullptr,
+                 std::uint32_t progress_lane = 0);
 
   /// 3K-targeting 2K-preserving Metropolis rewiring; returns exact
   /// integer D3 after the run.
@@ -147,7 +153,9 @@ class ThreeKRewirer {
   void randomize_parallel(std::size_t budget, util::Rng& rng,
                           exec::ThreadPool& pool,
                           const SpeculationOptions& speculation,
-                          RewiringStats* stats, util::StopToken stop = {});
+                          RewiringStats* stats, util::StopToken stop = {},
+                          obs::ProgressSink* progress = nullptr,
+                          std::uint32_t progress_lane = 0);
   std::int64_t target_parallel(const dk::ThreeKProfile& target,
                                const TargetingOptions& options,
                                std::size_t budget, util::Rng& rng,

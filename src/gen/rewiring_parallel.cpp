@@ -39,6 +39,7 @@
 
 #include "exec/thread_pool.hpp"
 #include "gen/rewiring_engine.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace orbis::gen {
@@ -81,11 +82,15 @@ void ThreeKRewirer::randomize_parallel(std::size_t budget, util::Rng& rng,
                                        exec::ThreadPool& pool,
                                        const SpeculationOptions& speculation,
                                        RewiringStats* stats,
-                                       util::StopToken stop) {
+                                       util::StopToken stop,
+                                       obs::ProgressSink* progress,
+                                       std::uint32_t progress_lane) {
   util::expects(state_.level() == dk::TrackLevel::full_three_k,
                 "ThreeKRewirer::randomize_parallel: needs full_three_k");
   TargetingOptions options;
   options.stop = stop;
+  options.progress = progress;
+  options.progress_lane = progress_lane;
   run_speculative(nullptr, options, budget, rng, pool, speculation, stats);
 }
 
@@ -106,6 +111,12 @@ std::int64_t ThreeKRewirer::run_speculative(
   const bool targeting = target != nullptr;
   std::optional<ThreeKObjective> objective;
   if (targeting) objective.emplace(state_, *target);
+
+  // Count into a local when the caller passed no stats sink, so the
+  // between-round progress reports always carry attempt/accept totals
+  // (observably identical — nothing below reads the counts).
+  RewiringStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
 
   const std::size_t batch = speculation.batch > 0 ? speculation.batch : 1;
   const std::size_t partitions =
@@ -133,8 +144,21 @@ std::int64_t ThreeKRewirer::run_speculative(
   while (drawn < budget && !reached_stop() && index_.num_edges() >= 2) {
     // Cooperative cancellation at round granularity: the committer is
     // the only mutator, so between rounds is the one place a bail-out
-    // leaves the state consistent (never mid-commit).
+    // leaves the state consistent (never mid-commit).  Progress reports
+    // share the boundary (observers only — see docs/observability.md).
     if (options.stop.stop_requested()) break;
+    if (options.progress != nullptr) {
+      obs::ProgressSample sample;
+      sample.attempts = stats->attempts;
+      sample.accepted = stats->accepted;
+      sample.budget = budget;
+      if (targeting) {
+        sample.objective = static_cast<double>(objective->distance());
+        sample.has_objective = true;
+      }
+      options.progress->report(options.progress_lane, sample);
+    }
+    const obs::Span round_span("3k.spec.round");
     ++round_id;
     dirty_bins.clear();
 

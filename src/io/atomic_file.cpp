@@ -10,11 +10,19 @@
 #include <vector>
 
 #include "io/fault_injection.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/errors.hpp"
 
 namespace orbis::io {
 
 namespace {
+
+obs::Counter& bytes_written_counter() {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("io.bytes_written");
+  return counter;
+}
 
 std::string errno_text(int err) {
   return std::string(std::strerror(err)) + " (errno " + std::to_string(err) +
@@ -49,6 +57,7 @@ void write_all(int fd, const char* data, std::size_t size) {
     }
     written += static_cast<std::size_t>(got);
   }
+  bytes_written_counter().add(written);
 }
 
 }  // namespace
@@ -149,23 +158,29 @@ void AtomicFileWriter::commit() {
   // fsync the temp file: the rename must never publish bytes the disk
   // has not accepted.
   int injected = 0;
-  if (fault::should_fail(fault::Point::fsync, injected) ||
-      ::fsync(buffer_->fd()) != 0) {
-    const int err = injected != 0 ? injected : errno;
-    abort();
-    throw IoError("fsync failed for " + temp_path_ + ": " + errno_text(err),
-                  err);
+  {
+    const obs::Span fsync_span("io.fsync");
+    if (fault::should_fail(fault::Point::fsync, injected) ||
+        ::fsync(buffer_->fd()) != 0) {
+      const int err = injected != 0 ? injected : errno;
+      abort();
+      throw IoError("fsync failed for " + temp_path_ + ": " + errno_text(err),
+                    err);
+    }
   }
   buffer_->close_fd();
 
   // Atomic publish.
-  if (fault::should_fail(fault::Point::rename_file, injected) ||
-      std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
-    const int err = injected != 0 ? injected : errno;
-    abort();
-    throw IoError("rename failed: " + temp_path_ + " -> " + path_ + ": " +
-                      errno_text(err),
-                  err);
+  {
+    const obs::Span rename_span("io.rename");
+    if (fault::should_fail(fault::Point::rename_file, injected) ||
+        std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+      const int err = injected != 0 ? injected : errno;
+      abort();
+      throw IoError("rename failed: " + temp_path_ + " -> " + path_ + ": " +
+                        errno_text(err),
+                    err);
+    }
   }
 
   // Directory fsync makes the rename itself durable.  Best-effort on
@@ -178,6 +193,9 @@ void AtomicFileWriter::commit() {
     ::close(dir_fd);
   }
 
+  static obs::Counter& commits =
+      obs::Registry::global().counter("io.atomic_commits");
+  commits.add(1);
   committed_ = true;
   stream_.reset();
   buffer_.reset();

@@ -11,6 +11,8 @@
 #include "io/edge_line.hpp"
 #include "io/fault_injection.hpp"
 #include "io/retry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/errors.hpp"
 
@@ -73,6 +75,9 @@ std::size_t read_some(int fd, char* data, std::size_t size,
                         " of " + path + ": " + errno_text(err),
                     err);
     }
+    static obs::Counter& bytes_read =
+        obs::Registry::global().counter("io.bytes_read");
+    bytes_read.add(static_cast<std::uint64_t>(got));
     return static_cast<std::size_t>(got);
   });
 }
@@ -155,14 +160,26 @@ StreamingExtractResult extract_dk_streaming(
     for (const RawEdge& edge : edges) extractor.consume(edge.u, edge.v);
   };
 
+  int pass = 0;
   while (true) {
-    reader.run_pass(consume_chunk);
+    {
+      // Pass 0 is the degree census, pass 1 the histogram accumulation
+      // (core/streaming_extract.hpp); name the spans accordingly so a
+      // trace shows where a big extract spends its time.
+      const obs::Span pass_span(pass == 0 ? "extract.pass0"
+                                          : "extract.pass1");
+      reader.run_pass(consume_chunk);
+    }
+    ++pass;
     const bool more = extractor.needs_another_pass();
     extractor.end_pass();
     if (!more) break;
   }
   extractor.declare_nodes(reader.declared_nodes());
-  result.distributions = extractor.finish();
+  {
+    const obs::Span finish_span("extract.finish");
+    result.distributions = extractor.finish();
+  }
   // The extractor checkpoints its own high-water mark (the 3K
   // histograms exist only inside finish(), invisible to callers).
   result.peak_accumulator_bytes = extractor.peak_accumulator_bytes();

@@ -8,6 +8,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/metrics.hpp"
 #include "util/errors.hpp"
 
 namespace orbis::io::fault {
@@ -110,6 +111,11 @@ bool should_fail(Point point, int& errno_out) {
   if (state.remaining == 0) return false;
   if (state.remaining != ~0ull) --state.remaining;
   errno_out = state.error_code;
+  // Every injected failure shows up in the run report's metrics block,
+  // so a fault-injection test can assert the fault actually fired.
+  static obs::Counter& injected =
+      obs::Registry::global().counter("io.faults_injected");
+  injected.add(1);
   return true;
 }
 

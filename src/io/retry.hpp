@@ -18,6 +18,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "util/errors.hpp"
 
 namespace orbis::io {
@@ -52,6 +53,12 @@ auto retry_transient(const RetryPolicy& policy, Operation&& operation)
           attempt >= policy.max_attempts) {
         throw;
       }
+      // Absorbed transient failures are invisible to the caller by
+      // design; the counter is how a run report still shows a flaky
+      // mount (obs/metrics.hpp, docs/observability.md).
+      static obs::Counter& retries =
+          obs::Registry::global().counter("io.transient_retries");
+      retries.add(1);
     }
     if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
     backoff *= 2;

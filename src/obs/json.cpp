@@ -1,0 +1,149 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace orbis::obs::json {
+
+void Writer::newline_indent() {
+  if (!pretty_) return;
+  out_.put('\n');
+  for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+}
+
+void Writer::before_value() {
+  util::expects(!root_done_, "json::Writer: document already complete");
+  if (stack_.empty()) return;  // root value
+  if (stack_.back() == Scope::object) {
+    util::expects(key_pending_,
+                  "json::Writer: value inside an object needs a key first");
+    key_pending_ = false;
+    return;
+  }
+  if (!first_in_scope_) out_.put(',');
+  first_in_scope_ = false;
+  newline_indent();
+}
+
+void Writer::after_value() {
+  if (stack_.empty()) root_done_ = true;
+}
+
+void Writer::begin_object() {
+  before_value();
+  out_.put('{');
+  stack_.push_back(Scope::object);
+  first_in_scope_ = true;
+}
+
+void Writer::end_object() {
+  util::expects(!stack_.empty() && stack_.back() == Scope::object,
+                "json::Writer: end_object without matching begin_object");
+  util::expects(!key_pending_, "json::Writer: dangling key at end_object");
+  stack_.pop_back();
+  if (!first_in_scope_) newline_indent();
+  out_.put('}');
+  first_in_scope_ = false;
+  after_value();
+}
+
+void Writer::begin_array() {
+  before_value();
+  out_.put('[');
+  stack_.push_back(Scope::array);
+  first_in_scope_ = true;
+}
+
+void Writer::end_array() {
+  util::expects(!stack_.empty() && stack_.back() == Scope::array,
+                "json::Writer: end_array without matching begin_array");
+  stack_.pop_back();
+  if (!first_in_scope_) newline_indent();
+  out_.put(']');
+  first_in_scope_ = false;
+  after_value();
+}
+
+void Writer::key(std::string_view name) {
+  util::expects(!stack_.empty() && stack_.back() == Scope::object,
+                "json::Writer: key outside of an object");
+  util::expects(!key_pending_, "json::Writer: two keys in a row");
+  if (!first_in_scope_) out_.put(',');
+  first_in_scope_ = false;
+  newline_indent();
+  write_escaped(name);
+  out_.put(':');
+  if (pretty_) out_.put(' ');
+  key_pending_ = true;
+}
+
+void Writer::write_escaped(std::string_view text) {
+  out_.put('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\r': out_ << "\\r"; break;
+      case '\t': out_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out_ << buffer;
+        } else {
+          out_.put(c);
+        }
+    }
+  }
+  out_.put('"');
+}
+
+void Writer::value(std::string_view text) {
+  before_value();
+  write_escaped(text);
+  after_value();
+}
+
+void Writer::value(bool flag) {
+  before_value();
+  out_ << (flag ? "true" : "false");
+  after_value();
+}
+
+void Writer::value(double number) {
+  if (!std::isfinite(number)) {
+    null();
+    return;
+  }
+  before_value();
+  // %.17g round-trips every double; the result is always a valid JSON
+  // number (no leading +, no hex floats from %g).
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+  out_ << buffer;
+  after_value();
+}
+
+void Writer::value(std::int64_t number) {
+  before_value();
+  out_ << number;
+  after_value();
+}
+
+void Writer::value(std::uint64_t number) {
+  before_value();
+  out_ << number;
+  after_value();
+}
+
+void Writer::null() {
+  before_value();
+  out_ << "null";
+  after_value();
+}
+
+}  // namespace orbis::obs::json

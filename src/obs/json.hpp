@@ -1,0 +1,88 @@
+// Minimal streaming JSON writer for the telemetry subsystem
+// (docs/observability.md): run reports, Chrome trace exports and the
+// shared RewiringStats serializer all emit through this one class, so
+// escaping and number formatting live in exactly one place.
+//
+// The writer is strictly streaming — no DOM, no allocation proportional
+// to the document — and enforces well-formedness structurally: keys are
+// only legal inside objects, values only where JSON allows them, and
+// end_* must match the innermost open scope (util::expects otherwise).
+// Doubles are emitted with enough digits to round-trip; NaN and the
+// infinities, which JSON cannot represent, serialize as null rather
+// than producing an invalid document.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace orbis::obs::json {
+
+class Writer {
+ public:
+  /// `pretty` inserts newlines + two-space indentation; compact output
+  /// (pretty = false) suits trace files with many small records.
+  explicit Writer(std::ostream& out, bool pretty = true)
+      : out_(out), pretty_(pretty) {}
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object key; must be followed by exactly one value or container.
+  void key(std::string_view name);
+
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view(text)); }
+  void value(bool flag);
+  void value(double number);  // NaN / ±inf emit null
+  void value(std::int64_t number);
+  void value(std::uint64_t number);
+  /// Any other integer type routes to the 64-bit overload of matching
+  /// signedness (a template, so size_t/uint64_t aliasing never declares
+  /// a duplicate overload).
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  void value(T number) {
+    if constexpr (std::is_signed_v<T>) {
+      value(static_cast<std::int64_t>(number));
+    } else {
+      value(static_cast<std::uint64_t>(number));
+    }
+  }
+  void null();
+
+  /// key(name) + value(v) in one call.
+  template <typename T>
+  void kv(std::string_view name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+  /// True once the root value is complete (all scopes closed).
+  bool done() const noexcept { return root_done_ && stack_.empty(); }
+
+ private:
+  enum class Scope : std::uint8_t { object, array };
+
+  void before_value();
+  void after_value();
+  void write_escaped(std::string_view text);
+  void newline_indent();
+
+  std::ostream& out_;
+  bool pretty_;
+  bool root_done_ = false;
+  bool key_pending_ = false;   // inside an object, key emitted, value due
+  bool first_in_scope_ = true; // no comma before the next element
+  std::vector<Scope> stack_;
+};
+
+}  // namespace orbis::obs::json

@@ -1,0 +1,119 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace orbis::obs {
+
+namespace {
+constexpr int kCounter = 0;
+constexpr int kGauge = 1;
+constexpr int kHistogram = 2;
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case kCounter: return "counter";
+    case kGauge: return "gauge";
+    default: return "histogram";
+  }
+}
+}  // namespace
+
+/// One registered instrument.  Exactly one of the three members is live
+/// (selected by `kind`); they are separate members rather than a
+/// variant so the atomic payloads stay at fixed offsets.
+struct Registry::Cell {
+  std::string name;
+  int kind = kCounter;
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+};
+
+Registry::Registry() = default;
+Registry::~Registry() = default;
+
+Registry::Cell& Registry::find_or_create(std::string_view name, int kind) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& cell : cells_) {
+    if (cell->name == name) {
+      if (cell->kind != kind) {
+        throw std::logic_error(
+            "obs::Registry: '" + cell->name + "' already registered as a " +
+            kind_name(cell->kind) + ", requested as a " + kind_name(kind));
+      }
+      return *cell;
+    }
+  }
+  cells_.push_back(std::make_unique<Cell>());
+  cells_.back()->name = std::string(name);
+  cells_.back()->kind = kind;
+  return *cells_.back();
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return find_or_create(name, kCounter).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return find_or_create(name, kGauge).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return find_or_create(name, kHistogram).histogram;
+}
+
+MetricsSnapshot Registry::scrape() const {
+  MetricsSnapshot snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& cell : cells_) {
+      switch (cell->kind) {
+        case kCounter:
+          snapshot.counters.push_back({cell->name, cell->counter.value()});
+          break;
+        case kGauge:
+          snapshot.gauges.push_back({cell->name, cell->gauge.value()});
+          break;
+        default: {
+          MetricsSnapshot::HistogramSample sample;
+          sample.name = cell->name;
+          sample.count = cell->histogram.count();
+          sample.sum = cell->histogram.sum();
+          for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+            const std::uint64_t count = cell->histogram.bucket(b);
+            if (count > 0) {
+              sample.buckets.emplace_back(Histogram::bucket_upper(b), count);
+            }
+          }
+          snapshot.histograms.push_back(std::move(sample));
+        }
+      }
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_name);
+  return snapshot;
+}
+
+void Registry::reset_for_tests() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& cell : cells_) {
+    cell->counter.reset();
+    cell->gauge.reset();
+    cell->histogram.reset();
+  }
+}
+
+Registry& Registry::global() {
+  // Never destroyed: instruments are updated from worker threads that
+  // may outlive static destruction order (shared_pool joins at exit).
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace orbis::obs

@@ -1,0 +1,168 @@
+// Low-overhead metrics registry (docs/observability.md).
+//
+// Design constraints, in priority order:
+//   1. determinism: metrics only OBSERVE.  Nothing in the library reads
+//      a metric back to make a decision, so chains, graphs and every
+//      output byte are identical whether anyone scrapes or not.
+//   2. hot-path cost: an update is one relaxed atomic RMW on a stable
+//      address.  Call sites resolve the name ONCE (function-local
+//      static reference into the registry) and the rewiring hot loops
+//      never touch the registry at all — instruments live at the
+//      batch/leg boundaries where util::StopToken is already polled.
+//   3. exact aggregation: concurrent increments are never lost (atomic
+//      fetch_add), and a scrape sees each instrument's value at some
+//      point during the scrape — counters are monotone, so totals are
+//      exact once the writers quiesce (tests/obs/test_metrics.cpp pins
+//      this with a multi-thread hammer).
+//
+// Instruments are process-global and live forever: Registry::global()
+// never deletes an instrument, so a cached `Counter&` stays valid for
+// the life of the process.  reset_for_tests() zeroes values in place
+// without invalidating references.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace orbis::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Power-of-two histogram: bucket b counts observations v with
+/// 2^(b-1) <= v < 2^b (bucket 0 holds v == 0).  Fixed storage, no
+/// locks, exact count/sum — enough resolution for latency-in-micros
+/// and queue-depth style distributions without configuration.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void observe(std::uint64_t v) noexcept {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(std::size_t b) const noexcept {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  static std::size_t bucket_of(std::uint64_t v) noexcept {
+    return v == 0 ? 0 : 64 - static_cast<std::size_t>(__builtin_clzll(v));
+  }
+  /// Inclusive upper bound of bucket b (the largest value it counts).
+  static std::uint64_t bucket_upper(std::size_t b) noexcept {
+    return b == 0 ? 0 : (b >= 64 ? ~0ull : (1ull << b) - 1);
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// A stable value-snapshot of every registered instrument, sorted by
+/// name — the scrape format the run report serializes.
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    std::uint64_t value;
+  };
+  struct GaugeSample {
+    std::string name;
+    std::int64_t value;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::uint64_t count;
+    std::uint64_t sum;
+    /// (inclusive upper bound, count) for every non-empty bucket.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+  };
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+class Registry {
+ public:
+  // Out of line: Cell is incomplete here, and tests build local
+  // registries (the global one is leaked and never destructs).
+  Registry();
+  ~Registry();
+
+  /// Finds or creates the named instrument.  The returned reference is
+  /// valid for the life of the registry; asking for the same name with
+  /// a different instrument kind throws std::logic_error.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Values of every instrument, sorted by name.  Safe to call while
+  /// writers are updating (relaxed loads); counters are monotone so a
+  /// scrape never goes backwards.
+  MetricsSnapshot scrape() const;
+
+  /// Zeroes every instrument IN PLACE — cached references stay valid.
+  /// Test-only by convention: production code never resets.
+  void reset_for_tests();
+
+  /// The process-wide registry every built-in instrument registers in.
+  static Registry& global();
+
+ private:
+  struct Cell;
+  Cell& find_or_create(std::string_view name, int kind);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Cell>> cells_;  // stable addresses
+};
+
+}  // namespace orbis::obs

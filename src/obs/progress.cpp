@@ -1,0 +1,166 @@
+#include "obs/progress.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace orbis::obs {
+
+// ---------------------------------------------------------------------------
+// ProgressMeter
+
+ProgressMeter::ProgressMeter(std::FILE* out, std::chrono::milliseconds cadence)
+    : out_(out), cadence_(cadence) {}
+
+ProgressMeter::~ProgressMeter() { finish(); }
+
+void ProgressMeter::set_phase(std::string phase) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  phase_ = std::move(phase);
+  // New phase, new rate window: keep the lane totals (they are
+  // cumulative within a phase call) but force a fresh render next tick.
+  lanes_.clear();
+  last_render_ = {};
+}
+
+void ProgressMeter::report(std::uint32_t lane, const ProgressSample& sample) {
+  const auto now = std::chrono::steady_clock::now();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (lane >= lanes_.size()) lanes_.resize(lane + 1);
+  Lane& state = lanes_[lane];
+  if (!state.seen) {
+    state.seen = true;
+    state.window_start = now;
+    state.window_attempts = sample.attempts;
+  }
+  state.last = sample;
+  if (last_render_.time_since_epoch().count() != 0 &&
+      now - last_render_ < cadence_) {
+    return;
+  }
+  last_render_ = now;
+  // Reset each lane's rate window every ~8 cadences so the displayed
+  // rate tracks the recent past rather than the phase average.
+  for (Lane& l : lanes_) {
+    if (l.seen && now - l.window_start > 8 * cadence_) {
+      l.window_start = now;
+      l.window_attempts = l.last.attempts;
+    }
+  }
+  render_locked();
+}
+
+void ProgressMeter::render_locked() {
+  const auto now = std::chrono::steady_clock::now();
+  std::uint64_t attempts = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t budget = 0;
+  double rate = 0.0;
+  double objective = 0.0;
+  bool has_objective = false;
+  for (const Lane& lane : lanes_) {
+    if (!lane.seen) continue;
+    attempts += lane.last.attempts;
+    accepted += lane.last.accepted;
+    budget += lane.last.budget;
+    const double seconds =
+        std::chrono::duration<double>(now - lane.window_start).count();
+    if (seconds > 1e-3 && lane.last.attempts > lane.window_attempts) {
+      rate += static_cast<double>(lane.last.attempts - lane.window_attempts) /
+              seconds;
+    }
+    if (lane.last.has_objective) {
+      // Multichain lanes each track their own objective; show the best
+      // (lowest) — that is the chain the run will keep.
+      objective = has_objective ? std::min(objective, lane.last.objective)
+                                : lane.last.objective;
+      has_objective = true;
+    }
+  }
+  const double acceptance =
+      attempts > 0 ? static_cast<double>(accepted) / attempts : 0.0;
+
+  std::string line = "  [";
+  line += phase_.empty() ? "rewire" : phase_;
+  line += "] ";
+  char buffer[160];
+  if (budget > 0) {
+    std::snprintf(buffer, sizeof(buffer), "%llu/%llu attempts",
+                  static_cast<unsigned long long>(attempts),
+                  static_cast<unsigned long long>(budget));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%llu attempts",
+                  static_cast<unsigned long long>(attempts));
+  }
+  line += buffer;
+  std::snprintf(buffer, sizeof(buffer), "  %.0f/s  acc %.1f%%", rate,
+                100.0 * acceptance);
+  line += buffer;
+  if (has_objective) {
+    std::snprintf(buffer, sizeof(buffer), "  obj %.6g", objective);
+    line += buffer;
+  }
+  if (budget > attempts && rate > 1.0) {
+    const double eta = static_cast<double>(budget - attempts) / rate;
+    if (eta >= 90.0) {
+      std::snprintf(buffer, sizeof(buffer), "  eta %.1fmin", eta / 60.0);
+    } else {
+      std::snprintf(buffer, sizeof(buffer), "  eta %.0fs", eta);
+    }
+    line += buffer;
+  }
+  // \r + trailing-space pad keeps the line in place and erases leftovers
+  // from a previously longer render.
+  std::fprintf(out_, "\r%-100s", line.c_str());
+  std::fflush(out_);
+  drew_anything_ = true;
+}
+
+void ProgressMeter::finish() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (drew_anything_) {
+    std::fputc('\n', out_);
+    std::fflush(out_);
+    drew_anything_ = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TrajectoryRecorder
+
+TrajectoryRecorder::TrajectoryRecorder(std::size_t max_samples)
+    : max_samples_(std::max<std::size_t>(max_samples, 8)) {}
+
+void TrajectoryRecorder::report(std::uint32_t lane,
+                                const ProgressSample& sample) {
+  if (!sample.has_objective) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (lane >= lanes_.size()) lanes_.resize(lane + 1);
+  Lane& state = lanes_[lane];
+  if (state.seen++ % state.stride != 0) return;
+  state.points.push_back({sample.attempts, sample.objective});
+  if (state.points.size() >= max_samples_) {
+    // Thin to every other point and double the stride: memory stays
+    // bounded, spacing stays uniform.
+    std::vector<Point> kept;
+    kept.reserve(state.points.size() / 2 + 1);
+    for (std::size_t i = 0; i < state.points.size(); i += 2) {
+      kept.push_back(state.points[i]);
+    }
+    state.points = std::move(kept);
+    state.stride *= 2;
+  }
+}
+
+std::vector<TrajectoryRecorder::Point> TrajectoryRecorder::points(
+    std::uint32_t lane) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (lane >= lanes_.size()) return {};
+  return lanes_[lane].points;
+}
+
+std::size_t TrajectoryRecorder::lane_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lanes_.size();
+}
+
+}  // namespace orbis::obs

@@ -1,0 +1,124 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "io/atomic_file.hpp"
+#include "obs/json.hpp"
+
+namespace orbis::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+std::int64_t Tracer::to_epoch_us(
+    std::chrono::steady_clock::time_point t) noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(t -
+                                                               trace_epoch())
+      .count();
+}
+
+void Tracer::enable(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  events_.reserve(std::min<std::size_t>(capacity, 4096));
+  capacity_ = capacity;
+  dropped_.store(0, std::memory_order_relaxed);
+  trace_epoch();  // pin the epoch before the first event
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+std::uint32_t Tracer::thread_tid() {
+  // Dense per-thread ids (0, 1, 2, ...) so trace viewers show one row
+  // per worker instead of one row per giant kernel tid.  mutex_ is
+  // already held by the caller for the buffer append.
+  thread_local std::uint32_t tid = ~0u;
+  if (tid == ~0u) tid = next_tid_++;
+  return tid;
+}
+
+void Tracer::record(const char* name,
+                    std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point end) noexcept {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent event;
+  event.name = name;
+  event.tid = thread_tid();
+  event.start_us = to_epoch_us(start);
+  event.duration_us = std::max<std::int64_t>(0, to_epoch_us(end) -
+                                                    event.start_us);
+  events_.push_back(event);
+}
+
+void Tracer::instant(const char* name) noexcept {
+  if (!enabled()) return;
+  const auto now = std::chrono::steady_clock::now();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent event;
+  event.name = name;
+  event.tid = thread_tid();
+  event.start_us = to_epoch_us(now);
+  event.duration_us = -1;
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  const std::vector<TraceEvent> events = snapshot();
+  json::Writer w(out, /*pretty=*/false);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const TraceEvent& event : events) {
+    w.begin_object();
+    w.kv("name", event.name);
+    w.kv("ph", event.duration_us < 0 ? "i" : "X");
+    w.kv("ts", event.start_us);
+    if (event.duration_us >= 0) w.kv("dur", event.duration_us);
+    if (event.duration_us < 0) w.kv("s", "t");  // instant scope: thread
+    w.kv("pid", 1);
+    w.kv("tid", event.tid);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  const std::uint64_t dropped_events = dropped();
+  if (dropped_events > 0) w.kv("orbisDroppedEvents", dropped_events);
+  w.end_object();
+  out << '\n';
+}
+
+void Tracer::write_chrome_trace_file(const std::string& path) const {
+  io::write_file_atomic(
+      path, [this](std::ostream& out) { write_chrome_trace(out); });
+}
+
+Tracer& Tracer::global() {
+  // Never destroyed, for the same reason as Registry::global(): spans
+  // on late-exiting worker threads must not touch a destroyed tracer.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+}  // namespace orbis::obs

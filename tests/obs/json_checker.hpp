@@ -1,0 +1,168 @@
+// Minimal JSON well-formedness checker for the golden-schema tests
+// (tests/obs/test_report.cpp, test_trace.cpp, the CLI report tests).
+// Validation only — no DOM: the tests pin schemas by asserting the
+// document PARSES and that specific `"key":` spellings appear, which
+// catches both structural corruption (trailing commas, unbalanced
+// braces, bare NaN) and dropped/renamed fields without dragging a JSON
+// library into the build.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace orbis::test_json {
+
+class Checker {
+ public:
+  explicit Checker(const std::string& text) : text_(text) {}
+
+  /// True iff the whole text is exactly one valid JSON value.
+  bool valid() {
+    pos_ = 0;
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+  /// Byte offset of the first error (for failure messages).
+  std::size_t error_pos() const { return pos_; }
+
+ private:
+  bool value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (peek() != '"' || !string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+inline bool is_valid_json(const std::string& text) {
+  return Checker(text).valid();
+}
+
+/// True iff `"key":` appears in the document — the schema-pinning
+/// primitive the golden tests use.
+inline bool has_key(const std::string& text, const std::string& key) {
+  return text.find("\"" + key + "\":") != std::string::npos;
+}
+
+/// True iff the document contains `"key": value` — tolerant of both the
+/// compact (`:`) and pretty (`: `) writer modes.  `value` is matched
+/// verbatim, so quote string values.
+inline bool has_entry(const std::string& text, const std::string& key,
+                      const std::string& value) {
+  return text.find("\"" + key + "\":" + value) != std::string::npos ||
+         text.find("\"" + key + "\": " + value) != std::string::npos;
+}
+
+}  // namespace orbis::test_json

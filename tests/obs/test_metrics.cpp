@@ -1,0 +1,125 @@
+// Metrics registry contract (src/obs/metrics.hpp): exact concurrent
+// aggregation, stable instrument references, kind safety, and the
+// power-of-two histogram bucket math.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace orbis::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterFindOrCreateReturnsSameCell) {
+  Registry registry;
+  Counter& a = registry.counter("test.counter");
+  Counter& b = registry.counter("test.counter");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  Registry registry;
+  registry.counter("test.instrument");
+  EXPECT_THROW(registry.gauge("test.instrument"), std::logic_error);
+  EXPECT_THROW(registry.histogram("test.instrument"), std::logic_error);
+}
+
+// The exactness guarantee: concurrent increments are never lost.  Many
+// threads hammer one counter and one histogram; once they join, the
+// totals must be exact — not approximately right.
+TEST(MetricsRegistry, ConcurrentIncrementsAggregateExactly) {
+  Registry registry;
+  Counter& counter = registry.counter("hammer.counter");
+  Histogram& histogram = registry.histogram("hammer.histogram");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &histogram] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        counter.add(1);
+        histogram.observe(i % 1000);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+  // Sum of 0..999 repeated: exact because fetch_add never drops.
+  const std::uint64_t cycle_sum = 999 * 1000 / 2;
+  EXPECT_EQ(histogram.sum(), kThreads * (kPerThread / 1000) * cycle_sum);
+}
+
+TEST(MetricsRegistry, GaugeSetAndAdd) {
+  Registry registry;
+  Gauge& gauge = registry.gauge("test.gauge");
+  gauge.set(10);
+  gauge.add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+}
+
+TEST(MetricsRegistry, ScrapeIsSortedByName) {
+  Registry registry;
+  registry.counter("zeta");
+  registry.counter("alpha");
+  registry.gauge("mid");
+  const MetricsSnapshot snapshot = registry.scrape();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "alpha");
+  EXPECT_EQ(snapshot.counters[1].name, "zeta");
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].name, "mid");
+}
+
+TEST(MetricsRegistry, ScrapeReportsOnlyNonEmptyHistogramBuckets) {
+  Registry registry;
+  Histogram& histogram = registry.histogram("h");
+  histogram.observe(0);   // bucket 0
+  histogram.observe(5);   // bucket 3 (4..7)
+  histogram.observe(5);
+  const MetricsSnapshot snapshot = registry.scrape();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const auto& sample = snapshot.histograms[0];
+  EXPECT_EQ(sample.count, 3u);
+  EXPECT_EQ(sample.sum, 10u);
+  ASSERT_EQ(sample.buckets.size(), 2u);  // only occupied buckets
+  EXPECT_EQ(sample.buckets[0], (std::pair<std::uint64_t, std::uint64_t>{0, 1}));
+  EXPECT_EQ(sample.buckets[1], (std::pair<std::uint64_t, std::uint64_t>{7, 2}));
+}
+
+TEST(MetricsRegistry, HistogramBucketMath) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(~0ull), 64u);
+  EXPECT_EQ(Histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper(3), 7u);
+  EXPECT_EQ(Histogram::bucket_upper(64), ~0ull);
+}
+
+TEST(MetricsRegistry, ResetKeepsReferencesValid) {
+  Registry registry;
+  Counter& counter = registry.counter("persistent");
+  counter.add(42);
+  registry.reset_for_tests();
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add(1);  // the cached reference still points at the live cell
+  EXPECT_EQ(registry.counter("persistent").value(), 1u);
+}
+
+TEST(MetricsRegistry, GlobalIsSingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+}  // namespace
+}  // namespace orbis::obs

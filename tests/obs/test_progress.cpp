@@ -1,0 +1,103 @@
+// Progress sinks (src/obs/progress.hpp): trajectory decimation keeps
+// memory bounded while preserving attempt order, the tee fans out and
+// tolerates nulls, and the meter renders without corrupting state.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "obs/progress.hpp"
+
+namespace orbis::obs {
+namespace {
+
+ProgressSample objective_sample(std::uint64_t attempts, double objective) {
+  ProgressSample sample;
+  sample.attempts = attempts;
+  sample.accepted = attempts / 2;
+  sample.budget = 1 << 20;
+  sample.objective = objective;
+  sample.has_objective = true;
+  return sample;
+}
+
+TEST(Trajectory, RecordsInAttemptOrder) {
+  TrajectoryRecorder recorder(16);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    recorder.report(0, objective_sample(i * 100, 1000.0 - double(i)));
+  }
+  const auto points = recorder.points(0);
+  ASSERT_EQ(points.size(), 10u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].attempts, points[i - 1].attempts);
+  }
+  EXPECT_EQ(points.front().attempts, 0u);
+  EXPECT_EQ(points.back().objective, 991.0);
+}
+
+// Feeding far more samples than the cap must keep the buffer bounded:
+// the recorder thins to every other point and doubles its stride, so a
+// long run ends with an evenly spaced summary, not an OOM.
+TEST(Trajectory, DecimatesInsteadOfGrowing) {
+  constexpr std::size_t kMax = 64;
+  TrajectoryRecorder recorder(kMax);
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    recorder.report(0, objective_sample(i, double(i)));
+  }
+  const auto points = recorder.points(0);
+  ASSERT_FALSE(points.empty());
+  EXPECT_LE(points.size(), kMax);
+  EXPECT_GE(points.size(), kMax / 4);  // thinning keeps a real summary
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].attempts, points[i - 1].attempts);
+  }
+}
+
+TEST(Trajectory, SamplesWithoutObjectiveAreSkipped) {
+  TrajectoryRecorder recorder;
+  ProgressSample sample;
+  sample.attempts = 10;
+  sample.has_objective = false;
+  recorder.report(0, sample);
+  EXPECT_EQ(recorder.lane_count(), 0u);
+}
+
+TEST(Trajectory, LanesAreIndependent) {
+  TrajectoryRecorder recorder;
+  recorder.report(0, objective_sample(100, 5.0));
+  recorder.report(2, objective_sample(200, 6.0));
+  EXPECT_EQ(recorder.lane_count(), 3u);
+  EXPECT_EQ(recorder.points(0).size(), 1u);
+  EXPECT_EQ(recorder.points(1).size(), 0u);
+  EXPECT_EQ(recorder.points(2).size(), 1u);
+  EXPECT_EQ(recorder.points(2)[0].objective, 6.0);
+}
+
+TEST(Tee, FansOutAndSkipsNulls) {
+  TrajectoryRecorder a;
+  TrajectoryRecorder b;
+  ProgressTee tee({&a, nullptr, &b});
+  tee.report(0, objective_sample(50, 1.0));
+  EXPECT_EQ(a.points(0).size(), 1u);
+  EXPECT_EQ(b.points(0).size(), 1u);
+}
+
+TEST(Meter, RendersAndFinishesCleanly) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  {
+    // Zero cadence: every report renders, so the test does not depend
+    // on wall-clock timing.
+    ProgressMeter meter(sink, std::chrono::milliseconds(0));
+    meter.set_phase("test phase");
+    meter.report(0, objective_sample(1000, 42.0));
+    meter.report(1, objective_sample(2000, 41.0));
+    meter.finish();
+  }
+  const long size = std::ftell(sink);
+  EXPECT_GT(size, 0);  // it drew something
+  std::fclose(sink);
+}
+
+}  // namespace
+}  // namespace orbis::obs

@@ -15,6 +15,7 @@
 #include "io/dk_serialization.hpp"
 #include "io/edge_list.hpp"
 #include "util/rng.hpp"
+#include "../obs/json_checker.hpp"
 
 namespace orbis {
 namespace {
@@ -155,6 +156,62 @@ TEST_F(ToolCliTest, CheckpointWithNonTargetingMethodExitsUsage) {
                 path("g.2k") + "' --checkpoint '" + path("x.ck") +
                 "' --out '" + path("x.edges") + "'"),
             2);
+}
+
+TEST_F(ToolCliTest, ReportAndTraceAreValidJson) {
+  ASSERT_EQ(run("generate --d 2 --method targeting --from-2k '" +
+                path("g.2k") + "' --seed 5 --chains 2 --out '" +
+                path("r.edges") + "' --report '" + path("run.json") +
+                "' --trace '" + path("trace.json") + "'"),
+            0);
+  const std::string report = slurp(path("run.json"));
+  EXPECT_TRUE(test_json::is_valid_json(report)) << report;
+  EXPECT_TRUE(test_json::has_key(report, "schema_version"));
+  EXPECT_TRUE(test_json::has_entry(report, "command", "\"generate\""));
+  EXPECT_TRUE(test_json::has_entry(report, "seed", "5"));
+  EXPECT_TRUE(test_json::has_entry(report, "exit_code", "0"));
+  EXPECT_TRUE(test_json::has_key(report, "stages"));
+  EXPECT_TRUE(test_json::has_key(report, "metrics"));
+  EXPECT_TRUE(test_json::has_key(report, "trajectory"));
+  EXPECT_NE(report.find("rewire.attempts"), std::string::npos);
+  const std::string trace = slurp(path("trace.json"));
+  EXPECT_TRUE(test_json::is_valid_json(trace)) << trace;
+  EXPECT_TRUE(test_json::has_key(trace, "traceEvents"));
+}
+
+// The whole point of the observability layer: asking for telemetry must
+// not change a single output byte.
+TEST_F(ToolCliTest, TelemetryDoesNotPerturbOutput) {
+  const std::string common = "generate --d 2 --method targeting --from-2k '" +
+                             path("g.2k") + "' --seed 17 --chains 2 --out '";
+  ASSERT_EQ(run(common + path("bare.edges") + "'"), 0);
+  ASSERT_EQ(run(common + path("observed.edges") + "' --report '" +
+                path("o.json") + "' --trace '" + path("o_trace.json") +
+                "' --progress"),
+            0);
+  EXPECT_EQ(slurp(path("bare.edges")), slurp(path("observed.edges")));
+}
+
+TEST_F(ToolCliTest, QuietSilencesStatusButNotDataOrReport) {
+  const int code = run("generate --d 2 --method targeting --from-2k '" +
+                       path("g.2k") + "' --seed 5 --out '" +
+                       path("q.edges") + "' --report '" + path("q.json") +
+                       "' --quiet --progress");
+  EXPECT_EQ(code, 0);
+  EXPECT_EQ(stderr_log(), "");                 // no status chatter
+  EXPECT_TRUE(fs::exists(path("q.edges")));    // data still written
+  const std::string report = slurp(path("q.json"));
+  EXPECT_TRUE(test_json::is_valid_json(report)) << report;  // report too
+}
+
+TEST_F(ToolCliTest, ReportIsWrittenOnFailure) {
+  EXPECT_EQ(run("analyze '" + path("missing.edges") + "' --report '" +
+                path("fail.json") + "'"),
+            3);
+  const std::string report = slurp(path("fail.json"));
+  EXPECT_TRUE(test_json::is_valid_json(report)) << report;
+  EXPECT_TRUE(test_json::has_entry(report, "exit_code", "3"));
+  EXPECT_NE(report.find("missing.edges"), std::string::npos);  // the error
 }
 
 }  // namespace

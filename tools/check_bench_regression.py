@@ -36,7 +36,7 @@ import sys
 
 DEFAULT_FILTER = (r"RewiringStep|Target2KAttempts|Randomize2KAttempts"
                   r"|DkStateSwap|Parallel3K|Sparse2KTarget"
-                  r"|StreamingExtract|FlatTableProbe")
+                  r"|StreamingExtract|FlatTableProbe|TelemetryCounter")
 
 
 def load_benchmarks(path, name_filter):
