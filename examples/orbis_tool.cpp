@@ -17,6 +17,14 @@
 //                                  evaluation workers for single-chain d=3
 //                                  targeting and --like d=3 randomizing;
 //                                  default 1 = serial, 0 = all cores)
+//       proposal moves:            --move {swap,trade,mixed} (double-edge
+//                                  swaps, Curveball neighborhood trades, or
+//                                  a mix; docs/rewiring.md)
+//       replica exchange:          --ladder K (run targeting as a K-replica
+//                                  temperature ladder with exchange passes;
+//                                  docs/annealing.md), --exchange-every N
+//                                  (attempts per exchange epoch; default
+//                                  budget/16)
 //       2K objective:              --objective {auto,dense,sparse} (default
 //                                  auto: dense ΔD2 matrix while it fits the
 //                                  budget, sparse bin table past it) and
@@ -71,6 +79,7 @@
 
 #include "core/rescale.hpp"
 #include "core/series.hpp"
+#include "gen/anneal.hpp"
 #include "gen/checkpoint.hpp"
 #include "gen/generate.hpp"
 #include "gen/matching.hpp"
@@ -287,12 +296,24 @@ gen::Method parse_method(const std::string& name) {
   throw std::invalid_argument("unknown method: " + name);
 }
 
-/// Checkpointed targeting run (--checkpoint / --resume).  Fresh runs
-/// bootstrap exactly as gen::generate_dk_random's targeting path does
-/// (matching_1k, then for d=3 the 2K stage) and then hand the long
-/// targeting walk to the leg driver, writing a durable checkpoint at
-/// every boundary.  Resumes skip the bootstrap entirely: the checkpoint
-/// holds each chain's graph, Rng state, stats and attempt count, and
+/// Budget a targeting run will resolve for a start graph with `m` edges
+/// — the same rule the leg driver applies (gen/checkpoint.cpp), needed
+/// here only to pick a default checkpoint cadence before the run
+/// checkpoint exists.
+std::uint64_t budget_hint(const gen::TargetingOptions& options,
+                          std::size_t m) {
+  return options.attempts > 0 ? options.attempts
+                              : options.attempts_per_edge * m;
+}
+
+/// Checkpointed and/or laddered targeting run (--checkpoint / --resume /
+/// --ladder).  Fresh runs bootstrap exactly as gen::generate_dk_random's
+/// targeting path does (matching_1k, then for d=3 the 2K stage) and then
+/// hand the long targeting walk to the leg driver, writing a durable
+/// checkpoint at every boundary when a path is configured.  Resumes skip
+/// the bootstrap entirely: the checkpoint holds each chain's graph, Rng
+/// state, stats and attempt count — plus the ladder block and move kind,
+/// which are run identity and always come from the checkpoint — and
 /// resuming is bit-identical to the uninterrupted run (gen/checkpoint.hpp).
 Graph generate_checkpointed(const util::ArgParser& args,
                             const dk::DkDistributions& target, int d,
@@ -300,16 +321,33 @@ Graph generate_checkpointed(const util::ArgParser& args,
                             util::Rng& rng, bool& interrupted) {
   const std::string checkpoint_path = args.get_string("--checkpoint", "");
   const std::string resume_path = args.get_string("--resume", "");
-  // Resume keeps writing to its own file unless redirected.
+  // Resume keeps writing to its own file unless redirected.  A pure
+  // --ladder run may have no save path at all: it still goes through the
+  // leg driver (exchange epochs need the leg machinery) but writes no
+  // checkpoint files.
   const std::string save_path =
       checkpoint_path.empty() ? resume_path : checkpoint_path;
+  const std::size_t replicas = parse_count(args, "--ladder", 0);
+  const std::uint64_t exchange_every =
+      parse_count(args, "--exchange-every", 0);
+  if (replicas == 1) {
+    throw std::invalid_argument("--ladder needs at least 2 replicas");
+  }
+  if (exchange_every > 0 && replicas == 0 && resume_path.empty()) {
+    throw std::invalid_argument("--exchange-every requires --ladder");
+  }
+  if (replicas >= 2 && args.get_int("--chains", 0) > 0) {
+    throw std::invalid_argument(
+        "--ladder and --chains are mutually exclusive (the ladder size "
+        "is the chain count)");
+  }
 
   if (options.method != gen::Method::targeting || (d != 2 && d != 3)) {
     throw std::invalid_argument(
-        "--checkpoint/--resume require --method targeting with --d 2 or "
-        "--d 3 (the long rewiring chains are what checkpoints cover)");
+        "--checkpoint/--resume/--ladder require --method targeting with "
+        "--d 2 or --d 3 (the long rewiring chains are what they cover)");
   }
-  record_config("checkpoint", save_path);
+  if (!save_path.empty()) record_config("checkpoint", save_path);
 
   gen::RunCheckpoint state;
   if (!resume_path.empty()) {
@@ -323,6 +361,11 @@ Graph generate_checkpointed(const util::ArgParser& args,
       status("note: --checkpoint-every ignored on resume — the leg "
              "cadence is part of the run and comes from the "
              "checkpoint\n");
+    }
+    if (replicas >= 2 || exchange_every > 0 ||
+        !args.get_string("--move", "").empty()) {
+      status("note: --ladder/--exchange-every/--move ignored on resume — "
+             "they are part of the run and come from the checkpoint\n");
     }
     status("resuming %s: %llu/%llu attempts per chain, %zu chain(s)\n",
            resume_path.c_str(),
@@ -351,19 +394,42 @@ Graph generate_checkpointed(const util::ArgParser& args,
         return Graph(0);
       }
     }
-    const std::uint64_t every = parse_count(args, "--checkpoint-every", 0);
-    state = d == 2 ? gen::make_2k_run(start, options.targeting,
-                                      options.chains, every, rng)
-                   : gen::make_3k_run(start, options.targeting,
-                                      options.chains, every, rng);
-    if (every == 0) {
-      // Default cadence: ten legs across the budget.  Recorded in the
-      // checkpoint, because the cadence is part of the run's identity.
-      state.checkpoint_every = std::max<std::uint64_t>(state.budget / 10, 1);
+    std::uint64_t every = parse_count(args, "--checkpoint-every", 0);
+    if (replicas >= 2) {
+      gen::LadderOptions ladder;
+      ladder.replicas = replicas;
+      ladder.exchange_every = exchange_every;
+      if (every == 0 && !save_path.empty()) {
+        // Default cadence before the ladder setup snaps it onto the
+        // epoch grid (gen/anneal.hpp).  With no save path there is
+        // nothing to flush, so the whole budget is one leg.
+        every = std::max<std::uint64_t>(
+            budget_hint(options.targeting, start.num_edges()) / 10, 1);
+      }
+      state = d == 2 ? gen::make_2k_ladder_run(start, options.targeting,
+                                               ladder, every, rng)
+                     : gen::make_3k_ladder_run(start, options.targeting,
+                                               ladder, every, rng);
+    } else {
+      state = d == 2 ? gen::make_2k_run(start, options.targeting,
+                                        options.chains, every, rng)
+                     : gen::make_3k_run(start, options.targeting,
+                                        options.chains, every, rng);
+      if (every == 0) {
+        // Default cadence: ten legs across the budget.  Recorded in the
+        // checkpoint, because the cadence is part of the run's identity.
+        state.checkpoint_every =
+            std::max<std::uint64_t>(state.budget / 10, 1);
+      }
     }
   }
   record_config("chains", std::to_string(state.chains.size()));
   record_config("checkpoint_every", std::to_string(state.checkpoint_every));
+  record_config("move", gen::to_string(state.move));
+  if (state.laddered()) {
+    record_config("ladder", std::to_string(state.chains.size()));
+    record_config("exchange_every", std::to_string(state.exchange_every));
+  }
 
   gen::CheckpointOptions checkpointing;
   checkpointing.stop = g_stop.token();
@@ -373,7 +439,7 @@ Graph generate_checkpointed(const util::ArgParser& args,
   auto leg_start = std::chrono::steady_clock::now();
   set_phase(d == 2 ? "2k targeting" : "3k targeting");
   checkpointing.on_checkpoint = [&](const gen::RunCheckpoint& snapshot) {
-    io::write_checkpoint_file(save_path, snapshot);
+    if (!save_path.empty()) io::write_checkpoint_file(save_path, snapshot);
     ++written;
     if (g_want_report) {
       obs::LegRecord leg;
@@ -391,11 +457,13 @@ Graph generate_checkpointed(const util::ArgParser& args,
       g_report.legs.push_back(leg);
     }
     leg_start = std::chrono::steady_clock::now();
-    status("checkpoint %zu: %llu/%llu attempts -> %s\n", written,
-           static_cast<unsigned long long>(
-               snapshot.chains[0].attempts_done),
-           static_cast<unsigned long long>(snapshot.budget),
-           save_path.c_str());
+    if (!save_path.empty()) {
+      status("checkpoint %zu: %llu/%llu attempts -> %s\n", written,
+             static_cast<unsigned long long>(
+                 snapshot.chains[0].attempts_done),
+             static_cast<unsigned long long>(snapshot.budget),
+             save_path.c_str());
+    }
     if (stop_after > 0 && written >= stop_after) g_stop.request_stop();
   };
 
@@ -406,23 +474,30 @@ Graph generate_checkpointed(const util::ArgParser& args,
              : gen::run_checkpointed_3k(state, target.three_k,
                                         options.targeting, checkpointing);
   if (run.interrupted) {
-    // `state` snapped back to the last completed boundary; re-writing it
-    // is idempotent but guarantees a resume point exists even when the
-    // stop landed inside the very first leg.
-    io::write_checkpoint_file(save_path, state);
-    record_output(save_path);
     if (g_signal != 0) {
       status("caught signal %d\n", static_cast<int>(g_signal));
     }
-    status("interrupted at %llu/%llu attempts per chain; resume "
-           "with: orbis_tool generate ... --resume %s\n",
-           static_cast<unsigned long long>(run.attempts_done),
-           static_cast<unsigned long long>(state.budget),
-           save_path.c_str());
+    if (save_path.empty()) {
+      status("interrupted at %llu/%llu attempts per chain; no "
+             "checkpoint configured, nothing written\n",
+             static_cast<unsigned long long>(run.attempts_done),
+             static_cast<unsigned long long>(state.budget));
+    } else {
+      // `state` snapped back to the last completed boundary; re-writing
+      // it is idempotent but guarantees a resume point exists even when
+      // the stop landed inside the very first leg.
+      io::write_checkpoint_file(save_path, state);
+      record_output(save_path);
+      status("interrupted at %llu/%llu attempts per chain; resume "
+             "with: orbis_tool generate ... --resume %s\n",
+             static_cast<unsigned long long>(run.attempts_done),
+             static_cast<unsigned long long>(state.budget),
+             save_path.c_str());
+    }
     interrupted = true;
     return Graph(0);
   }
-  record_output(save_path);
+  if (!save_path.empty()) record_output(save_path);
   if (g_want_report) {
     obs::StageRecord stage;
     stage.name = d == 2 ? "target.2k" : "target.3k";
@@ -439,6 +514,14 @@ Graph generate_checkpointed(const util::ArgParser& args,
          run.best_chain, run.best_distance,
          static_cast<unsigned long long>(run.attempts_done),
          static_cast<unsigned long long>(run.total_stats.accepted));
+  if (state.laddered()) {
+    status("ladder: %zu replicas, epoch %llu attempts, %llu/%llu "
+           "exchanges accepted\n",
+           state.chains.size(),
+           static_cast<unsigned long long>(state.exchange_every),
+           static_cast<unsigned long long>(state.exchange_accepted),
+           static_cast<unsigned long long>(state.exchange_attempted));
+  }
   return run.graph;
 }
 
@@ -451,24 +534,39 @@ int cmd_generate(const util::ArgParser& args, util::Rng& rng) {
   }
   record_config("d", std::to_string(d));
 
+  // The proposal move mix applies to randomizing and targeting alike;
+  // on --resume the checkpoint's recorded kind is authoritative.
+  const gen::MoveKind move =
+      gen::parse_move_kind(args.get_string("--move", "swap"));
+
   const bool checkpointed = !args.get_string("--checkpoint", "").empty() ||
                             !args.get_string("--resume", "").empty();
+  const std::size_t ladder_replicas = parse_count(args, "--ladder", 0);
+  if (ladder_replicas == 1) {
+    // Catch this here, not just in the checkpointed driver: a plain
+    // `--ladder 1` run would otherwise silently drop the flag.
+    throw std::invalid_argument("--ladder needs at least 2 replicas");
+  }
+  const bool laddered = ladder_replicas >= 2;
 
   Graph result;
   const std::string like = args.get_string("--like", "");
   if (!like.empty()) {
-    if (checkpointed) {
+    if (checkpointed || laddered) {
       throw std::invalid_argument(
-          "--checkpoint/--resume do not apply to --like randomizing runs");
+          "--checkpoint/--resume/--ladder do not apply to --like "
+          "randomizing runs");
     }
     // dK-randomizing rewiring of an original graph.
     const Graph original = load(like, /*gcc=*/false);
     gen::RandomizeOptions options;
     options.d = d;
+    options.move = move;
     options.workers = parse_count(args, "--workers", 1);
     options.stop = g_stop.token();
     options.progress = g_progress;
     record_config("like", like);
+    record_config("move", gen::to_string(move));
     record_config("workers", std::to_string(options.workers));
     set_phase("randomize " + std::to_string(d) + "k");
     gen::RewiringStats stats;
@@ -524,13 +622,14 @@ int cmd_generate(const util::ArgParser& args, util::Rng& rng) {
     // 0 = one chain per core (the default); an explicit count pins the
     // chain fan-out regardless of the machine.
     options.chains.chains = parse_count(args, "--chains", 0);
+    options.targeting.move = move;
     options.targeting.workers = parse_count(args, "--workers", 1);
     options.targeting.stop = g_stop.token();
     options.targeting.progress = g_progress;
     apply_objective_flags(args, options.targeting);
     record_config("method", args.get_string("--method", "matching"));
     record_config("workers", std::to_string(options.targeting.workers));
-    if (checkpointed) {
+    if (checkpointed || laddered) {
       bool interrupted = false;
       result = generate_checkpointed(args, target, d, options, rng,
                                      interrupted);
@@ -538,6 +637,7 @@ int cmd_generate(const util::ArgParser& args, util::Rng& rng) {
     } else {
       record_config("chains", std::to_string(gen::default_chain_count(
                                   options.chains.chains)));
+      record_config("move", gen::to_string(move));
       set_phase("generate " + std::to_string(d) + "k");
       // generate_dk_random does not hand stats back, but the wrappers it
       // calls publish theirs to the registry at call boundaries — the
@@ -647,7 +747,8 @@ int main(int argc, char** argv) {
        "--from-2k", "--from-3k", "--method", "--chains", "--workers",
        "--objective", "--memory-budget-mb", "--dot", "--nodes",
        "--checkpoint", "--checkpoint-every", "--resume",
-       "--stop-after-checkpoints", "--report", "--trace"});
+       "--stop-after-checkpoints", "--report", "--trace", "--move",
+       "--ladder", "--exchange-every"});
   if (args.positional().empty()) return usage();
   const std::string& command = args.positional()[0];
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "exec/thread_pool.hpp"
+#include "gen/anneal.hpp"
 #include "gen/rewiring_engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -42,6 +43,7 @@ RunCheckpoint make_run(int d, const Graph& start,
   state.d = d;
   state.budget = budget_of(options, start.num_edges());
   state.checkpoint_every = checkpoint_every;
+  state.move = options.move;  // pinned: the move stream is run identity
   state.backend =
       d == 2 ? resolve_objective_backend(options.objective,
                                          distinct_degree_count(start),
@@ -74,6 +76,13 @@ RewiringStats sum_chain_stats(const RunCheckpoint& state) {
 /// `run_leg(chain, leg, chain_index)` advances one chain by `leg`
 /// attempts from its canonical state and re-canonicalizes it;
 /// `chain_index` is forwarded so leg bodies can tag progress lanes.
+///
+/// Laddered runs (state.exchange_every > 0) cut the legs on the UNION
+/// of the checkpoint grid and the exchange-epoch grid; since the
+/// checkpoint cadence is a multiple of the epoch, every pause point is
+/// an epoch boundary.  Between epochs the (serial) exchange + adaptive
+/// pass runs — see gen/anneal.hpp — and on_checkpoint still fires only
+/// at checkpoint boundaries.
 template <typename RunLeg>
 CheckpointedResult run_legs(RunCheckpoint& state,
                             const CheckpointOptions& checkpointing,
@@ -84,19 +93,39 @@ CheckpointedResult run_legs(RunCheckpoint& state,
     util::expects(chain.attempts_done == state.chains[0].attempts_done,
                   "run_checkpointed: chains out of step (corrupt state?)");
   }
+  util::expects(state.exchange_every == 0 || state.checkpoint_every == 0 ||
+                    state.checkpoint_every % state.exchange_every == 0,
+                "run_checkpointed: exchange cadence must divide the "
+                "checkpoint cadence");
 
   static obs::Counter& legs_completed =
       obs::Registry::global().counter("checkpoint.legs_completed");
   static obs::Counter& flushes =
       obs::Registry::global().counter("checkpoint.flushes");
+  static obs::Counter& exchange_attempts_metric =
+      obs::Registry::global().counter("anneal.exchange_attempts");
+  static obs::Counter& exchange_accepts_metric =
+      obs::Registry::global().counter("anneal.exchange_accepts");
 
   CheckpointedResult result;
   const std::uint64_t every =
       state.checkpoint_every > 0 ? state.checkpoint_every : state.budget;
+  const std::uint64_t epoch = state.exchange_every;
+  exec::ThreadPool& pool = checkpointing.pool != nullptr
+                               ? *checkpointing.pool
+                               : exec::shared_pool();
 
-  // Metrics publish per-leg DELTAS against this baseline, so a resumed
-  // run never re-counts the attempts a previous process already ran.
+  // Metrics publish per-leg DELTAS against these baselines, so a
+  // resumed run never re-counts work a previous process already ran.
   RewiringStats published = sum_chain_stats(state);
+  std::uint64_t published_attempted = state.exchange_attempted;
+  std::uint64_t published_accepted = state.exchange_accepted;
+
+  // Per-chain stats at the current epoch's start: the adaptive
+  // controller reads each replica's acceptance rate over exactly one
+  // epoch.  Never serialized — every pause point is an epoch boundary,
+  // so a resume re-captures it before the next epoch runs.
+  std::vector<RewiringStats> epoch_start;
 
   while (state.chains[0].attempts_done < state.budget) {
     if (checkpointing.stop.stop_requested()) {
@@ -104,8 +133,15 @@ CheckpointedResult run_legs(RunCheckpoint& state,
       break;
     }
     const std::uint64_t done = state.chains[0].attempts_done;
-    const std::uint64_t leg = std::min<std::uint64_t>(
-        every > 0 ? every : 1, state.budget - done);
+    std::uint64_t leg = std::min<std::uint64_t>(
+        every > 0 ? every - done % every : 1, state.budget - done);
+    if (epoch > 0) {
+      leg = std::min(leg, epoch - done % epoch);
+      epoch_start.resize(state.chains.size());
+      for (std::size_t i = 0; i < state.chains.size(); ++i) {
+        epoch_start[i] = state.chains[i].stats;
+      }
+    }
 
     // Mid-leg interrupts discard the leg: keep the boundary state so a
     // stop observed below can snap back to it.  Without a stop token no
@@ -130,7 +166,7 @@ CheckpointedResult run_legs(RunCheckpoint& state,
     }
     {
       const obs::Span leg_span("checkpoint.leg");
-      exec::shared_pool().run_tasks(tasks);
+      pool.run_tasks(tasks);
     }
 
     if (checkpointing.stop.stop_requested()) {
@@ -142,14 +178,29 @@ CheckpointedResult run_legs(RunCheckpoint& state,
       result.interrupted = true;
       break;
     }
-    const RewiringStats now = sum_chain_stats(state);
-    publish_rewiring_metrics(now.delta_since(published));
-    published = now;
-    legs_completed.add(1);
-    if (checkpointing.on_checkpoint) {
-      const obs::Span flush_span("checkpoint.flush");
-      checkpointing.on_checkpoint(state);
-      flushes.add(1);
+    const std::uint64_t now_done = state.chains[0].attempts_done;
+    if (epoch > 0 && now_done % epoch == 0 && now_done < state.budget) {
+      // Serial by design: exchange decisions come from the dedicated
+      // exchange Rng stream, so the pass is a pure function of the
+      // RunCheckpoint regardless of pool size or scheduling.
+      run_ladder_epoch_pass(state, now_done / epoch - 1, epoch_start);
+    }
+    if (now_done % every == 0 || now_done >= state.budget) {
+      const RewiringStats now = sum_chain_stats(state);
+      publish_rewiring_metrics(now.delta_since(published));
+      published = now;
+      exchange_attempts_metric.add(state.exchange_attempted -
+                                   published_attempted);
+      exchange_accepts_metric.add(state.exchange_accepted -
+                                  published_accepted);
+      published_attempted = state.exchange_attempted;
+      published_accepted = state.exchange_accepted;
+      legs_completed.add(1);
+      if (checkpointing.on_checkpoint) {
+        const obs::Span flush_span("checkpoint.flush");
+        checkpointing.on_checkpoint(state);
+        flushes.add(1);
+      }
     }
   }
 
@@ -190,17 +241,22 @@ CheckpointedResult run_checkpointed_2k(
                               "2K run");
   TargetingOptions leg_options = options;
   leg_options.objective = state.backend;  // pinned at run start
+  leg_options.move = state.move;          // pinned: part of run identity
   leg_options.stop = checkpointing.stop;  // mid-leg bail; leg is discarded
+  const bool laddered = state.laddered();
   return run_legs(
       state, checkpointing, options.stop_distance,
-      [&](ChainCheckpoint& chain, std::uint64_t leg,
-          std::size_t chain_index) {
+      [&, laddered](ChainCheckpoint& chain, std::uint64_t leg,
+                    std::size_t chain_index) {
         util::Rng rng = util::Rng::from_state_words(chain.rng_state);
         // Rebuild from the canonical edge list — the same rebuild a
         // resume performs, which is the whole determinism argument.
         RewiringEngine engine(chain.graph);
         TargetingOptions chain_options = leg_options;
         chain_options.progress_lane = static_cast<std::uint32_t>(chain_index);
+        // Replicas run at their OWN ladder temperature (run state, moved
+        // by the controller); independent chains keep the caller's.
+        if (laddered) chain_options.temperature = chain.temperature;
         chain.distance = engine.target_2k(target, chain_options, leg, rng,
                                           &chain.stats);
         chain.graph = engine.graph();
@@ -217,15 +273,18 @@ CheckpointedResult run_checkpointed_3k(RunCheckpoint& state,
   TargetingOptions leg_options = options;
   // Chains already occupy the pool; the leg bodies must stay serial.
   leg_options.workers = 1;
+  leg_options.move = state.move;  // pinned: part of run identity
   leg_options.stop = checkpointing.stop;
+  const bool laddered = state.laddered();
   return run_legs(
       state, checkpointing, options.stop_distance,
-      [&](ChainCheckpoint& chain, std::uint64_t leg,
-          std::size_t chain_index) {
+      [&, laddered](ChainCheckpoint& chain, std::uint64_t leg,
+                    std::size_t chain_index) {
         util::Rng rng = util::Rng::from_state_words(chain.rng_state);
         ThreeKRewirer rewirer(chain.graph);
         TargetingOptions chain_options = leg_options;
         chain_options.progress_lane = static_cast<std::uint32_t>(chain_index);
+        if (laddered) chain_options.temperature = chain.temperature;
         chain.distance =
             rewirer.target(target, chain_options, leg, rng, &chain.stats);
         chain.graph = rewirer.graph();

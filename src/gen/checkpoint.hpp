@@ -44,6 +44,10 @@
 #include "util/rng.hpp"
 #include "util/stop_token.hpp"
 
+namespace orbis::exec {
+class ThreadPool;
+}
+
 namespace orbis::gen {
 
 /// Canonical state of one chain at a leg boundary.
@@ -55,13 +59,18 @@ struct ChainCheckpoint {
   /// marks a chain that has not run yet (the objective rebuild computes
   /// the true distance on first contact).
   std::int64_t distance = std::numeric_limits<std::int64_t>::max();
+  /// Laddered (replica-exchange) runs only: this replica's CURRENT
+  /// Metropolis temperature — run state, because the adaptive controller
+  /// moves it between epochs (docs/annealing.md).  Non-laddered runs
+  /// keep using TargetingOptions::temperature and ignore this field.
+  double temperature = 0.0;
   Graph graph;
 };
 
 /// Everything a resume needs, minus the target distribution (which the
 /// caller re-reads from its own file — targets are inputs, not state).
 struct RunCheckpoint {
-  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::uint32_t kVersion = 2;
 
   int d = 2;                          // targeted series level: 2 | 3
   std::uint64_t budget = 0;           // total attempts per chain
@@ -71,7 +80,25 @@ struct RunCheckpoint {
   /// Dense and sparse walk bit-identical chains regardless — pinning is
   /// a perf-consistency guarantee, not a correctness one.
   ObjectiveBackend backend = ObjectiveBackend::automatic;
+  /// Proposal move mix, pinned at run start like the backend: the move
+  /// stream is part of the chains' identity, so a resume must replay it.
+  MoveKind move = MoveKind::swap;
+  /// Replica-exchange ladder (gen/anneal.hpp): epoch length in attempts
+  /// between exchange passes; 0 = independent chains (no ladder).  When
+  /// set, `checkpoint_every` is a multiple of it, so checkpoint
+  /// boundaries always land on epoch boundaries and a resume never
+  /// needs mid-epoch controller state.
+  std::uint64_t exchange_every = 0;
+  bool adaptive = false;  ///< acceptance-band temperature controller on?
+  /// Dedicated exchange-decision Rng (stream kExchangeStreamId of chain
+  /// 0's seed state): advanced ONLY by exchange passes, so replica
+  /// streams are untouched by ladder size or exchange cadence.
+  std::array<std::uint64_t, 4> exchange_rng{};
+  std::uint64_t exchange_attempted = 0;  // cumulative, all epochs
+  std::uint64_t exchange_accepted = 0;
   std::vector<ChainCheckpoint> chains;
+
+  bool laddered() const noexcept { return exchange_every > 0; }
 
   /// True once every chain has consumed the full budget.
   bool finished() const noexcept {
@@ -90,6 +117,10 @@ struct CheckpointOptions {
   /// stop discards the current leg's partial work and returns with
   /// `interrupted` set, the RunCheckpoint at the last boundary.
   util::StopToken stop{};
+  /// Pool the chain legs run on; null = exec::shared_pool().  A test
+  /// seam: results are a pure function of the RunCheckpoint, so any
+  /// pool (any size) must produce bit-identical runs.
+  exec::ThreadPool* pool = nullptr;
 };
 
 struct CheckpointedResult {

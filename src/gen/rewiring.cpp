@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "exec/thread_pool.hpp"
 #include "gen/rewiring_engine.hpp"
@@ -70,6 +71,25 @@ void publish_rewiring_metrics(const RewiringStats& delta) {
   conflict_reevaluations.add(delta.conflict_reevaluations);
 }
 
+const char* to_string(MoveKind move) noexcept {
+  switch (move) {
+    case MoveKind::swap:
+      return "swap";
+    case MoveKind::trade:
+      return "trade";
+    default:
+      return "mixed";
+  }
+}
+
+MoveKind parse_move_kind(const std::string& name) {
+  if (name == "swap") return MoveKind::swap;
+  if (name == "trade") return MoveKind::trade;
+  if (name == "mixed") return MoveKind::mixed;
+  throw std::invalid_argument("unknown move kind '" + name +
+                              "' (expected swap, trade or mixed)");
+}
+
 std::size_t default_chain_count(std::size_t requested) noexcept {
   if (requested > 0) return requested;
   return std::clamp<std::size_t>(exec::resolve_workers(0), 1, 8);
@@ -96,11 +116,14 @@ Graph randomize(const Graph& g, const RandomizeOptions& options,
     case 2: {
       RewiringEngine engine(g);
       engine.randomize(options.d, budget, rng, stats, options.stop,
-                       options.progress, options.progress_lane);
+                       options.progress, options.progress_lane, options.move,
+                       options.trade_fraction);
       out = engine.graph();
       break;
     }
     default: {
+      util::expects(options.move == MoveKind::swap,
+                    "randomize: d = 3 supports only --move swap");
       ThreeKRewirer rewirer(g);
       if (options.workers != 1) {
         const SpeculationOptions speculation{
@@ -149,6 +172,9 @@ Graph target_3k(const Graph& start, const dk::ThreeKProfile& target,
   ThreeKRewirer rewirer(start);
   std::int64_t distance = 0;
   if (options.workers != 1) {
+    util::expects(options.move == MoveKind::swap,
+                  "target_3k: the speculative parallel path (workers != 1) "
+                  "supports only --move swap");
     const SpeculationOptions speculation{
         .workers = exec::resolve_workers(options.workers),
         .batch = options.batch};

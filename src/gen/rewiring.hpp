@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 
 #include "core/dk_state.hpp"
 #include "core/joint_degree_distribution.hpp"
@@ -88,6 +89,29 @@ struct RewiringStats {
 void publish_rewiring_metrics(const RewiringStats& delta);
 
 // ---------------------------------------------------------------------------
+// Move kinds.
+// ---------------------------------------------------------------------------
+
+/// Proposal move for rewiring chains (docs/annealing.md):
+///   * swap  — classic double-edge swap, the paper's §4.1.4 move;
+///   * trade — Curveball-style global trade: two nodes of the SAME
+///     degree class re-deal their exclusive neighborhoods, moving many
+///     edges at once.  Every traded edge keeps its degree-class pair,
+///     so trades preserve the JDD (2K) by construction; for 3K
+///     targeting the trade is priced exactly as a sequence of
+///     2K-preserving sub-swaps and Metropolis-accepted on the total ΔD3.
+///   * mixed — per attempt, trade with probability `trade_fraction`,
+///     else swap.  The extra selector draw happens ONLY in mixed mode,
+///     so `swap` chains consume exactly the streams they always did.
+enum class MoveKind { swap, trade, mixed };
+
+/// "swap" / "trade" / "mixed".
+const char* to_string(MoveKind move) noexcept;
+
+/// Inverse of to_string; throws std::invalid_argument on anything else.
+MoveKind parse_move_kind(const std::string& name);
+
+// ---------------------------------------------------------------------------
 // Randomizing rewiring.
 // ---------------------------------------------------------------------------
 
@@ -111,6 +135,11 @@ struct RandomizeOptions {
   /// sample, so chains are bit-identical with or without one.
   obs::ProgressSink* progress = nullptr;
   std::uint32_t progress_lane = 0;  ///< chain index in multichain runs
+  /// Proposal move mix (MoveKind above).  Trades engage on the d = 1/2
+  /// serial paths; d = 3 randomizing rejects non-swap moves (trade
+  /// 3K-preservation is not verified there) and d = 0 ignores the field.
+  MoveKind move = MoveKind::swap;
+  double trade_fraction = 0.25;  ///< P(trade) per attempt in mixed mode
 };
 
 /// dK-randomizing rewiring: returns a random graph with exactly the same
@@ -162,6 +191,13 @@ struct TargetingOptions {
   /// sample, so chains are bit-identical with or without one.
   obs::ProgressSink* progress = nullptr;
   std::uint32_t progress_lane = 0;  ///< chain index in multichain runs
+  /// Proposal move mix (MoveKind above).  In 2K targeting a trade is
+  /// D2-neutral (pure mixing, useful against plateau stalls); in 3K
+  /// targeting it is priced exactly and Metropolis-accepted on the
+  /// total ΔD3.  The speculative parallel 3K path (workers != 1) is
+  /// swap-only and rejects other moves.
+  MoveKind move = MoveKind::swap;
+  double trade_fraction = 0.25;  ///< P(trade) per attempt in mixed mode
 };
 
 /// 2K-targeting 1K-preserving rewiring.  `start` must already have the

@@ -86,6 +86,86 @@ bool structurally_valid_in(const EdgeIndex& index, const Swap& s) {
   return !index.has_edge(s.a, s.d) && !index.has_edge(s.c, s.b);
 }
 
+/// A drawn Curveball trade between same-degree-class nodes u and v: the
+/// union of their EXCLUSIVE neighborhoods (neighbors of exactly one of
+/// the two, excluding u and v themselves) is re-dealt uniformly at
+/// random, u keeping a set of its original size.  `to_v` lists the
+/// nodes moving u -> v and `to_u` those moving v -> u; the two lists
+/// always have equal length, so both endpoint degrees are unchanged —
+/// and since class(u) == class(v), every moved edge keeps its
+/// degree-class pair and the JDD is preserved exactly
+/// (docs/annealing.md has the full argument).
+struct TradeScratch {
+  NodeId u = 0;
+  NodeId v = 0;
+  std::vector<std::pair<NodeId, bool>> pool;  // (node, currently u's side)
+  std::vector<NodeId> to_u;
+  std::vector<NodeId> to_v;
+};
+
+/// Draws a trade: random half-edge picks u, a uniform same-class peer
+/// picks v, then the exclusive-neighborhood pool is shuffled into the
+/// new split.  False (a structural rejection) when the class has no
+/// peer, the exclusive sets are empty on either side, or the shuffle
+/// re-deals the original partition.
+bool draw_trade_from(const EdgeIndex& index, util::Rng& rng,
+                     TradeScratch& trade) {
+  if (index.num_edges() < 2) return false;
+  const Edge e = index.edge_at(index.sample_edge(rng));
+  const NodeId u = rng.bernoulli(0.5) ? e.u : e.v;
+  const auto& peers = index.nodes_in_class(index.node_class(u));
+  if (peers.size() < 2) return false;
+  const NodeId v = peers[rng.uniform(peers.size())];
+  if (v == u) return false;
+
+  trade.u = u;
+  trade.v = v;
+  trade.pool.clear();
+  for (const NodeId x : index.neighbors(u)) {
+    if (x != v && !index.has_edge(v, x)) trade.pool.emplace_back(x, true);
+  }
+  const std::size_t u_share = trade.pool.size();
+  for (const NodeId x : index.neighbors(v)) {
+    if (x != u && !index.has_edge(u, x)) trade.pool.emplace_back(x, false);
+  }
+  if (u_share == 0 || trade.pool.size() == u_share) return false;
+
+  rng.shuffle(trade.pool);
+  // The first u_share entries form u's new exclusive set; a pool entry
+  // that changed sides becomes a moved edge.  Counting gives
+  // |to_u| == |to_v| automatically.
+  trade.to_u.clear();
+  trade.to_v.clear();
+  for (std::size_t i = 0; i < trade.pool.size(); ++i) {
+    const auto& [node, was_u] = trade.pool[i];
+    const bool now_u = i < u_share;
+    if (was_u && !now_u) {
+      trade.to_v.push_back(node);
+    } else if (!was_u && now_u) {
+      trade.to_u.push_back(node);
+    }
+  }
+  return !trade.to_v.empty();
+}
+
+/// Applies a drawn trade to the index.  Removals first: every insertion
+/// is then degree-restoring, which is the EdgeIndex add_edge contract.
+void apply_trade_to(EdgeIndex& index, const TradeScratch& trade) {
+  for (const NodeId x : trade.to_v) index.remove_edge(trade.u, x);
+  for (const NodeId x : trade.to_u) index.remove_edge(trade.v, x);
+  for (const NodeId x : trade.to_v) index.add_edge(trade.v, x);
+  for (const NodeId x : trade.to_u) index.add_edge(trade.u, x);
+}
+
+/// Whether this attempt proposes a trade.  The mixed-mode selector is
+/// the ONLY extra Rng draw the move option introduces: pure swap chains
+/// consume exactly the streams they always did.
+inline bool propose_trade(MoveKind move, double trade_fraction,
+                          util::Rng& rng) {
+  if (move == MoveKind::swap) return false;
+  return move == MoveKind::trade || rng.bernoulli(trade_fraction);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -107,13 +187,15 @@ bool RewiringEngine::structurally_valid(const Swap& swap) const {
 void RewiringEngine::randomize(int d, std::size_t budget, util::Rng& rng,
                                RewiringStats* stats, util::StopToken stop,
                                obs::ProgressSink* progress,
-                               std::uint32_t progress_lane) {
+                               std::uint32_t progress_lane, MoveKind move,
+                               double trade_fraction) {
   util::expects(d == 1 || d == 2, "RewiringEngine::randomize: d must be 1|2");
   // Count into a local when the caller passed no stats sink, so progress
   // always has attempt/accept totals to report (observably identical —
   // the chain never reads the counts).
   RewiringStats local_stats;
   if (stats == nullptr) stats = &local_stats;
+  TradeScratch trade;
   for (std::size_t attempt = 0; attempt < budget; ++attempt) {
     if ((attempt & kStopPollMask) == 0) {
       if (stop.stop_requested()) break;
@@ -121,6 +203,17 @@ void RewiringEngine::randomize(int d, std::size_t budget, util::Rng& rng,
     }
     if (index_.num_edges() < 2) break;
     if (stats != nullptr) ++stats->attempts;
+    if (propose_trade(move, trade_fraction, rng)) {
+      // Trades preserve degrees AND the JDD by construction, so they
+      // are valid at both d = 1 and d = 2 and always accepted.
+      if (draw_trade_from(index_, rng, trade)) {
+        apply_trade_to(index_, trade);
+        if (stats != nullptr) ++stats->accepted;
+      } else {
+        if (stats != nullptr) ++stats->rejected_structural;
+      }
+      continue;
+    }
     Swap swap{};
     const bool drawn = d == 2 ? draw_jdd_preserving(rng, swap)
                               : draw_uniform(rng, swap);
@@ -197,6 +290,7 @@ std::int64_t RewiringEngine::target_2k_with(Objective& objective,
                                             RewiringStats* stats) {
   RewiringStats local_stats;
   if (stats == nullptr) stats = &local_stats;
+  TradeScratch trade;
   for (std::size_t attempt = 0;
        attempt < budget &&
        static_cast<double>(objective.distance()) > options.stop_distance;
@@ -209,6 +303,18 @@ std::int64_t RewiringEngine::target_2k_with(Objective& objective,
     }
     if (index_.num_edges() < 2) break;
     if (stats != nullptr) ++stats->attempts;
+    if (propose_trade(options.move, options.trade_fraction, rng)) {
+      // A trade keeps every edge's degree-class pair, so ΔD2 = 0: it is
+      // pure plateau diffusion — the objective tables need no update —
+      // and is accepted whenever it is structurally drawable.
+      if (draw_trade_from(index_, rng, trade)) {
+        apply_trade_to(index_, trade);
+        if (stats != nullptr) ++stats->accepted;
+      } else {
+        if (stats != nullptr) ++stats->rejected_structural;
+      }
+      continue;
+    }
     Swap swap{};
     const bool drawn = (rng.bernoulli(options.guided_fraction) &&
                         propose_guided(objective, rng, swap)) ||
@@ -356,6 +462,32 @@ std::int64_t ThreeKRewirer::target(const dk::ThreeKProfile& target,
                 "ThreeKRewirer::target: needs full_three_k tracking");
   ThreeKObjective objective(state_, target);
   dk::SwapDelta swap_delta;
+  TradeScratch trade;
+
+  // A Curveball trade between u and v decomposes into |to_v| sub-swaps
+  // (u, to_v[i]), (v, to_u[i]) -> (u, to_u[i]), (v, to_v[i]): the moved
+  // sets are disjoint and each node moves exactly once, so every
+  // sub-swap is structurally valid at its turn.  Each one satisfies
+  // class(u) == class(v) (2K-preserving), is priced exactly against the
+  // live journal and committed; the Metropolis rule then judges the
+  // summed ΔD3, and a rejection replays the inverse sub-swaps (the
+  // moved edges are pairwise distinct, so any order is valid) —
+  // integer-exact histogram bookkeeping makes the forward and reverse
+  // deltas telescope to zero.
+  const auto commit_trade_legs = [&](const std::vector<NodeId>& from_u,
+                                     const std::vector<NodeId>& from_v) {
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < from_u.size(); ++i) {
+      state_.evaluate_swap(trade.u, from_u[i], trade.v, from_v[i],
+                           swap_delta);
+      const std::int64_t leg =
+          objective.delta_if_applied(state_, swap_delta.journal);
+      state_.commit_swap(swap_delta);
+      objective.commit(leg);
+      total += leg;
+    }
+    return total;
+  };
 
   RewiringStats local_stats;
   if (stats == nullptr) stats = &local_stats;
@@ -371,6 +503,24 @@ std::int64_t ThreeKRewirer::target(const dk::ThreeKProfile& target,
     }
     if (index_.num_edges() < 2) break;
     if (stats != nullptr) ++stats->attempts;
+    if (propose_trade(options.move, options.trade_fraction, rng)) {
+      if (!draw_trade_from(index_, rng, trade)) {
+        if (stats != nullptr) ++stats->rejected_structural;
+        continue;
+      }
+      const std::int64_t delta = commit_trade_legs(trade.to_v, trade.to_u);
+      const bool accept =
+          delta <= 0 || (options.temperature > 0.0 &&
+                         metropolis_accepts(delta, options.temperature,
+                                            rng.uniform_real()));
+      if (accept) {
+        if (stats != nullptr) ++stats->accepted;
+      } else {
+        commit_trade_legs(trade.to_u, trade.to_v);  // exact inverse
+        if (stats != nullptr) ++stats->rejected_objective;
+      }
+      continue;
+    }
     Swap swap{};
     if (!draw_candidate(rng, swap)) {
       if (stats != nullptr) ++stats->rejected_structural;

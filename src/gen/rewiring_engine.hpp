@@ -56,11 +56,15 @@ class RewiringEngine {
   /// d = 2 candidates come from the degree buckets, so every structurally
   /// valid proposal already preserves the JDD).  `stop` is polled every
   /// 1024 attempts; a requested stop ends the run early.  `progress`
-  /// (may be null) is reported at the same cadence.
+  /// (may be null) is reported at the same cadence.  `move` selects the
+  /// proposal mix (rewiring.hpp): Curveball trades are JDD-preserving by
+  /// construction and the mixed-mode selector draw only happens when
+  /// move == mixed, so swap-mode streams are untouched.
   void randomize(int d, std::size_t budget, util::Rng& rng,
                  RewiringStats* stats, util::StopToken stop = {},
                  obs::ProgressSink* progress = nullptr,
-                 std::uint32_t progress_lane = 0);
+                 std::uint32_t progress_lane = 0,
+                 MoveKind move = MoveKind::swap, double trade_fraction = 0.25);
 
   /// 2K-targeting 1K-preserving Metropolis rewiring.  Returns the exact
   /// integer D2 after the run.  The ΔD2 objective backend is resolved

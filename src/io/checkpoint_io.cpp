@@ -1,5 +1,7 @@
 #include "io/checkpoint_io.hpp"
 
+#include <bit>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <limits>
@@ -12,7 +14,12 @@ namespace orbis::io {
 
 namespace {
 
-constexpr const char* kHeader = "# orbis checkpoint v1";
+// v2 adds the move kind, the replica-exchange ladder block and a
+// per-chain temperature (as IEEE-754 bits, so the round-trip is exact).
+// v1 files remain readable: the new records default to a non-laddered
+// swap-only run, which is exactly what every v1 run was.
+constexpr const char* kHeader = "# orbis checkpoint v2";
+constexpr const char* kHeaderV1 = "# orbis checkpoint v1";
 
 void write_checkpoint(std::ostream& out, const gen::RunCheckpoint& state) {
   out << kHeader << '\n';
@@ -20,6 +27,16 @@ void write_checkpoint(std::ostream& out, const gen::RunCheckpoint& state) {
   out << "budget " << state.budget << '\n';
   out << "every " << state.checkpoint_every << '\n';
   out << "backend " << gen::to_string(state.backend) << '\n';
+  out << "move " << gen::to_string(state.move) << '\n';
+  out << "ladder " << state.exchange_every << ' '
+      << (state.adaptive ? 1 : 0) << '\n';
+  if (state.exchange_every > 0) {
+    out << "exchange_rng " << state.exchange_rng[0] << ' '
+        << state.exchange_rng[1] << ' ' << state.exchange_rng[2] << ' '
+        << state.exchange_rng[3] << '\n';
+    out << "exchanges " << state.exchange_attempted << ' '
+        << state.exchange_accepted << '\n';
+  }
   out << "chains " << state.chains.size() << '\n';
   for (std::size_t i = 0; i < state.chains.size(); ++i) {
     const gen::ChainCheckpoint& chain = state.chains[i];
@@ -27,6 +44,8 @@ void write_checkpoint(std::ostream& out, const gen::RunCheckpoint& state) {
     out << "attempts " << chain.attempts_done << '\n';
     out << "rng " << chain.rng_state[0] << ' ' << chain.rng_state[1] << ' '
         << chain.rng_state[2] << ' ' << chain.rng_state[3] << '\n';
+    out << "temperature_bits "
+        << std::bit_cast<std::uint64_t>(chain.temperature) << '\n';
     const gen::RewiringStats& s = chain.stats;
     out << "stats " << s.attempts << ' ' << s.accepted << ' '
         << s.rejected_structural << ' ' << s.rejected_constraint << ' '
@@ -189,7 +208,16 @@ gen::RunCheckpoint read_checkpoint_file(const std::string& path) {
   if (!in) throw IoError("cannot open checkpoint file: " + path);
   CheckpointParser parser(in, path);
 
-  parser.expect_literal(kHeader);
+  const std::string& header = parser.next_line("checkpoint header");
+  int version = 0;
+  if (header == kHeader) {
+    version = 2;
+  } else if (header == kHeaderV1) {
+    version = 1;
+  } else {
+    parser.fail(std::string("expected '") + kHeader + "' or '" + kHeaderV1 +
+                "', got: " + header);
+  }
   gen::RunCheckpoint state;
   const std::uint64_t d = parser.keyed_u64("d");
   if (d != 2 && d != 3) parser.fail("d must be 2 or 3");
@@ -201,6 +229,37 @@ gen::RunCheckpoint read_checkpoint_file(const std::string& path) {
     state.backend = gen::parse_objective_backend(backend);
   } catch (const std::invalid_argument&) {
     parser.fail("unknown backend: " + backend);
+  }
+  if (version >= 2) {
+    const std::string move = parser.keyed_word("move");
+    try {
+      state.move = gen::parse_move_kind(move);
+    } catch (const std::invalid_argument&) {
+      parser.fail("unknown move kind: " + move);
+    }
+    std::uint64_t ladder[2] = {0, 0};
+    parser.keyed_u64s("ladder", ladder, 2);
+    state.exchange_every = ladder[0];
+    if (ladder[1] > 1) parser.fail("ladder adaptive flag must be 0 or 1");
+    state.adaptive = ladder[1] != 0;
+    if (state.exchange_every > 0) {
+      if (state.checkpoint_every > 0 &&
+          state.checkpoint_every % state.exchange_every != 0) {
+        parser.fail("exchange cadence must divide the checkpoint cadence");
+      }
+      parser.keyed_u64s("exchange_rng", state.exchange_rng.data(), 4);
+      if (state.exchange_rng[0] == 0 && state.exchange_rng[1] == 0 &&
+          state.exchange_rng[2] == 0 && state.exchange_rng[3] == 0) {
+        parser.fail("all-zero exchange rng state");
+      }
+      std::uint64_t exchanges[2] = {0, 0};
+      parser.keyed_u64s("exchanges", exchanges, 2);
+      state.exchange_attempted = exchanges[0];
+      state.exchange_accepted = exchanges[1];
+      if (state.exchange_accepted > state.exchange_attempted) {
+        parser.fail("accepted exchanges exceed attempted exchanges");
+      }
+    }
   }
   const std::uint64_t chains = parser.keyed_u64("chains");
   if (chains == 0) parser.fail("checkpoint must have at least one chain");
@@ -220,6 +279,13 @@ gen::RunCheckpoint read_checkpoint_file(const std::string& path) {
     if (chain.rng_state[0] == 0 && chain.rng_state[1] == 0 &&
         chain.rng_state[2] == 0 && chain.rng_state[3] == 0) {
       parser.fail("all-zero rng state");
+    }
+    if (version >= 2) {
+      const std::uint64_t bits = parser.keyed_u64("temperature_bits");
+      chain.temperature = std::bit_cast<double>(bits);
+      if (std::isnan(chain.temperature) || chain.temperature < 0.0) {
+        parser.fail("chain temperature must be a non-negative number");
+      }
     }
     std::uint64_t stats[6] = {0, 0, 0, 0, 0, 0};
     parser.keyed_u64s("stats", stats, 6);

@@ -46,13 +46,19 @@
 // a 7-bit fragment of the slot key's hash, and find()/locate() compare
 // kGroupWidth (16) control bytes per step — one SSE2 compare+movemask,
 // or a portable SWAR equivalent off x86 — touching the 8-byte key array
-// only at fragment matches.  The group probe visits slots in EXACTLY
-// the scalar linear-probe order and slot placement is decided by the
-// same locate()/occupy()/erase_at() protocol either way, so the slot
-// layout, iteration order and every downstream chain are bit-identical
-// between the grouped and scalar builds (the `ORBIS_SIMD` CMake option
-// selects which one backs find()/locate(); both implementations are
-// always compiled and cross-checked in tests/util/test_flat_table.cpp).
+// only at fragment matches.  On x86-64 GCC/Clang builds a 32-byte AVX2
+// variant (find_grouped32/locate_grouped32) compares two groups per
+// step; it is compiled with a per-function target("avx2") attribute and
+// selected at RUNTIME (__builtin_cpu_supports), so one binary runs
+// everywhere and silently drops to the 16-byte probe on older CPUs or
+// tables smaller than one wide group.  Every probe variant visits slots
+// in EXACTLY the scalar linear-probe order and slot placement is
+// decided by the same locate()/occupy()/erase_at() protocol either way,
+// so the slot layout, iteration order and every downstream chain are
+// bit-identical between the grouped, wide-grouped and scalar builds
+// (the `ORBIS_SIMD` CMake option selects whether groups back
+// find()/locate(); all implementations are always compiled and
+// cross-checked in tests/util/test_flat_table.cpp).
 #pragma once
 
 #include <algorithm>
@@ -79,6 +85,17 @@
 #define ORBIS_FLAT_TABLE_SSE2 1
 #else
 #define ORBIS_FLAT_TABLE_SSE2 0
+#endif
+
+// The AVX2 wide-group probe needs per-function target attributes and
+// __builtin_cpu_supports — GCC/Clang on x86-64 only.  It is a runtime
+// upgrade, never an ABI requirement: the baseline build stays plain
+// SSE2/SWAR and the wide path engages per call on capable CPUs.
+#if ORBIS_SIMD && defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define ORBIS_FLAT_TABLE_AVX2 1
+#else
+#define ORBIS_FLAT_TABLE_AVX2 0
 #endif
 
 namespace orbis::util {
@@ -179,7 +196,7 @@ class FlatTable {
     std::size_t capacity = kMinCapacity;
     while (capacity < 2 * expected + 2) capacity <<= 1;
     keys_ = std::vector<std::uint64_t>(capacity, 0);
-    ctrl_ = std::vector<std::uint8_t>(capacity + kGroupWidth, kCtrlEmpty);
+    ctrl_ = std::vector<std::uint8_t>(capacity + kMirrorWidth, kCtrlEmpty);
     if constexpr (stores_payload) {
       payloads_ = std::vector<Payload>(capacity, Traits::empty_payload());
     }
@@ -206,12 +223,13 @@ class FlatTable {
   }
 
   /// Slot holding `key`, or npos.  Safe on a storage-less table.
-  /// Backed by the group probe or the scalar walk per the ORBIS_SIMD
-  /// build option; both visit slots in the same order and agree on
-  /// every table state (cross-checked in tests/util/test_flat_table).
+  /// Backed by the group probe (wide AVX2 variant when the CPU and
+  /// table size allow) or the scalar walk per the ORBIS_SIMD build
+  /// option; all visit slots in the same order and agree on every table
+  /// state (cross-checked in tests/util/test_flat_table).
   std::size_t find(std::uint64_t key) const {
 #if ORBIS_SIMD
-    return find_grouped(key);
+    return find_grouped32(key);
 #else
     return find_scalar(key);
 #endif
@@ -224,7 +242,7 @@ class FlatTable {
   /// storage and load factor < 1; any growth invalidates the result.
   std::size_t locate(std::uint64_t key) const {
 #if ORBIS_SIMD
-    return locate_grouped(key);
+    return locate_grouped32(key);
 #else
     return locate_scalar(key);
 #endif
@@ -314,6 +332,31 @@ class FlatTable {
     }
   }
 
+  /// find() through 32-byte AVX2 control-byte groups when the CPU
+  /// supports AVX2 and the table spans at least one wide group; exact
+  /// same probe semantics as find_grouped()/find_scalar(), to which it
+  /// silently falls back otherwise.  The capacity gate keeps the wide
+  /// load inside ctrl_'s kMirrorWidth mirror tail.
+  std::size_t find_grouped32(std::uint64_t key) const {
+#if ORBIS_FLAT_TABLE_AVX2
+    if (keys_.size() >= kWideGroupWidth && avx2_available()) {
+      return find_avx2(key);
+    }
+#endif
+    return find_grouped(key);
+  }
+
+  /// locate() through 32-byte AVX2 groups; same contract and fallback
+  /// discipline as find_grouped32().
+  std::size_t locate_grouped32(std::uint64_t key) const {
+#if ORBIS_FLAT_TABLE_AVX2
+    if (keys_.size() >= kWideGroupWidth && avx2_available()) {
+      return locate_avx2(key);
+    }
+#endif
+    return locate_grouped(key);
+  }
+
   /// Hints that `key`'s probe window will be read soon: pulls the home
   /// slot's control-byte group, key line and (when stored) payload line
   /// toward the cache.  Purely advisory — never changes results.
@@ -382,7 +425,7 @@ class FlatTable {
     // branches that payload-elided instantiations discard.
     [[maybe_unused]] PayloadStore old_payloads = std::move(payloads_);
     keys_.assign(capacity, 0);
-    ctrl_.assign(capacity + kGroupWidth, kCtrlEmpty);
+    ctrl_.assign(capacity + kMirrorWidth, kCtrlEmpty);
     if constexpr (stores_payload) {
       payloads_.assign(capacity, Traits::empty_payload());
     }
@@ -438,8 +481,94 @@ class FlatTable {
   /// Slots compared per control-byte group probe.
   static constexpr std::size_t kGroupWidth = detail::CtrlGroup::kWidth;
 
+  /// Slots compared per AVX2 wide-group probe step.
+  static constexpr std::size_t kWideGroupWidth = 32;
+
+  /// Control bytes mirrored past the end of the table so group loads of
+  /// either width from any base < capacity never need wrap masking.
+  static constexpr std::size_t kMirrorWidth = 32;
+  static_assert(kMirrorWidth >= kGroupWidth &&
+                kMirrorWidth >= kWideGroupWidth);
+
  private:
   static constexpr std::size_t kMinCapacity = 16;
+
+#if ORBIS_FLAT_TABLE_AVX2
+  /// True on CPUs with AVX2; one cpuid probe per process.
+  static bool avx2_available() noexcept {
+    static const bool available = __builtin_cpu_supports("avx2") != 0;
+    return available;
+  }
+
+  /// find_grouped() widened to 32 control bytes per step.  Compiled for
+  /// AVX2 via the function-level target attribute so the surrounding
+  /// translation unit keeps its baseline ISA; callers gate on
+  /// avx2_available() and capacity >= kWideGroupWidth (which also keeps
+  /// the wide load inside the mirror tail).
+  __attribute__((target("avx2"))) std::size_t find_avx2(
+      std::uint64_t key) const {
+    const std::uint64_t hash = splitmix64_mix(key);
+    const __m256i pattern =
+        _mm256_set1_epi8(static_cast<char>(ctrl_fragment(hash)));
+    std::size_t base = static_cast<std::size_t>(hash) & mask_;
+    while (true) {
+      prefetch_read(keys_.data() + base);  // overlap with the ctrl match
+      const __m256i group = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(ctrl_.data() + base));
+      auto candidates = static_cast<std::uint32_t>(
+          _mm256_movemask_epi8(_mm256_cmpeq_epi8(group, pattern)));
+      const auto empties =
+          static_cast<std::uint32_t>(_mm256_movemask_epi8(group));
+      if (empties != 0) {
+        // Slots at or past the first empty are outside the probe chain.
+        candidates &= (1u << std::countr_zero(empties)) - 1u;
+      }
+      while (candidates != 0) {
+        const std::size_t slot =
+            (base + static_cast<std::size_t>(std::countr_zero(candidates))) &
+            mask_;
+        if (keys_[slot] == key) return slot;
+        candidates &= candidates - 1;
+      }
+      if (empties != 0) return npos;
+      base = (base + kWideGroupWidth) & mask_;
+    }
+  }
+
+  /// locate_grouped() widened to 32 control bytes per step; same gating
+  /// as find_avx2().
+  __attribute__((target("avx2"))) std::size_t locate_avx2(
+      std::uint64_t key) const {
+    const std::uint64_t hash = splitmix64_mix(key);
+    const __m256i pattern =
+        _mm256_set1_epi8(static_cast<char>(ctrl_fragment(hash)));
+    std::size_t base = static_cast<std::size_t>(hash) & mask_;
+    while (true) {
+      prefetch_read(keys_.data() + base);
+      const __m256i group = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(ctrl_.data() + base));
+      auto candidates = static_cast<std::uint32_t>(
+          _mm256_movemask_epi8(_mm256_cmpeq_epi8(group, pattern)));
+      const auto empties =
+          static_cast<std::uint32_t>(_mm256_movemask_epi8(group));
+      if (empties != 0) {
+        candidates &= (1u << std::countr_zero(empties)) - 1u;
+      }
+      while (candidates != 0) {
+        const std::size_t slot =
+            (base + static_cast<std::size_t>(std::countr_zero(candidates))) &
+            mask_;
+        if (keys_[slot] == key) return slot;
+        candidates &= candidates - 1;
+      }
+      if (empties != 0) {
+        return (base + static_cast<std::size_t>(std::countr_zero(empties))) &
+               mask_;
+      }
+      base = (base + kWideGroupWidth) & mask_;
+    }
+  }
+#endif
 
   /// The only control byte with the high bit set; occupied slots hold a
   /// 7-bit hash fragment.
@@ -451,12 +580,18 @@ class FlatTable {
     return static_cast<std::uint8_t>(hash >> 57);
   }
 
-  /// Writes a control byte, maintaining the mirror tail: the last
-  /// kGroupWidth bytes of ctrl_ replicate the first so a group load
-  /// starting anywhere below capacity never needs wrap masking.
+  /// Writes a control byte, maintaining the mirror tail: the
+  /// kMirrorWidth bytes past the end replicate the table PERIODICALLY
+  /// (capacity can be smaller than the mirror, e.g. 16), so a group
+  /// load of either width starting anywhere below capacity never needs
+  /// wrap masking.  For capacity >= kMirrorWidth this is at most one
+  /// extra write, and none for slots >= kMirrorWidth.
   void set_ctrl(std::size_t slot, std::uint8_t value) {
     ctrl_[slot] = value;
-    if (slot < kGroupWidth) ctrl_[keys_.size() + slot] = value;
+    for (std::size_t mirror = slot + keys_.size();
+         mirror < keys_.size() + kMirrorWidth; mirror += keys_.size()) {
+      ctrl_[mirror] = value;
+    }
   }
 
   struct NoPayloadStore {};
@@ -478,7 +613,7 @@ class FlatTable {
   }
 
   std::vector<std::uint64_t> keys_;
-  // Per-slot metadata for group probing, + kGroupWidth mirror bytes.
+  // Per-slot metadata for group probing, + kMirrorWidth mirror bytes.
   std::vector<std::uint8_t> ctrl_;
   PayloadStore payloads_{};
   std::size_t mask_ = 0;   // capacity - 1 (capacity is a power of two)

@@ -5,6 +5,8 @@
 // plus the strict checkpoint-file parser.
 #include "gen/checkpoint.hpp"
 
+#include "gen/anneal.hpp"
+
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -201,6 +203,64 @@ TEST_F(CheckpointResumeTest, KillAndResumeBitIdentical3K) {
   expect_same_edges(reference.graph, result.graph);
   expect_same_stats(reference.total_stats, result.total_stats);
   EXPECT_EQ(reference.best_distance, result.best_distance);
+}
+
+TEST_F(CheckpointResumeTest, LadderedKillAndResumeBitIdentical2K) {
+  // A laddered adaptive mixed-move run killed at a checkpoint boundary
+  // (which the ladder guarantees is an epoch boundary) and resumed from
+  // the file must replay to the same final state: per-replica edges,
+  // stats, temperatures, and the exchange Rng/counters.
+  options_.move = MoveKind::mixed;
+  LadderOptions ladder;
+  ladder.replicas = 3;
+  ladder.exchange_every = 300;
+  ladder.top_temperature = 50.0;
+
+  util::Rng ref_rng(7);
+  RunCheckpoint ref_state = make_2k_ladder_run(start_, options_, ladder,
+                                               /*checkpoint_every=*/300,
+                                               ref_rng);
+  const auto reference =
+      run_checkpointed_2k(ref_state, target_.joint, options_, {});
+
+  const std::string file = path("ladder.ck");
+  {
+    util::Rng rng(7);
+    RunCheckpoint state = make_2k_ladder_run(start_, options_, ladder,
+                                             /*checkpoint_every=*/300, rng);
+    util::StopSource stop;
+    CheckpointOptions checkpointing;
+    checkpointing.stop = stop.token();
+    std::size_t written = 0;
+    checkpointing.on_checkpoint = [&](const RunCheckpoint& snapshot) {
+      io::write_checkpoint_file(file, snapshot);
+      if (++written >= 3) stop.request_stop();
+    };
+    auto partial =
+        run_checkpointed_2k(state, target_.joint, options_, checkpointing);
+    EXPECT_TRUE(partial.interrupted);
+  }
+  RunCheckpoint resumed = io::read_checkpoint_file(file);
+  EXPECT_TRUE(resumed.laddered());
+  EXPECT_EQ(resumed.move, MoveKind::mixed);
+  const auto result =
+      run_checkpointed_2k(resumed, target_.joint, options_, {});
+
+  expect_same_edges(reference.graph, result.graph);
+  expect_same_stats(reference.total_stats, result.total_stats);
+  EXPECT_EQ(reference.best_chain, result.best_chain);
+  EXPECT_EQ(reference.best_distance, result.best_distance);
+  ASSERT_EQ(resumed.chains.size(), ref_state.chains.size());
+  for (std::size_t i = 0; i < ref_state.chains.size(); ++i) {
+    EXPECT_EQ(resumed.chains[i].temperature, ref_state.chains[i].temperature)
+        << i;
+    EXPECT_EQ(resumed.chains[i].rng_state, ref_state.chains[i].rng_state) << i;
+    expect_same_edges(resumed.chains[i].graph, ref_state.chains[i].graph);
+  }
+  EXPECT_EQ(resumed.exchange_rng, ref_state.exchange_rng);
+  EXPECT_GT(ref_state.exchange_attempted, 0u);
+  EXPECT_EQ(resumed.exchange_attempted, ref_state.exchange_attempted);
+  EXPECT_EQ(resumed.exchange_accepted, ref_state.exchange_accepted);
 }
 
 TEST_F(CheckpointResumeTest, CheckpointFileRoundTripsExactly) {

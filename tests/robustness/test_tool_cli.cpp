@@ -142,6 +142,37 @@ TEST_F(ToolCliTest, CheckpointKillResumeIsBitIdentical) {
   EXPECT_EQ(slurp(path("full.edges")), slurp(path("resumed.edges")));
 }
 
+TEST_F(ToolCliTest, LadderedMixedMoveKillResumeIsBitIdentical) {
+  // The replica-exchange ladder with the mixed proposal stream, through
+  // the real CLI: kill after two checkpoints (epoch boundaries), resume
+  // from disk, and require the bytes of the uninterrupted run.
+  const std::string common = "generate --d 2 --method targeting --from-2k '" +
+                             path("g.2k") +
+                             "' --seed 11 --ladder 3 --move mixed "
+                             "--exchange-every 1500";
+  ASSERT_EQ(run(common + " --checkpoint '" + path("lfull.ck") +
+                "' --checkpoint-every 3000 --out '" + path("lfull.edges") +
+                "'"),
+            0);
+  ASSERT_EQ(run(common + " --checkpoint '" + path("lpart.ck") +
+                "' --checkpoint-every 3000 --stop-after-checkpoints 2 "
+                "--out '" + path("lpart.edges") + "'"),
+            130);
+  EXPECT_FALSE(fs::exists(path("lpart.edges")));
+  ASSERT_EQ(run(common + " --resume '" + path("lpart.ck") + "' --out '" +
+                path("lresumed.edges") + "'"),
+            0);
+  EXPECT_EQ(slurp(path("lfull.edges")), slurp(path("lresumed.edges")));
+  EXPECT_NE(slurp(path("lfull.edges")), "");
+}
+
+TEST_F(ToolCliTest, LadderOfOneExitsUsage) {
+  EXPECT_EQ(run("generate --d 2 --method targeting --from-2k '" +
+                path("g.2k") + "' --ladder 1 --out '" + path("x.edges") +
+                "'"),
+            2);
+}
+
 TEST_F(ToolCliTest, CorruptCheckpointExitsParse) {
   std::ofstream(path("corrupt.ck")) << "# orbis checkpoint v1\nd 9\n";
   EXPECT_EQ(run("generate --d 2 --method targeting --from-2k '" +

@@ -106,11 +106,11 @@ TEST(FlatTable, ReserveForKeepsHalfLoadFactor) {
 TEST(FlatTable, EmptyPayloadElidesStorage) {
   KeyOnlyTable table;
   table.reserve_for(7);
-  // Keys plus the control-byte array (with its kGroupWidth mirror
+  // Keys plus the control-byte array (with its kMirrorWidth mirror
   // tail); no payload bytes.
   EXPECT_EQ(table.capacity_bytes(),
             table.capacity() * sizeof(std::uint64_t) + table.capacity() +
-                KeyOnlyTable::kGroupWidth);
+                KeyOnlyTable::kMirrorWidth);
   insert_new(table, 5);
   EXPECT_TRUE(table.contains(5));
   EXPECT_FALSE(table.contains(6));
@@ -313,17 +313,24 @@ TEST(FlatTable, CountOccupancyChurn) {
 
 // ---------------------------------------------------------------------------
 // Grouped vs scalar probe cross-checks.  find()/locate() dispatch to one
-// implementation per the ORBIS_SIMD build option, but BOTH are always
+// implementation per the ORBIS_SIMD build option, but ALL are always
 // compiled and must agree slot-for-slot on every table state — that
-// equivalence is what makes SIMD and scalar builds bit-identical.
+// equivalence is what makes SIMD (16-byte grouped AND runtime-dispatched
+// 32-byte AVX2) and scalar builds bit-identical.  find_grouped32/
+// locate_grouped32 self-select: on non-AVX2 hosts or small tables they
+// fall back to the 16-byte probe, so asserting them is always valid.
 // ---------------------------------------------------------------------------
 
-/// Asserts both probe paths agree for `key` on `table`'s current state.
+/// Asserts every probe path agrees for `key` on `table`'s current state.
 template <class Table>
 void expect_probes_agree(const Table& table, std::uint64_t key) {
   ASSERT_EQ(table.find_grouped(key), table.find_scalar(key)) << "key " << key;
+  ASSERT_EQ(table.find_grouped32(key), table.find_scalar(key))
+      << "key " << key;
   if (table.has_storage()) {
     ASSERT_EQ(table.locate_grouped(key), table.locate_scalar(key))
+        << "key " << key;
+    ASSERT_EQ(table.locate_grouped32(key), table.locate_scalar(key))
         << "key " << key;
   }
 }
@@ -416,6 +423,40 @@ TEST(FlatTable, GroupedProbeAcrossWrappedGroup) {
       expect_probes_agree(table, keys[i]);
       if (i == 2) continue;
       const std::size_t slot = table.find_grouped(keys[i]);
+      ASSERT_NE(slot, SlotTable::npos) << "head " << head << " key " << i;
+      EXPECT_EQ(table.payload_at(slot), static_cast<std::uint32_t>(i));
+    }
+  }
+}
+
+TEST(FlatTable, WideGroupedProbeAcrossWrappedGroup) {
+  // A capacity-32 table is exactly one AVX2 wide group: every wide load
+  // from a nonzero base runs through the mirror tail.  Keys clustered at
+  // the last slots must resolve identically through all probe paths,
+  // before and after a wrapped backward-shift erase.  (On non-AVX2
+  // hosts the wide probe falls back and the test degenerates to the
+  // 16-byte check — still a valid assertion, just not a new one.)
+  for (std::size_t head : {24u, 28u, 31u}) {
+    SlotTable table;
+    table.reserve_for(15);
+    ASSERT_EQ(table.capacity(), 32u);
+    const std::size_t mask = table.capacity() - 1;
+    std::uint64_t cursor = 0;
+    std::vector<std::uint64_t> keys;
+    for (std::size_t i = 0; i < 10; ++i) {  // cluster wraps past slot 31
+      keys.push_back(key_with_home(head, mask, &cursor));
+      insert_new(table, keys.back(), static_cast<std::uint32_t>(i));
+    }
+    for (const std::uint64_t key : keys) expect_probes_agree(table, key);
+    expect_probes_agree(table, key_with_home(head, mask, &cursor));
+    expect_probes_agree(table, key_with_home(2, mask, &cursor));
+    expect_probes_agree(table, key_with_home(16, mask, &cursor));
+
+    table.erase_at(table.find(keys[4]));
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      expect_probes_agree(table, keys[i]);
+      if (i == 4) continue;
+      const std::size_t slot = table.find_grouped32(keys[i]);
       ASSERT_NE(slot, SlotTable::npos) << "head " << head << " key " << i;
       EXPECT_EQ(table.payload_at(slot), static_cast<std::uint32_t>(i));
     }

@@ -36,7 +36,8 @@ import sys
 
 DEFAULT_FILTER = (r"RewiringStep|Target2KAttempts|Randomize2KAttempts"
                   r"|DkStateSwap|Parallel3K|Sparse2KTarget"
-                  r"|StreamingExtract|FlatTableProbe|TelemetryCounter")
+                  r"|StreamingExtract|FlatTableProbe|TelemetryCounter"
+                  r"|ConvergenceAttemptsToEps")
 
 
 def load_benchmarks(path, name_filter):
