@@ -95,6 +95,7 @@
 #include "obs/progress.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "svc/run_context.hpp"
 #include "util/cli.hpp"
 #include "util/errors.hpp"
 #include "util/memory.hpp"
@@ -473,6 +474,19 @@ Graph generate_checkpointed(const util::ArgParser& args,
                                         options.targeting, checkpointing)
              : gen::run_checkpointed_3k(state, target.three_k,
                                         options.targeting, checkpointing);
+  if (g_want_report) {
+    // Label the trajectory lanes with their replica identity; laddered
+    // runs also record each replica's final (possibly adapted)
+    // temperature, so a report reader can tell the rungs apart.
+    g_report.trajectory_lanes.clear();
+    for (std::size_t i = 0; i < state.chains.size(); ++i) {
+      obs::TrajectoryLane lane;
+      lane.lane = static_cast<std::uint32_t>(i);
+      lane.temperature = state.chains[i].temperature;
+      lane.has_temperature = state.laddered();
+      g_report.trajectory_lanes.push_back(lane);
+    }
+  }
   if (run.interrupted) {
     if (g_signal != 0) {
       status("caught signal %d\n", static_cast<int>(g_signal));
@@ -534,6 +548,23 @@ int cmd_generate(const util::ArgParser& args, util::Rng& rng) {
   }
   record_config("d", std::to_string(d));
 
+  // The CLI is a thin client of the unified entry-point contract
+  // (svc/run_context.hpp): every cross-cutting knob resolves into ONE
+  // RunContext, and the library calls below take it whole instead of
+  // each path re-plumbing seed/workers/stop/progress by hand.
+  svc::RunContext ctx;
+  ctx.seed = static_cast<std::uint64_t>(args.get_int("--seed", 1));
+  ctx.chains = parse_count(args, "--chains", 0);
+  ctx.workers = parse_count(args, "--workers", 1);
+  {
+    const long long budget_mb = args.get_int("--memory-budget-mb", 512);
+    if (budget_mb > 0) {
+      ctx.memory_budget_mb = static_cast<std::size_t>(budget_mb);
+    }  // non-positive values throw in apply_objective_flags below
+  }
+  ctx.stop = g_stop.token();
+  ctx.progress = g_progress;
+
   // The proposal move mix applies to randomizing and targeting alike;
   // on --resume the checkpoint's recorded kind is authoritative.
   const gen::MoveKind move =
@@ -557,21 +588,20 @@ int cmd_generate(const util::ArgParser& args, util::Rng& rng) {
           "--checkpoint/--resume/--ladder do not apply to --like "
           "randomizing runs");
     }
-    // dK-randomizing rewiring of an original graph.
+    // dK-randomizing rewiring of an original graph, through the
+    // context overload: dk_random_like seeds from ctx and applies its
+    // workers/stop/progress — bit-identical to the historical
+    // hand-wired randomize(..., rng) call with the same seed.
     const Graph original = load(like, /*gcc=*/false);
     gen::RandomizeOptions options;
-    options.d = d;
     options.move = move;
-    options.workers = parse_count(args, "--workers", 1);
-    options.stop = g_stop.token();
-    options.progress = g_progress;
     record_config("like", like);
     record_config("move", gen::to_string(move));
-    record_config("workers", std::to_string(options.workers));
+    record_config("workers", std::to_string(ctx.workers));
     set_phase("randomize " + std::to_string(d) + "k");
     gen::RewiringStats stats;
     const auto stage_start = std::chrono::steady_clock::now();
-    result = gen::randomize(original, options, rng, &stats);
+    result = gen::dk_random_like(original, d, options, ctx, &stats);
     if (g_want_report) {
       obs::StageRecord stage;
       stage.name = "randomize";
@@ -619,16 +649,14 @@ int cmd_generate(const util::ArgParser& args, util::Rng& rng) {
     options.method =
         parse_method(args.get_string("--method", "matching"));
     if (d == 3) options.method = gen::Method::targeting;
-    // 0 = one chain per core (the default); an explicit count pins the
-    // chain fan-out regardless of the machine.
-    options.chains.chains = parse_count(args, "--chains", 0);
     options.targeting.move = move;
-    options.targeting.workers = parse_count(args, "--workers", 1);
-    options.targeting.stop = g_stop.token();
-    options.targeting.progress = g_progress;
+    // One call wires chains/workers/budget/stop/progress (the context
+    // carries them); the objective flag keeps its own parse because the
+    // backend CHOICE is algorithm configuration, not execution context.
+    options.apply(ctx);
     apply_objective_flags(args, options.targeting);
     record_config("method", args.get_string("--method", "matching"));
-    record_config("workers", std::to_string(options.targeting.workers));
+    record_config("workers", std::to_string(ctx.workers));
     if (checkpointed || laddered) {
       bool interrupted = false;
       result = generate_checkpointed(args, target, d, options, rng,
@@ -644,7 +672,7 @@ int cmd_generate(const util::ArgParser& args, util::Rng& rng) {
       // counter delta around the call is this stage's exact count.
       const gen::RewiringStats before = scrape_rewire_counters();
       const auto stage_start = std::chrono::steady_clock::now();
-      result = gen::generate_dk_random(target, d, options, rng);
+      result = gen::generate_dk_random(target, d, options, ctx);
       if (g_want_report) {
         obs::StageRecord stage;
         stage.name = "generate." + std::to_string(d) + "k";

@@ -133,10 +133,30 @@ Graph generate_dk_random(const dk::DkDistributions& target, int d,
   }
 }
 
+Graph generate_dk_random(const dk::DkDistributions& target, int d,
+                         GenerateOptions options, const svc::RunContext& ctx) {
+  options.apply(ctx);
+  util::Rng rng = ctx.make_rng();
+  return generate_dk_random(target, d, options, rng);
+}
+
 Graph dk_random_like(const Graph& original, int d, util::Rng& rng) {
   RandomizeOptions options;
   options.d = d;
   return randomize(original, options, rng);
+}
+
+Graph dk_random_like(const Graph& original, int d,
+                     const svc::RunContext& ctx) {
+  return dk_random_like(original, d, RandomizeOptions{}, ctx);
+}
+
+Graph dk_random_like(const Graph& original, int d, RandomizeOptions options,
+                     const svc::RunContext& ctx, RewiringStats* stats) {
+  options.d = d;
+  options.apply(ctx);
+  util::Rng rng = ctx.make_rng();
+  return randomize(original, options, rng, stats);
 }
 
 }  // namespace orbis::gen

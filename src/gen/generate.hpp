@@ -34,6 +34,8 @@ struct GenerateOptions {
   /// fit the dense difference matrix route to the sparse backend, so
   /// `extract → generate` works at scales the matrix cannot reach.
   TargetingOptions targeting = {};
+  /// DEPRECATED (one-release shim, svc/run_context.hpp): prefer
+  /// svc::RunContext::chains + apply(ctx).
   /// Targeting stages run through the multi-chain annealing driver:
   /// `chains.chains` independently seeded chains scheduled on the shared
   /// thread pool, best distance wins.  Default 0 = autotune: one chain
@@ -44,6 +46,14 @@ struct GenerateOptions {
   /// behavior exactly, or any explicit count to pin it (the CLI's
   /// --chains flag does exactly that).
   MultiChainOptions chains{.chains = 0};
+
+  /// Copies the shared execution context over the duplicated knobs:
+  /// the chain fan-out plus everything TargetingOptions::apply covers
+  /// (workers, memory budget, stop, progress).
+  void apply(const svc::RunContext& ctx) noexcept {
+    chains.chains = ctx.chains;
+    targeting.apply(ctx);
+  }
 };
 
 /// Generate a dK-random graph from distributions (no original needed).
@@ -51,11 +61,42 @@ struct GenerateOptions {
 /// GCC-extracted — callers decide, as in the paper.
 /// Throws std::invalid_argument for unsupported (d, method) pairs and
 /// GenerationError when a construction cannot complete.
+///
+/// DEPRECATED as a public entry point (one-release shim): prefer the
+/// RunContext overload below, which owns seeding and cancellation.
+/// This signature remains the composition primitive the context form
+/// wraps (multi-stage pipelines that must share one Rng use it).
 Graph generate_dk_random(const dk::DkDistributions& target, int d,
                          const GenerateOptions& options, util::Rng& rng);
 
+/// Context form — the unified entry-point contract (docs/service.md):
+/// seeds from ctx.seed, applies ctx's chains/workers/budget/stop/
+/// progress over `options`, and is exactly equivalent to apply(ctx) +
+/// the Rng overload with Rng(ctx.seed).  Cancellation: the chains honor
+/// ctx.stop at their poll boundaries and the call returns the best
+/// graph reached so far (check ctx.stop.stop_requested() to tell).
+Graph generate_dk_random(const dk::DkDistributions& target, int d,
+                         GenerateOptions options, const svc::RunContext& ctx);
+
 /// Convenience: extract target distributions from an original graph and
 /// build the d-level random counterpart with the default method chain.
+/// DEPRECATED (one-release shim): uncancellable and progress-blind;
+/// prefer one of the overloads below.
+ORBIS_DEPRECATED(
+    "use dk_random_like(original, d, ctx) — this overload cannot be "
+    "cancelled and reports no progress")
 Graph dk_random_like(const Graph& original, int d, util::Rng& rng);
+
+/// Context form: dK-randomizing rewiring of `original` under the
+/// unified contract — cancellable via ctx.stop (returns the partially
+/// rewired graph on stop), progress-reporting via ctx.progress.
+Graph dk_random_like(const Graph& original, int d,
+                     const svc::RunContext& ctx);
+
+/// Options-taking form for callers that also tune the rewiring knobs
+/// (budget, move mix, ...): ctx is applied over `options` first.
+Graph dk_random_like(const Graph& original, int d, RandomizeOptions options,
+                     const svc::RunContext& ctx,
+                     RewiringStats* stats = nullptr);
 
 }  // namespace orbis::gen

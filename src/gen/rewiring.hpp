@@ -29,6 +29,7 @@
 #include "gen/objective_backend.hpp"
 #include "graph/graph.hpp"
 #include "obs/progress.hpp"
+#include "svc/run_context.hpp"
 #include "util/rng.hpp"
 #include "util/stop_token.hpp"
 
@@ -119,6 +120,8 @@ struct RandomizeOptions {
   int d = 2;                           // series level to preserve, 0..3
   std::size_t attempts_per_edge = 10;  // attempt budget = this * m
   std::size_t attempts = 0;            // explicit budget (overrides if > 0)
+  /// DEPRECATED (one-release shim, svc/run_context.hpp): prefer
+  /// carrying workers in a svc::RunContext and calling apply(ctx).
   /// Optimistic parallel evaluation workers for the d = 3 path (other
   /// levels ignore it): 1 = classic serial chain; 0 = all cores; > 1 =
   /// that many evaluation tasks on the shared thread pool.  Results are
@@ -126,10 +129,12 @@ struct RandomizeOptions {
   /// docs/parallel.md.
   std::size_t workers = 1;
   std::size_t batch = 256;  // proposals per speculation round (workers != 1)
+  /// DEPRECATED (one-release shim): prefer svc::RunContext::stop.
   /// Cooperative cancellation (util/stop_token.hpp): the chain polls the
   /// token at batch boundaries and returns early — with whatever graph
   /// it has — once a stop is requested.  Default token never stops.
   util::StopToken stop{};
+  /// DEPRECATED (one-release shim): prefer svc::RunContext::progress.
   /// Optional live-progress observer (obs/progress.hpp), called at the
   /// SAME batch boundaries where `stop` is polled.  Sinks only read the
   /// sample, so chains are bit-identical with or without one.
@@ -140,6 +145,16 @@ struct RandomizeOptions {
   /// 3K-preservation is not verified there) and d = 0 ignores the field.
   MoveKind move = MoveKind::swap;
   double trade_fraction = 0.25;  ///< P(trade) per attempt in mixed mode
+
+  /// Copies the shared execution context over this struct's duplicated
+  /// knobs (workers/stop/progress) — THE way context-taking overloads
+  /// resolve options, so a context call and a hand-filled legacy call
+  /// run bit-identical chains.
+  void apply(const svc::RunContext& ctx) noexcept {
+    workers = ctx.workers;
+    stop = ctx.stop;
+    progress = ctx.progress;
+  }
 };
 
 /// dK-randomizing rewiring: returns a random graph with exactly the same
@@ -164,6 +179,8 @@ struct TargetingOptions {
   /// large graphs; guided proposals fix the endgame.  Ignored by
   /// target_3k.
   double guided_fraction = 0.5;
+  /// DEPRECATED (one-release shim, svc/run_context.hpp): prefer
+  /// svc::RunContext::workers + apply(ctx).
   /// Optimistic parallel evaluation workers for target_3k (the 2K path
   /// ignores it — its O(1) integer ΔD2 leaves nothing worth farming
   /// out): 1 = serial chain; 0 = all cores.  Ignored inside multichain
@@ -177,7 +194,10 @@ struct TargetingOptions {
   /// backends drive bit-identical chains, so forcing one is only ever a
   /// memory/speed trade.  CLI: orbis_tool --objective / --memory-budget-mb.
   ObjectiveBackend objective = ObjectiveBackend::automatic;
+  /// DEPRECATED (one-release shim, svc/run_context.hpp): prefer
+  /// svc::RunContext::memory_budget_mb + apply(ctx).
   std::size_t memory_budget_mb = 512;
+  /// DEPRECATED (one-release shim): prefer svc::RunContext::stop.
   /// Cooperative cancellation (util/stop_token.hpp): chains poll the
   /// token at batch boundaries (serial paths every 1024 attempts, the
   /// speculative path between rounds) and return early with the current
@@ -186,6 +206,7 @@ struct TargetingOptions {
   /// (gen/checkpoint.hpp) discard mid-leg partial work instead, so
   /// their resume determinism is unaffected.  Default token never stops.
   util::StopToken stop{};
+  /// DEPRECATED (one-release shim): prefer svc::RunContext::progress.
   /// Optional live-progress observer (obs/progress.hpp), called at the
   /// SAME batch boundaries where `stop` is polled.  Sinks only read the
   /// sample, so chains are bit-identical with or without one.
@@ -198,6 +219,15 @@ struct TargetingOptions {
   /// swap-only and rejects other moves.
   MoveKind move = MoveKind::swap;
   double trade_fraction = 0.25;  ///< P(trade) per attempt in mixed mode
+
+  /// Copies the shared execution context over this struct's duplicated
+  /// knobs (workers/memory budget/stop/progress); see RandomizeOptions.
+  void apply(const svc::RunContext& ctx) noexcept {
+    workers = ctx.workers;
+    memory_budget_mb = ctx.memory_budget_mb;
+    stop = ctx.stop;
+    progress = ctx.progress;
+  }
 };
 
 /// 2K-targeting 1K-preserving rewiring.  `start` must already have the

@@ -156,8 +156,19 @@ StreamingExtractResult extract_dk_streaming(
   dk::StreamingDkExtractor extractor(max_d, options.extractor);
   StreamingExtractResult result;
 
+  std::size_t pass_edges = 0;   // edges consumed in the current pass
+  std::size_t pass_budget = 0;  // edges per full pass, known after pass 0
   const auto consume_chunk = [&](std::span<const RawEdge> edges) {
+    if (options.stop.stop_requested()) {
+      throw InterruptedError("extract_dk_streaming: cancelled");
+    }
     for (const RawEdge& edge : edges) extractor.consume(edge.u, edge.v);
+    pass_edges += edges.size();
+    if (options.progress != nullptr) {
+      options.progress->report(options.progress_lane,
+                               obs::ProgressSample{.attempts = pass_edges,
+                                                   .budget = pass_budget});
+    }
   };
 
   int pass = 0;
@@ -168,6 +179,8 @@ StreamingExtractResult extract_dk_streaming(
       // trace shows where a big extract spends its time.
       const obs::Span pass_span(pass == 0 ? "extract.pass0"
                                           : "extract.pass1");
+      pass_budget = pass_edges;  // a full pass revisits every edge
+      pass_edges = 0;
       reader.run_pass(consume_chunk);
     }
     ++pass;

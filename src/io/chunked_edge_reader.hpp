@@ -22,6 +22,9 @@
 
 #include "core/streaming_extractor.hpp"
 #include "io/retry.hpp"
+#include "obs/progress.hpp"
+#include "svc/run_context.hpp"
+#include "util/stop_token.hpp"
 
 namespace orbis::io {
 
@@ -68,6 +71,21 @@ class ChunkedEdgeListReader {
 struct StreamingExtractOptions {
   dk::StreamingOptions extractor;
   ChunkedEdgeListReader::Options reader;
+  /// Cooperative cancellation: polled once per parsed chunk inside every
+  /// pass; a requested stop throws orbis::InterruptedError (partial
+  /// accumulator state is discarded with the extractor).
+  util::StopToken stop{};
+  /// Live progress: one sample per chunk, attempts = edges consumed so
+  /// far in the current pass, budget = edges per full pass (known after
+  /// the first pass completes, 0 during it).  Null = silent.
+  obs::ProgressSink* progress = nullptr;
+  std::uint32_t progress_lane = 0;
+
+  /// Adopts the shared execution context (svc/run_context.hpp).
+  void apply(const svc::RunContext& ctx) noexcept {
+    stop = ctx.stop;
+    progress = ctx.progress;
+  }
 };
 
 struct StreamingExtractResult {

@@ -8,6 +8,7 @@
 #include "metrics/distance.hpp"
 #include "metrics/scalar.hpp"
 #include "metrics/spectrum.hpp"
+#include "util/errors.hpp"
 
 namespace orbis::metrics {
 
@@ -15,6 +16,24 @@ ScalarMetrics compute_scalar_metrics(const Graph& g,
                                      const SummaryOptions& options) {
   ScalarMetrics result;
   if (g.num_nodes() == 0) return result;
+
+  // Phase accounting: the cheap scalar bundle counts as one phase,
+  // plus one per enabled heavyweight phase.
+  const std::uint64_t budget =
+      1 + (options.with_distance ? 1 : 0) + (options.with_s2 ? 1 : 0) +
+      (options.with_spectrum ? 1 : 0);
+  std::uint64_t done = 0;
+  const auto checkpoint = [&]() {
+    ++done;
+    if (options.progress != nullptr) {
+      options.progress->report(
+          options.progress_lane,
+          obs::ProgressSample{.attempts = done, .budget = budget});
+    }
+    if (options.stop.stop_requested()) {
+      throw InterruptedError("compute_scalar_metrics: cancelled");
+    }
+  };
 
   const auto gcc = largest_connected_component(g);
   const Graph& core = gcc.graph;
@@ -24,22 +43,32 @@ ScalarMetrics compute_scalar_metrics(const Graph& g,
   result.assortativity = assortativity(core);
   result.mean_clustering = mean_clustering(core);
   result.likelihood_s = likelihood_s(core);
+  checkpoint();
 
   if (options.with_distance) {
     const auto distances = distance_distribution(core);
     result.mean_distance = distances.mean();
     result.distance_stddev = distances.stddev();
+    checkpoint();
   }
   if (options.with_s2) {
     const auto profile = dk::ThreeKProfile::from_graph(core);
     result.s2 = profile.second_order_likelihood();
+    checkpoint();
   }
   if (options.with_spectrum) {
     const auto spectrum = laplacian_extremes(core);
     result.lambda1 = spectrum.lambda1;
     result.lambda_max = spectrum.lambda_max;
+    checkpoint();
   }
   return result;
+}
+
+ScalarMetrics compute_scalar_metrics(const Graph& g, SummaryOptions options,
+                                     const svc::RunContext& ctx) {
+  options.apply(ctx);
+  return compute_scalar_metrics(g, options);
 }
 
 std::string to_string(const ScalarMetrics& m) {

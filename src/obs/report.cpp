@@ -96,9 +96,16 @@ void write_metrics_json(json::Writer& w, const MetricsSnapshot& snapshot) {
 }
 
 void write_trajectory_json(json::Writer& w,
-                           const TrajectoryRecorder& trajectory) {
-  w.begin_array();  // one array of points per lane
+                           const TrajectoryRecorder& trajectory,
+                           const std::vector<TrajectoryLane>& lanes) {
+  w.begin_array();  // one labeled object per lane
   for (std::size_t lane = 0; lane < trajectory.lane_count(); ++lane) {
+    w.begin_object();
+    w.kv("lane", static_cast<std::uint64_t>(lane));
+    if (lane < lanes.size() && lanes[lane].has_temperature) {
+      w.kv("temperature", lanes[lane].temperature);
+    }
+    w.key("points");
     w.begin_array();
     for (const auto& point :
          trajectory.points(static_cast<std::uint32_t>(lane))) {
@@ -108,6 +115,7 @@ void write_trajectory_json(json::Writer& w,
       w.end_object();
     }
     w.end_array();
+    w.end_object();
   }
   w.end_array();
 }
@@ -177,7 +185,7 @@ void write_run_report_json(std::ostream& out, const RunReport& report) {
 
   w.key("trajectory");
   if (report.trajectory != nullptr) {
-    write_trajectory_json(w, *report.trajectory);
+    write_trajectory_json(w, *report.trajectory, report.trajectory_lanes);
   } else {
     w.null();
   }

@@ -1,0 +1,74 @@
+#include "svc/scheduler.hpp"
+
+#include "util/check.hpp"
+
+namespace orbis::svc {
+
+namespace {
+
+double weight_of(const FairQueueOptions& options, std::size_t cls) {
+  return cls == static_cast<std::size_t>(JobClass::interactive)
+             ? options.interactive_weight
+             : options.batch_weight;
+}
+
+}  // namespace
+
+FairQueue::FairQueue(FairQueueOptions options) : options_(options) {
+  util::expects(options_.interactive_weight > 0.0 &&
+                    options_.batch_weight > 0.0,
+                "FairQueue: class weights must be positive");
+}
+
+void FairQueue::push(JobClass cls, std::uint64_t id) {
+  const auto index = static_cast<std::size_t>(cls);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return;
+  if (queues_[index].empty()) {
+    // Re-join at the current virtual time: an idle class never banks
+    // credit (see header).
+    if (pass_[index] < global_pass_) pass_[index] = global_pass_;
+  }
+  queues_[index].push_back(id);
+  cv_.notify_one();
+}
+
+bool FairQueue::pop(std::uint64_t& id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] {
+    if (closed_) return true;
+    for (const auto& queue : queues_) {
+      if (!queue.empty()) return true;
+    }
+    return false;
+  });
+
+  std::size_t best = kJobClassCount;  // sentinel: nothing runnable
+  for (std::size_t cls = 0; cls < kJobClassCount; ++cls) {
+    if (queues_[cls].empty()) continue;
+    // Strict < keeps ties with the earlier (interactive) class.
+    if (best == kJobClassCount || pass_[cls] < pass_[best]) best = cls;
+  }
+  if (best == kJobClassCount) return false;  // closed and drained
+
+  id = queues_[best].front();
+  queues_[best].pop_front();
+  pass_[best] += 1.0 / weight_of(options_, best);
+  global_pass_ = pass_[best];
+  return true;
+}
+
+void FairQueue::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+std::size_t FairQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& queue : queues_) total += queue.size();
+  return total;
+}
+
+}  // namespace orbis::svc

@@ -1,0 +1,51 @@
+// The topology service's line-delimited JSON wire format
+// (docs/service.md, "Protocol").
+//
+// Requests are FLAT JSON objects, one per line — string / number /
+// boolean / null values only, no nesting.  That restriction is what
+// keeps this parser ~150 lines instead of a JSON DOM: the protocol was
+// designed flat (every request field is scalar), so the parser enforces
+// it rather than half-supporting nesting.  Responses are emitted
+// through obs::json::Writer (compact mode), the same serializer the
+// run reports use, so escaping lives in one place for both directions.
+//
+// Error contract: malformed lines throw orbis::ParseError with a
+// column position; the server turns that into an `error` event and
+// keeps reading (one bad request must not kill the session).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace orbis::svc::wire {
+
+struct Value {
+  enum class Kind : std::uint8_t { string, number, boolean, null };
+  Kind kind = Kind::null;
+  std::string text;     // Kind::string
+  double number = 0.0;  // Kind::number
+  bool boolean = false;
+};
+
+using Object = std::map<std::string, Value>;
+
+/// Parses one request line.  Throws orbis::ParseError on malformed
+/// JSON, nested containers, or duplicate keys.
+Object parse_flat_object(std::string_view line);
+
+/// Typed field access.  `get_*` returns the fallback when the key is
+/// absent; `require_string` throws orbis::ParseError when missing.
+/// Type mismatches always throw (a request that says `"d":"three"`
+/// is malformed, not defaulted).
+std::string require_string(const Object& object, const std::string& key);
+std::string get_string(const Object& object, const std::string& key,
+                       const std::string& fallback);
+std::int64_t get_int(const Object& object, const std::string& key,
+                     std::int64_t fallback);
+double get_double(const Object& object, const std::string& key,
+                  double fallback);
+bool get_bool(const Object& object, const std::string& key, bool fallback);
+
+}  // namespace orbis::svc::wire

@@ -118,8 +118,52 @@ TEST(RunReport, GoldenSchema) {
   EXPECT_TRUE(test_json::has_entry(doc, "name", "\"target.2k\""));
   EXPECT_TRUE(test_json::has_entry(doc, "best_chain", "1"));
   EXPECT_TRUE(test_json::has_entry(doc, "attempts_done", "3000"));
-  // The recorded trajectory point.
+  // The recorded trajectory point, inside a labeled lane object.
   EXPECT_TRUE(test_json::has_entry(doc, "objective", "99"));
+  EXPECT_TRUE(test_json::has_entry(doc, "lane", "0"));
+  EXPECT_TRUE(test_json::has_key(doc, "points"));
+}
+
+TEST(RunReport, LadderedTrajectoryLanesCarryReplicaTemperatures) {
+  TrajectoryRecorder trajectory;
+  ProgressSample sample;
+  sample.attempts = 10;
+  sample.objective = 5.0;
+  sample.has_objective = true;
+  trajectory.report(0, sample);
+  trajectory.report(1, sample);
+
+  RunReport report = sample_report(&trajectory);
+  report.trajectory_lanes = {
+      {.lane = 0, .temperature = 0.25, .has_temperature = true},
+      {.lane = 1, .temperature = 1.5, .has_temperature = true},
+  };
+  std::ostringstream out;
+  write_run_report_json(out, report);
+  const std::string doc = out.str();
+
+  ASSERT_TRUE(test_json::is_valid_json(doc)) << doc;
+  EXPECT_TRUE(test_json::has_entry(doc, "lane", "1"));
+  EXPECT_TRUE(test_json::has_entry(doc, "temperature", "0.25"));
+  EXPECT_TRUE(test_json::has_entry(doc, "temperature", "1.5"));
+}
+
+TEST(RunReport, NonLadderedLanesOmitTemperature) {
+  TrajectoryRecorder trajectory;
+  ProgressSample sample;
+  sample.attempts = 10;
+  sample.objective = 5.0;
+  sample.has_objective = true;
+  trajectory.report(0, sample);
+
+  RunReport report = sample_report(&trajectory);
+  report.trajectory_lanes = {
+      {.lane = 0, .temperature = 0.0, .has_temperature = false}};
+  std::ostringstream out;
+  write_run_report_json(out, report);
+  const std::string doc = out.str();
+  ASSERT_TRUE(test_json::is_valid_json(doc)) << doc;
+  EXPECT_FALSE(test_json::has_key(doc, "temperature"));
 }
 
 TEST(RunReport, NoSeedAndNoTrajectorySerializeAsNull) {

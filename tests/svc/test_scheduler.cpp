@@ -1,0 +1,146 @@
+// FairQueue stride scheduling (src/svc/scheduler.hpp): weight-ratio
+// interleave under contention, the batch starvation bound, rejoin
+// without banked credit, and close() semantics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "svc/scheduler.hpp"
+
+namespace orbis::svc {
+namespace {
+
+// Ids encode their class so a drained sequence can be audited:
+// interactive ids < 1000, batch ids >= 1000.
+constexpr std::uint64_t kBatchBase = 1000;
+
+std::vector<std::uint64_t> drain(FairQueue& queue) {
+  std::vector<std::uint64_t> order;
+  queue.close();
+  std::uint64_t id = 0;
+  while (queue.pop(id)) order.push_back(id);
+  return order;
+}
+
+TEST(FairQueue, FifoWithinOneClass) {
+  FairQueue queue;
+  for (std::uint64_t i = 0; i < 5; ++i) queue.push(JobClass::interactive, i);
+  const auto order = drain(queue);
+  ASSERT_EQ(order.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(FairQueue, BackloggedClassesConvergeToWeightRatio) {
+  FairQueue queue;  // default 4:1
+  for (std::uint64_t i = 0; i < 40; ++i) queue.push(JobClass::interactive, i);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    queue.push(JobClass::batch, kBatchBase + i);
+
+  const auto order = drain(queue);
+  ASSERT_EQ(order.size(), 50u);
+  // Every prefix serves interactive at most weight-ratio ahead of its
+  // fair share: after n dispatches, batch has gotten >= floor(n/5) - 1.
+  std::size_t batch_seen = 0;
+  for (std::size_t n = 0; n < order.size(); ++n) {
+    batch_seen += order[n] >= kBatchBase;
+    if (batch_seen < 10) {
+      EXPECT_GE(batch_seen + 1, (n + 1) / 5)
+          << "batch starved through dispatch " << n;
+    }
+  }
+  EXPECT_EQ(batch_seen, 10u);
+}
+
+TEST(FairQueue, StarvationBoundAtMostFourInteractiveBetweenBatch) {
+  FairQueue queue;  // 4:1 -> at most 4 consecutive interactive slices
+  for (std::uint64_t i = 0; i < 64; ++i) queue.push(JobClass::interactive, i);
+  for (std::uint64_t i = 0; i < 16; ++i)
+    queue.push(JobClass::batch, kBatchBase + i);
+
+  const auto order = drain(queue);
+  std::size_t run = 0, batch_left = 16;
+  for (const std::uint64_t id : order) {
+    if (id >= kBatchBase) {
+      run = 0;
+      --batch_left;
+    } else if (batch_left > 0) {
+      // Only bound runs while batch work is actually waiting.
+      EXPECT_LE(++run, 4u);
+    }
+  }
+}
+
+TEST(FairQueue, IdleClassRejoinsWithoutBankedCredit) {
+  FairQueue queue;
+  // Batch sleeps while interactive dispatches 20 slices...
+  for (std::uint64_t i = 0; i < 20; ++i) queue.push(JobClass::interactive, i);
+  std::uint64_t id = 0;
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(queue.pop(id));
+
+  // ...then rejoins.  Without the pass clamp it would owe 5 virtual
+  // time units and monopolize the next ~20 dispatches; with it, the
+  // interleave resumes at the weight ratio immediately.
+  for (std::uint64_t i = 0; i < 8; ++i)
+    queue.push(JobClass::batch, kBatchBase + i);
+  for (std::uint64_t i = 100; i < 120; ++i)
+    queue.push(JobClass::interactive, i);
+
+  const auto order = drain(queue);
+  std::size_t leading_batch = 0;
+  while (leading_batch < order.size() &&
+         order[leading_batch] >= kBatchBase) {
+    ++leading_batch;
+  }
+  // Batch gets at most its fair opening slice, not a 8-long burst.
+  EXPECT_LE(leading_batch, 2u);
+}
+
+TEST(FairQueue, TiesGoToInteractive) {
+  FairQueue queue;
+  queue.push(JobClass::batch, kBatchBase);
+  queue.push(JobClass::interactive, 1);
+  // Both classes start at pass 0 — the tie must break interactive.
+  std::uint64_t id = 0;
+  ASSERT_TRUE(queue.pop(id));
+  EXPECT_EQ(id, 1u);
+}
+
+TEST(FairQueue, PopBlocksUntilPushFromAnotherThread) {
+  FairQueue queue;
+  std::uint64_t id = 0;
+  std::thread producer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.push(JobClass::batch, 7);
+  });
+  EXPECT_TRUE(queue.pop(id));
+  EXPECT_EQ(id, 7u);
+  producer.join();
+}
+
+TEST(FairQueue, CloseDrainsPendingThenReturnsFalse) {
+  FairQueue queue;
+  queue.push(JobClass::interactive, 1);
+  queue.close();
+  queue.push(JobClass::interactive, 2);  // dropped: pushed after close
+  std::uint64_t id = 0;
+  ASSERT_TRUE(queue.pop(id));
+  EXPECT_EQ(id, 1u);
+  EXPECT_FALSE(queue.pop(id));
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(FairQueue, CloseWakesBlockedPopper) {
+  FairQueue queue;
+  std::thread closer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.close();
+  });
+  std::uint64_t id = 0;
+  EXPECT_FALSE(queue.pop(id));
+  closer.join();
+}
+
+}  // namespace
+}  // namespace orbis::svc

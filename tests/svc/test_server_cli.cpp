@@ -1,0 +1,197 @@
+// End-to-end smoke of the orbis_server binary over its line-delimited
+// JSON protocol: every emitted line is valid JSON, the extract
+// miss/hit cycle produces artifacts byte-identical to `orbis_tool
+// extract`, malformed lines answer with an error event without
+// killing the session, and "shutdown" acks with "bye".  Needs the
+// example binaries: CMake exports ORBIS_SERVER_BIN / ORBIS_TOOL_BIN;
+// skipped when the examples are not built.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/builders.hpp"
+#include "io/edge_list.hpp"
+#include "util/rng.hpp"
+#include "../obs/json_checker.hpp"
+
+namespace orbis {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ServerCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* server = std::getenv("ORBIS_SERVER_BIN");
+    if (server == nullptr || !fs::exists(server)) {
+      GTEST_SKIP() << "ORBIS_SERVER_BIN not set or missing (examples not "
+                      "built)";
+    }
+    server_ = server;
+    const char* tool = std::getenv("ORBIS_TOOL_BIN");
+    tool_ = tool == nullptr ? "" : tool;
+    dir_ = fs::temp_directory_path() /
+           ("orbis_server_cli_test_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+
+    util::Rng rng(29);
+    io::write_edge_list_file(path("g.edges"), builders::gnm(30, 60, rng));
+  }
+
+  void TearDown() override {
+    if (!dir_.empty()) fs::remove_all(dir_);
+  }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  /// Pipes `requests` (one JSON object per line) into orbis_server and
+  /// returns its exit code; stdout lines land in `events`.
+  int run_session(const std::vector<std::string>& requests,
+                  std::vector<std::string>& events) {
+    {
+      std::ofstream script(path("requests.jsonl"));
+      for (const std::string& request : requests) script << request << '\n';
+    }
+    const std::string cmd = "'" + server_ + "' --cache-dir '" +
+                            path("cache") + "' < '" +
+                            path("requests.jsonl") + "' > '" +
+                            path("events.jsonl") + "' 2>> '" +
+                            path("stderr.log") + "'";
+    const int status = std::system(cmd.c_str());
+    events.clear();
+    std::ifstream in(path("events.jsonl"));
+    for (std::string line; std::getline(in, line);) {
+      if (!line.empty()) events.push_back(line);
+    }
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  static std::string slurp(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  static bool any_line_has(const std::vector<std::string>& events,
+                           const std::string& key,
+                           const std::string& value) {
+    for (const std::string& line : events) {
+      if (test_json::has_entry(line, key, value)) return true;
+    }
+    return false;
+  }
+
+  std::string server_;
+  std::string tool_;
+  fs::path dir_;
+};
+
+TEST_F(ServerCliTest, SessionSpeaksValidJsonAndExitsCleanly) {
+  std::vector<std::string> events;
+  const int exit_code = run_session(
+      {R"({"op":"extract","path":")" + path("g.edges") +
+           R"(","out":")" + path("a") + R"(","d":2,"tag":"e1"})",
+       R"({"op":"wait","job":1})",
+       R"({"op":"shutdown"})"},
+      events);
+  EXPECT_EQ(exit_code, 0);
+  ASSERT_FALSE(events.empty());
+  for (const std::string& line : events) {
+    EXPECT_TRUE(test_json::is_valid_json(line)) << line;
+  }
+  EXPECT_TRUE(any_line_has(events, "tag", "\"e1\""));
+  EXPECT_TRUE(any_line_has(events, "event", "\"done\""));
+  EXPECT_TRUE(any_line_has(events, "event", "\"bye\""));
+}
+
+TEST_F(ServerCliTest, ExtractMissThenHitMatchesOrbisToolByteForByte) {
+  if (tool_.empty() || !fs::exists(tool_)) {
+    GTEST_SKIP() << "ORBIS_TOOL_BIN not set or missing";
+  }
+  // Ground truth straight from the CLI extractor (positional form;
+  // always writes the full .1k/.2k/.3k set).
+  const std::string tool_cmd = "'" + tool_ + "' extract '" +
+                               path("g.edges") + "' '" + path("ref") +
+                               "' > /dev/null 2>&1";
+  ASSERT_EQ(std::system(tool_cmd.c_str()), 0);
+
+  std::vector<std::string> events;
+  const int exit_code = run_session(
+      {R"({"op":"extract","path":")" + path("g.edges") +
+           R"(","out":")" + path("m") + R"(","d":3})",
+       R"({"op":"extract","path":")" + path("g.edges") +
+           R"(","out":")" + path("h") + R"(","d":3})",
+       R"({"op":"wait","job":1})",
+       R"({"op":"wait","job":2})",
+       R"({"op":"shutdown"})"},
+      events);
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_TRUE(any_line_has(events, "cache", "\"miss\""));
+  EXPECT_TRUE(any_line_has(events, "cache", "\"hit\""));
+
+  for (const char* suffix : {".1k", ".2k", ".3k"}) {
+    const std::string reference = slurp(path("ref") + suffix);
+    ASSERT_FALSE(reference.empty()) << suffix;
+    EXPECT_EQ(slurp(path("m") + suffix), reference) << suffix;
+    EXPECT_EQ(slurp(path("h") + suffix), reference) << suffix;
+  }
+}
+
+TEST_F(ServerCliTest, GenerateRoundTripOverTheProtocol) {
+  std::vector<std::string> events;
+  const int exit_code = run_session(
+      {R"({"op":"extract","path":")" + path("g.edges") +
+           R"(","out":")" + path("dk") + R"(","d":2})",
+       R"({"op":"wait","job":1})",
+       R"({"op":"generate","target":")" + path("dk") +
+           R"(","out":")" + path("out.edges") +
+           R"(","d":2,"seed":7,"attempts":2000})",
+       R"({"op":"wait","job":2})",
+       R"({"op":"shutdown"})"},
+      events);
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_TRUE(any_line_has(events, "event", "\"leg\""));
+  ASSERT_TRUE(fs::exists(path("out.edges")));
+  EXPECT_EQ(io::read_edge_list_file(path("out.edges")).graph.num_edges(),
+            60u);
+}
+
+TEST_F(ServerCliTest, MalformedLineAnswersErrorAndSessionContinues) {
+  std::vector<std::string> events;
+  const int exit_code = run_session(
+      {"this is not json",
+       R"({"op":"frobnicate"})",
+       R"({"op":"metrics","path":")" + path("g.edges") +
+           R"(","spectrum":false})",
+       R"({"op":"wait","job":1})",
+       R"({"op":"shutdown"})"},
+      events);
+  EXPECT_EQ(exit_code, 0);
+  std::size_t errors = 0;
+  bool saw_scalars = false;
+  for (const std::string& line : events) {
+    EXPECT_TRUE(test_json::is_valid_json(line)) << line;
+    errors += test_json::has_entry(line, "event", "\"error\"");
+    saw_scalars = saw_scalars || test_json::has_key(line, "gcc_nodes");
+  }
+  EXPECT_EQ(errors, 2u);  // bad JSON + unknown op
+  EXPECT_TRUE(any_line_has(events, "event", "\"done\""));
+  EXPECT_TRUE(saw_scalars);
+}
+
+TEST_F(ServerCliTest, EofWithoutShutdownIsACleanClose) {
+  std::vector<std::string> events;
+  EXPECT_EQ(run_session({}, events), 0);
+  EXPECT_TRUE(events.empty());
+}
+
+}  // namespace
+}  // namespace orbis

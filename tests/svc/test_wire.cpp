@@ -1,0 +1,86 @@
+// The service wire format (src/svc/wire.hpp): flat-object parsing,
+// escape handling, the typed accessors, and the malformed-line error
+// contract (ParseError with a position, never a silent default).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "svc/wire.hpp"
+#include "util/errors.hpp"
+
+namespace orbis::svc::wire {
+namespace {
+
+TEST(Wire, ParsesFlatObjectOfEveryScalarKind) {
+  const Object object = parse_flat_object(
+      R"({"op":"extract","d":3,"ratio":0.5,"trusted":true,"note":null})");
+  EXPECT_EQ(require_string(object, "op"), "extract");
+  EXPECT_EQ(get_int(object, "d", 0), 3);
+  EXPECT_DOUBLE_EQ(get_double(object, "ratio", 0.0), 0.5);
+  EXPECT_TRUE(get_bool(object, "trusted", false));
+  EXPECT_EQ(object.at("note").kind, Value::Kind::null);
+}
+
+TEST(Wire, EmptyObjectAndWhitespaceTolerance) {
+  EXPECT_TRUE(parse_flat_object("  { }  ").empty());
+  const Object object = parse_flat_object("\t{ \"a\" : 1 , \"b\" : \"x\" }");
+  EXPECT_EQ(get_int(object, "a", 0), 1);
+  EXPECT_EQ(get_string(object, "b", ""), "x");
+}
+
+TEST(Wire, DecodesStringEscapes) {
+  const Object object = parse_flat_object(
+      R"({"path":"a\tb\n\"q\"\\z","unicode":"\u0041\u00e9"})");
+  EXPECT_EQ(get_string(object, "path", ""), "a\tb\n\"q\"\\z");
+  EXPECT_EQ(get_string(object, "unicode", ""), "A\xC3\xA9");
+}
+
+TEST(Wire, NegativeAndExponentNumbers) {
+  const Object object =
+      parse_flat_object(R"({"a":-7,"b":1e3,"c":2.5e-2})");
+  EXPECT_EQ(get_int(object, "a", 0), -7);
+  EXPECT_DOUBLE_EQ(get_double(object, "b", 0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(get_double(object, "c", 0.0), 0.025);
+}
+
+TEST(Wire, RejectsMalformedLines) {
+  EXPECT_THROW(parse_flat_object(""), ParseError);
+  EXPECT_THROW(parse_flat_object("not json"), ParseError);
+  EXPECT_THROW(parse_flat_object(R"({"a":1)"), ParseError);
+  EXPECT_THROW(parse_flat_object(R"({"a" 1})"), ParseError);
+  EXPECT_THROW(parse_flat_object(R"({"a":})"), ParseError);
+  EXPECT_THROW(parse_flat_object(R"({"a":"unterminated)"), ParseError);
+  EXPECT_THROW(parse_flat_object(R"({"a":1} trailing)"), ParseError);
+}
+
+TEST(Wire, RejectsNestedContainersExplicitly) {
+  // Flatness is a protocol rule, not a parser limitation to stumble on.
+  EXPECT_THROW(parse_flat_object(R"({"a":{"b":1}})"), ParseError);
+  EXPECT_THROW(parse_flat_object(R"({"a":[1,2]})"), ParseError);
+}
+
+TEST(Wire, RejectsDuplicateKeys) {
+  EXPECT_THROW(parse_flat_object(R"({"a":1,"a":2})"), ParseError);
+}
+
+TEST(Wire, TypedAccessorsEnforceKinds) {
+  const Object object = parse_flat_object(R"({"d":"three","n":5})");
+  EXPECT_THROW(get_int(object, "d", 0), ParseError);
+  EXPECT_THROW(get_string(object, "n", ""), ParseError);
+  EXPECT_THROW(get_bool(object, "n", false), ParseError);
+  EXPECT_THROW(require_string(object, "missing"), ParseError);
+  // Absent keys fall back; present-but-wrong-type always throws.
+  EXPECT_EQ(get_int(object, "absent", 42), 42);
+}
+
+TEST(Wire, ErrorsNameAColumn) {
+  try {
+    parse_flat_object(R"({"a":1,})");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("column"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace orbis::svc::wire
